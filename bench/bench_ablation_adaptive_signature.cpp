@@ -1,0 +1,92 @@
+/// Ablation — adaptive signature learning (§VII's future work, implemented).
+///
+/// Scenario: a firmware update changes the Echo Dot's connection-
+/// establishment packet sequence. The AVS backend keeps migrating IPs, and
+/// roughly half the reconnects happen without an observable DNS query. With
+/// the shipped static signature the guard loses the AVS IP on DNS-less
+/// reconnects (commands in those windows go unmonitored); with the learner
+/// the guard re-derives the signature from DNS-identified connections and
+/// keeps tracking.
+
+#include <cstdio>
+
+#include "common.h"
+
+using namespace vg;
+
+namespace {
+
+struct Result {
+  int synced{0};            // after each migration: guard IP == farm IP?
+  int total{0};
+  std::uint64_t relearned{0};
+  std::uint64_t signature_updates{0};
+};
+
+Result run(bool adaptive) {
+  sim::Simulation sim{121};
+  net::Network net{sim};
+  net::Router router{"router"};
+  cloud::CloudFarm farm{net, router, bench::stable_farm()};
+  net::Host speaker_host{net, "speaker", net::IpAddress(192, 168, 1, 200)};
+  guard::FixedDecisionModule decision{sim, true, sim::milliseconds(500)};
+  guard::GuardBox::Options gopts;
+  gopts.speaker_ips = {speaker_host.ip()};
+  gopts.adaptive_signatures = adaptive;
+  guard::GuardBox guard{net, "guard", decision, gopts};
+
+  net::Link& lan = net.add_link(speaker_host, guard, sim::milliseconds(2));
+  speaker_host.attach(lan);
+  guard.set_lan_link(lan);
+  net::Link& up = net.add_link(guard, router, sim::milliseconds(2));
+  guard.set_wan_link(up);
+  router.add_route(speaker_host.ip(), up);
+
+  speaker::EchoDotModel::Options opts;
+  opts.misc_connection_mean = sim::Duration{0};
+  // The firmware update: a new establishment sequence the shipped signature
+  // does not match.
+  opts.establishment_signature = {99, 45, 801, 150, 82, 150, 201, 82, 150, 82};
+  opts.dns_on_reconnect_prob = 0.5;
+  speaker::EchoDotModel echo{speaker_host, farm.dns_endpoint(),
+                             [&farm] { return farm.current_avs_ip(); }, opts};
+  echo.power_on();
+  sim.run_until(sim::TimePoint{} + sim::seconds(10));
+
+  Result r;
+  for (int i = 0; i < 14; ++i) {
+    farm.migrate_avs_now();
+    sim.run_until(sim.now() + sim::seconds(25));
+    ++r.total;
+    if (guard.tracked_avs_ip() == farm.current_avs_ip()) ++r.synced;
+  }
+  r.relearned = guard.signature_learner().republished();
+  r.signature_updates = guard.avs_ip_updates_from_signature();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "Ablation: adaptive signature learning after a firmware update",
+      "§VII 'Potential Changes of Traffic Signature' (future work, implemented)");
+
+  std::printf("\n14 AVS IP migrations; ~half the reconnects show no DNS "
+              "query; the speaker's establishment\nsequence no longer "
+              "matches the shipped signature.\n\n");
+  std::printf("%-22s %-18s %-14s %-16s\n", "configuration",
+              "guard in sync", "re-learned", "signature-based IP updates");
+  for (bool adaptive : {false, true}) {
+    const Result r = run(adaptive);
+    std::printf("%-22s %6d / %-9d %-14llu %-16llu\n",
+                adaptive ? "adaptive learner" : "static signature", r.synced,
+                r.total, static_cast<unsigned long long>(r.relearned),
+                static_cast<unsigned long long>(r.signature_updates));
+  }
+  std::printf("\nShape: with the static signature, every DNS-less reconnect "
+              "leaves the guard\ntracking a stale IP until the next "
+              "DNS-visible one; the learner closes the gap\nafter a few "
+              "DNS-identified examples.\n");
+  return 0;
+}

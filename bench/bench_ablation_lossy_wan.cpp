@@ -1,0 +1,95 @@
+/// Ablation — VoiceGuard over a lossy broadband uplink.
+///
+/// The transparent proxy splits the speaker's TCP connection in two, so WAN
+/// loss is absorbed by the guard<->cloud leg's retransmissions while the
+/// LAN leg stays clean. This sweep measures command success and added delay
+/// as the uplink loss rate grows.
+
+#include <cstdio>
+
+#include "analysis/Stats.h"
+#include "common.h"
+
+using namespace vg;
+
+namespace {
+
+struct LossResult {
+  int executed{0};
+  int attempted{0};
+  double mean_response_gap_s{0};
+  std::uint64_t dropped{0};
+};
+
+LossResult run(double loss_rate) {
+  sim::Simulation sim{131};
+  net::Network net{sim};
+  net::Router router{"router"};
+  cloud::CloudFarm::Options farm_opts = bench::stable_farm();
+  farm_opts.wan_latency = sim::milliseconds(18);
+  farm_opts.wan_jitter = sim::milliseconds(4);
+  cloud::CloudFarm farm{net, router, farm_opts};
+  net::Host speaker_host{net, "speaker", net::IpAddress(192, 168, 1, 200)};
+  guard::FixedDecisionModule decision{sim, true, sim::milliseconds(800)};
+  guard::GuardBox::Options gopts;
+  gopts.speaker_ips = {speaker_host.ip()};
+  guard::GuardBox guard{net, "guard", decision, gopts};
+
+  net::Link& lan = net.add_link(speaker_host, guard, sim::milliseconds(2));
+  speaker_host.attach(lan);
+  guard.set_lan_link(lan);
+  // The lossy leg: guard -> home router (the broadband uplink).
+  net::Link& up = net.add_link(guard, router, sim::milliseconds(6),
+                               sim::milliseconds(2), loss_rate);
+  guard.set_wan_link(up);
+  router.add_route(speaker_host.ip(), up);
+
+  speaker::EchoDotModel::Options opts;
+  opts.misc_connection_mean = sim::Duration{0};
+  opts.phase1.irregular_prob = 0.0;
+  speaker::EchoDotModel echo{speaker_host, farm.dns_endpoint(),
+                             [&farm] { return farm.current_avs_ip(); }, opts};
+  echo.power_on();
+  sim.run_until(sim::TimePoint{} + sim::seconds(15));
+
+  LossResult r;
+  std::vector<double> gaps;
+  for (int i = 0; i < 20; ++i) {
+    speaker::CommandSpec c;
+    c.id = static_cast<std::uint64_t>(i + 1);
+    c.words = 6;
+    ++r.attempted;
+    echo.hear_command(c);
+    sim.run_until(sim.now() + sim::seconds(60));
+  }
+  for (const auto& res : echo.interactions()) {
+    if (res.response_received) {
+      gaps.push_back((res.response_start - res.command_end).seconds());
+    }
+  }
+  r.executed = static_cast<int>(farm.all_executed().size());
+  r.mean_response_gap_s = gaps.empty() ? 0 : analysis::summarize(gaps).mean;
+  r.dropped = up.dropped_packets();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: lossy broadband uplink",
+                "robustness of the transparent proxy (§IV-B2)");
+
+  std::printf("\n20 commands per point, verdict latency 0.8 s:\n\n");
+  std::printf("%-12s %-12s %-22s %-14s\n", "loss rate", "executed",
+              "cmd-end->response (s)", "pkts dropped");
+  for (double loss : {0.0, 0.01, 0.03, 0.08, 0.15}) {
+    const LossResult r = run(loss);
+    std::printf("%-12.2f %3d / %-6d %-22.2f %-14llu\n", loss, r.executed,
+                r.attempted, r.mean_response_gap_s,
+                static_cast<unsigned long long>(r.dropped));
+  }
+  std::printf("\nShape: TCP retransmission on the guard<->cloud leg absorbs "
+              "moderate loss\n(commands still execute, latency grows); the "
+              "LAN leg and the hold/release\nmachinery are unaffected.\n");
+  return 0;
+}

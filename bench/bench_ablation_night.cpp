@@ -1,0 +1,79 @@
+/// Ablation — overnight attacks while the owners sleep upstairs.
+///
+/// A realism extension of the §V-B3 protocol: from 23:00 to 07:00 the owners
+/// are in the second-floor bedrooms (they walked up the stairs, so the floor
+/// tracker saw the transition), and only the attacker acts. In the two-floor
+/// house one bedroom region sits close enough to the speaker that raw RSSI
+/// can stay above the threshold — the floor level is then the only thing
+/// standing between a compromised smart TV and the front-door lock at 3am.
+
+#include <cstdio>
+
+#include "table_common.h"
+
+using namespace vg;
+using workload::WorldConfig;
+
+namespace {
+
+struct NightResult {
+  analysis::ConfusionMatrix m;
+  std::uint64_t night_attacks{0};
+  std::uint64_t night_fn{0};
+};
+
+NightResult run(bool motion_sensor, std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kHouse;
+  // Deployment 2: the kitchen speaker, whose directly-overhead room is
+  // bedroom-1 — where someone actually sleeps.
+  cfg.deployment = 2;
+  cfg.owner_count = 2;
+  cfg.motion_sensor = motion_sensor;
+  cfg.seed = seed;
+  workload::SmartHomeWorld world{cfg};
+  world.calibrate();
+
+  workload::ExperimentConfig ecfg;
+  ecfg.duration = sim::days(3);
+  ecfg.episode_mean = sim::minutes(40);
+  ecfg.night_routine = true;
+  workload::ExperimentDriver driver{world, ecfg};
+  driver.run();
+
+  NightResult r;
+  r.m = driver.confusion();
+  r.night_attacks = driver.night_attacks();
+  for (const auto& o : driver.outcomes()) {
+    const double hour = std::fmod(o.when.seconds() / 3600.0, 24.0);
+    const bool night = hour >= 23.0 || hour < 7.0;
+    if (night && o.malicious && o.executed) ++r.night_fn;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: overnight attacks while the owners sleep upstairs",
+                "protocol extension of §V-B3 + §V-B2's floor rationale");
+
+  std::printf("\n3-day runs with a 23:00-07:00 sleep schedule (bedrooms are "
+              "on the second floor):\n\n");
+  std::printf("%-22s %-10s %-10s %-16s %-12s\n", "configuration", "accuracy",
+              "recall", "night attacks", "night FNs");
+  for (bool sensor : {true, false}) {
+    const NightResult r = run(sensor, 170);
+    std::printf("%-22s %-10s %-10s %-16llu %-12llu\n",
+                sensor ? "with floor tracking" : "without",
+                analysis::pct(r.m.accuracy()).c_str(),
+                analysis::pct(r.m.recall()).c_str(),
+                static_cast<unsigned long long>(r.night_attacks),
+                static_cast<unsigned long long>(r.night_fn));
+  }
+  std::printf("\nShape: without floor tracking, overnight attacks succeed "
+              "whenever a bed\nsits in the above-threshold overhead zone; "
+              "with it, the bedtime stair walk\nparks the level upstairs for "
+              "the whole night.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+/// Ablation — phase classification vs the naive spike rule (Fig. 3's point).
+///
+/// The naive method holds *every* spike after a no-traffic period, so each
+/// response segment's telemetry spike is also held for a full RSSI query;
+/// VoiceGuard's classifier releases response spikes within its ~0.3 s
+/// classification window. This bench quantifies the difference.
+
+#include <cstdio>
+
+#include "analysis/Stats.h"
+#include "common.h"
+
+using namespace vg;
+
+namespace {
+
+void run_mode(guard::GuardMode mode) {
+  cloud::CloudFarm::Options farm_opts = bench::stable_farm();
+  farm_opts.avs.segment_weights = {0.2, 0.4, 0.4};  // multi-segment responses
+
+  bench::TrafficHarness h{true, sim::from_seconds(1.6), mode, 160, farm_opts};
+  speaker::EchoDotModel::Options eopts;
+  eopts.misc_connection_mean = sim::Duration{0};
+  eopts.phase1.irregular_prob = 0.0;
+  speaker::EchoDotModel echo{h.speaker_host, h.farm.dns_endpoint(),
+                             [&h] { return h.farm.current_avs_ip(); }, eopts};
+  echo.power_on();
+  h.run_to(10);
+
+  constexpr int kCommands = 40;
+  for (int i = 0; i < kCommands; ++i) {
+    echo.hear_command(h.cmd(static_cast<std::uint64_t>(i + 1), 6));
+    bool done = false;
+    echo.on_interaction_done = [&done](const speaker::InteractionResult&) {
+      done = true;
+    };
+    while (!done && h.sim.pending_events() > 0) h.sim.step(1);
+    h.run_for(8.0);
+  }
+
+  double total_hold = 0;
+  std::size_t held_events = 0;
+  std::vector<double> holds;
+  for (const auto& ev : h.guard.spike_events()) {
+    if (ev.held) {
+      ++held_events;
+      total_hold += ev.hold_seconds;
+      holds.push_back(ev.hold_seconds);
+    }
+  }
+  const double avg_hold =
+      held_events ? total_hold / static_cast<double>(held_events) : 0.0;
+  std::printf("%-12s: spikes=%3zu held=%3zu decision-queries=%3llu "
+              "total-held=%6.1fs avg-hold=%.2fs\n",
+              to_string(mode).c_str(), h.guard.spike_events().size(),
+              held_events,
+              static_cast<unsigned long long>(h.decision.queries()),
+              total_hold, avg_hold);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: phase classifier vs naive spike holding",
+                "Fig. 3 / §IV-B1");
+  std::printf("\n40 Echo interactions with multi-segment responses:\n\n");
+  run_mode(guard::GuardMode::kVoiceGuard);
+  run_mode(guard::GuardMode::kNaive);
+  std::printf("\nShape: the naive rule multiplies decision queries (one per\n"
+              "response segment) and holds response traffic for full query\n"
+              "latencies; the classifier holds responses only for its ~0.3 s\n"
+              "decision window.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// Ablation — sensitivity of the detection quality to the RSSI threshold.
+///
+/// The walk-around app learns the room's minimum; this sweep shifts that
+/// threshold and runs a 1-day protocol per point, showing the FP/FN trade:
+/// too strict (higher threshold) blocks the owner at the room's edges; too
+/// lax (lower) starts accepting attackers from adjacent rooms.
+
+#include <cstdio>
+
+#include "table_common.h"
+
+using namespace vg;
+using workload::WorldConfig;
+
+int main() {
+  bench::header("Ablation: RSSI threshold margin sweep", "§IV-C / §V-B1");
+
+  std::printf("\n%-12s %-10s %-10s %-10s %-10s %-10s\n", "offset(dB)",
+              "threshold", "accuracy", "precision", "recall", "FP/FN");
+  for (double offset : {-6.0, -4.0, -2.0, 0.0, 2.0, 4.0}) {
+    WorldConfig cfg;
+    cfg.testbed = WorldConfig::TestbedKind::kApartment;
+    cfg.owner_count = 1;
+    cfg.seed = 140;
+    workload::SmartHomeWorld world{cfg};
+    world.calibrate();
+    const double threshold = world.learned_threshold(0) + offset;
+    world.decision().set_threshold(world.device(0).name(), threshold);
+
+    workload::ExperimentConfig ecfg;
+    ecfg.duration = sim::days(1);
+    ecfg.episode_mean = sim::minutes(10);
+    workload::ExperimentDriver driver{world, ecfg};
+    driver.run();
+
+    const auto m = driver.confusion();
+    std::printf("%-12.1f %-10.1f %-10s %-10s %-10s %llu/%llu\n", offset,
+                threshold, analysis::pct(m.accuracy()).c_str(),
+                analysis::pct(m.precision()).c_str(),
+                analysis::pct(m.recall()).c_str(),
+                static_cast<unsigned long long>(m.fp),
+                static_cast<unsigned long long>(m.fn));
+  }
+  std::printf("\nShape: the learned threshold (offset 0) sits on the plateau;\n"
+              "raising it sheds owner commands (precision of the app's\n"
+              "minimum-of-walk choice), lowering it by several dB eventually\n"
+              "lets nearby-room attacks through.\n");
+  return 0;
+}

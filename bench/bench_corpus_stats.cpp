@@ -1,0 +1,62 @@
+/// §V-A2 corpus analysis — command-length statistics and the zero-delay
+/// argument. Paper: 320 Alexa commands (mean 5.95 words, 86.8% with >= 4
+/// words), 443 Google commands (mean 7.39 words, 93.9% with >= 5 words); at
+/// the normal 2 words/s speech pace, in >= 80% of invocations the RSSI query
+/// completes while the user is still speaking.
+
+#include <cstdio>
+
+#include "analysis/Stats.h"
+#include "common.h"
+#include "workload/Corpus.h"
+
+using namespace vg;
+
+namespace {
+
+void report(const char* name, const workload::CommandCorpus& c,
+            double paper_mean, int paper_at_least, double paper_fraction) {
+  std::printf("\n%s corpus: %zu commands\n", name, c.size());
+  std::printf("  mean words         : %.2f (paper: %.2f)\n", c.mean_words(),
+              paper_mean);
+  std::printf("  >= %d words         : %s (paper: %s)\n", paper_at_least,
+              analysis::pct(c.fraction_with_at_least(paper_at_least), 1).c_str(),
+              analysis::pct(paper_fraction, 1).c_str());
+
+  std::printf("  word-length histogram: ");
+  int hist[20] = {};
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    const int w = std::min(c.word_count(i), 19);
+    ++hist[w];
+  }
+  for (int w = 1; w < 20; ++w) {
+    if (hist[w] > 0) std::printf("%dw:%d ", w, hist[w]);
+  }
+  std::printf("\n");
+
+  // Zero-delay analysis: speech lasts wake(0.6s) + words/2; the query is
+  // hidden if speech >= query latency. Evaluate at the Fig. 7 averages.
+  for (double query : {1.622, 1.892, 2.5}) {
+    int hidden = 0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      const double speech = 0.6 + c.word_count(i) / 2.0;
+      if (speech >= query + 0.6) ++hidden;  // query starts ~wake-word end
+    }
+    std::printf("  query of %.3f s fully hidden inside speech: %s\n", query,
+                analysis::pct(static_cast<double>(hidden) /
+                              static_cast<double>(c.size()), 1)
+                    .c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Corpus statistics and the user-experience argument",
+                "§V-A2 (crawled command corpora)");
+  report("Alexa", workload::CommandCorpus::alexa(), 5.95, 4, 0.868);
+  report("Google Assistant", workload::CommandCorpus::google(), 7.39, 5, 0.939);
+  std::printf("\nPaper conclusion: 80%%+ of invocations see no added delay; "
+              "even the worst case adds only about a second.\n");
+  return 0;
+}

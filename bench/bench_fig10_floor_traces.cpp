@@ -1,0 +1,152 @@
+/// Figure 10 — Up/Down stair traces vs the three confusable routes.
+///
+/// Paper protocol (§V-B2): per case, 15 Up + 15 Down traces, 25 Route-1
+/// traces (random in-room movement), 10 Route-2 (#21 -> #37, Up-like) and 10
+/// Route-3 (#48 -> #59, Down-like) traces; each trace is 40 RSSI samples at
+/// 0.2 s, reduced by linear regression to (slope, intercept). The paper
+/// separates Route 1 by |slope| <= 1 and Routes 2/3 from Up/Down by
+/// intercept; our classifier additionally uses the fitted line's endpoints
+/// (see EXPERIMENTS.md for the scale discussion).
+
+#include <map>
+#include <vector>
+
+#include "analysis/Stats.h"
+#include "common.h"
+#include "home/MobileDevice.h"
+#include "home/Person.h"
+#include "home/Testbed.h"
+#include "voiceguard/FloorTracker.h"
+
+using namespace vg;
+
+namespace {
+
+constexpr double kStairSpeed = 0.45;
+
+struct TraceSet {
+  std::vector<analysis::LineFit> fits;
+};
+
+void run_case(int deployment, const char* speaker_name, double radio_offset,
+              std::uint64_t seed) {
+  sim::Simulation sim{seed};
+  home::Testbed tb = home::Testbed::two_floor_house();
+  radio::PathLossParams params{};
+  params.ref_rssi_db += radio_offset;  // per-speaker Bluetooth radio gain
+  radio::BluetoothBeacon beacon{"spk", tb.speaker_position(deployment)};
+  home::Person owner{sim, "owner", tb.location(1).pos};
+  home::MobileDevice phone{sim, tb.plan(), params, "pixel5",
+                           [&] { return owner.position(); }};
+  guard::FloorTracker tracker{sim, phone, beacon, 0};
+
+  auto capture = [&](const std::function<void()>& walk) {
+    walk();
+    analysis::LineFit fit{};
+    bool done = false;
+    tracker.record_trace([&](guard::TraceClass, analysis::LineFit f) {
+      fit = f;
+      done = true;
+    });
+    while (!done && sim.pending_events() > 0) sim.step(1);
+    return fit;
+  };
+
+  std::map<std::string, TraceSet> sets;
+  auto& rng = sim.rng("fig10");
+  const radio::Vec3 bottom = tb.location(42).pos;
+  const radio::Vec3 top = tb.location(48).pos;
+
+  for (int k = 0; k < 15; ++k) {
+    owner.teleport(bottom);
+    sets["Up"].fits.push_back(
+        capture([&] { owner.walk_to(top, kStairSpeed); }));
+    owner.teleport(top);
+    sets["Down"].fits.push_back(
+        capture([&] { owner.walk_to(bottom, kStairSpeed); }));
+  }
+  const std::vector<std::string> rooms = {"kitchen", "living-room", "restroom",
+                                          "bedroom-1", "bedroom-2"};
+  for (const auto& room : rooms) {
+    const auto* r = tb.plan().room_by_name(room);
+    for (int k = 0; k < 5; ++k) {
+      const radio::Vec3 center{
+          rng.uniform(r->bounds.x0 + 1.0, r->bounds.x1 - 1.0),
+          rng.uniform(r->bounds.y0 + 1.0, r->bounds.y1 - 1.0),
+          tb.plan().device_height(r->floor)};
+      owner.teleport(center);
+      sets["Route1"].fits.push_back(capture([&] {
+        std::vector<radio::Vec3> wiggle;
+        for (int s = 0; s < 6; ++s) {
+          wiggle.push_back({center.x + rng.uniform(-0.7, 0.7),
+                            center.y + rng.uniform(-0.7, 0.7), center.z});
+        }
+        owner.follow_path(std::move(wiggle), 0.7);
+      }));
+    }
+  }
+  for (int k = 0; k < 10; ++k) {
+    owner.teleport(tb.location(21).pos);
+    sets["Route2"].fits.push_back(
+        capture([&] { owner.walk_to(tb.location(37).pos, 0.7); }));
+    owner.teleport(tb.location(48).pos);
+    sets["Route3"].fits.push_back(
+        capture([&] { owner.walk_to(tb.location(59).pos, 1.0); }));
+  }
+
+  std::printf("\n--- %s, deployment location %d ---\n", speaker_name,
+              deployment);
+  std::printf("%-8s %7s %9s %9s %9s  counts per slope band\n", "class",
+              "slope", "icpt", "start", "end");
+  for (const auto& [name, set] : sets) {
+    std::vector<double> slopes, icpts, starts, ends;
+    int flat = 0, steep_neg = 0, steep_pos = 0;
+    for (const auto& f : set.fits) {
+      slopes.push_back(f.slope);
+      icpts.push_back(f.intercept);
+      starts.push_back(f.intercept);
+      ends.push_back(f.slope * 7.8 + f.intercept);
+      if (std::abs(f.slope) <= tracker.slope_band()) {
+        ++flat;
+      } else if (f.slope < 0) {
+        ++steep_neg;
+      } else {
+        ++steep_pos;
+      }
+    }
+    std::printf("%-8s %7.2f %9.2f %9.2f %9.2f  flat=%d neg=%d pos=%d (n=%zu)\n",
+                name.c_str(), analysis::summarize(slopes).mean,
+                analysis::summarize(icpts).mean,
+                analysis::summarize(starts).mean,
+                analysis::summarize(ends).mean, flat, steep_neg, steep_pos,
+                set.fits.size());
+  }
+
+  // Scatter, paper-style: slope vs intercept per class.
+  std::printf("\nscatter (slope, intercept):\n");
+  for (const auto& [name, set] : sets) {
+    std::printf("  %-7s:", name.c_str());
+    int col = 0;
+    for (const auto& f : set.fits) {
+      if (col++ % 5 == 0 && col > 1) std::printf("\n          ");
+      std::printf(" (%5.2f,%7.2f)", f.slope, f.intercept);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 10: stair-trace regression features",
+                "Fig. 10 / §V-B2");
+  std::printf(
+      "\nPaper shape to verify: Route-1 slopes cluster inside the flat band;\n"
+      "Up slopes are steeply negative, Down steeply positive; Routes 2/3\n"
+      "overlap Up/Down in slope but separate on the second feature.\n");
+  run_case(1, "Echo Dot", 0.0, 90);
+  run_case(1, "Google Home Mini", -0.6, 91);
+  run_case(2, "Echo Dot", 0.0, 92);
+  run_case(2, "Google Home Mini", -0.6, 93);
+  return 0;
+}

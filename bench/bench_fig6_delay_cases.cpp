@@ -1,0 +1,115 @@
+/// Figure 6 — the two cases of user-perceived delay.
+///
+///  (a) the RSSI query finishes while the user is still speaking: the held
+///      packets are released before the upload would have mattered — zero
+///      perceived delay;
+///  (b) a short command ends before the verification completes: the user
+///      perceives the tail of the verification as extra response latency.
+///
+/// §V-A2 argument: commands average 5.95 (Alexa) / 7.39 (Google) words at
+/// 2 words/s, so in >= 80% of invocations the sub-2 s query hides inside the
+/// utterance.
+
+#include "analysis/Stats.h"
+#include "workload/Corpus.h"
+#include "workload/World.h"
+
+#include "common.h"
+
+using namespace vg;
+using workload::WorldConfig;
+
+namespace {
+
+struct DelaySample {
+  double verify_s;     // RSSI verification time
+  double perceived_s;  // max(0, verdict - speech end)
+};
+
+std::vector<DelaySample> run(int words, int n, std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kApartment;
+  cfg.owner_count = 1;
+  cfg.seed = seed;
+  workload::SmartHomeWorld w{cfg};
+  w.calibrate();
+  const radio::Vec3 spk = w.testbed().speaker_position(1);
+  w.owner(0).teleport({spk.x - 1.5, spk.y + 1.0, 1.1});
+
+  std::vector<DelaySample> out;
+  for (int i = 0; i < n; ++i) {
+    speaker::CommandSpec c;
+    c.id = static_cast<std::uint64_t>(i + 1);
+    c.words = words;
+    const sim::TimePoint speech_start = w.sim().now();
+    const sim::TimePoint speech_end = speech_start + c.speech_duration();
+    const std::size_t queries_before = w.decision().latencies_s().size();
+    const std::size_t events_before = w.guard().spike_events().size();
+    w.hear_command(c);
+    w.run_for(sim::seconds(45));
+
+    if (w.decision().latencies_s().size() <= queries_before) continue;
+    // The verdict time of the command spike event.
+    for (std::size_t e = events_before; e < w.guard().spike_events().size();
+         ++e) {
+      const auto& ev = w.guard().spike_events()[e];
+      if (ev.cls != guard::SpikeClass::kCommand || !ev.queried) continue;
+      DelaySample s;
+      s.verify_s = w.decision().latencies_s().back();
+      s.perceived_s =
+          std::max(0.0, (ev.verdict_time - speech_end).seconds());
+      out.push_back(s);
+      break;
+    }
+  }
+  return out;
+}
+
+void narrate_case(const char* label, int words, const DelaySample& s) {
+  const double speech = 0.6 + words / 2.0;
+  std::printf("\nCase (%s): %d-word command (%.1f s of speech)\n", label,
+              words, speech);
+  std::printf("  user speaks    : 0.00s .. %.2fs\n", speech);
+  std::printf("  speaker streams: 0.60s .. %.2fs (held at the guard)\n", speech);
+  std::printf("  RSSI query     : starts ~0.7s, completes at %.2fs\n",
+              0.7 + s.verify_s);
+  std::printf("  verification   : %.2f s\n", s.verify_s);
+  std::printf("  perceived delay: %.2f s %s\n", s.perceived_s,
+              s.perceived_s < 0.05 ? "(none: hidden inside the utterance)"
+                                   : "(the user notices a short wait)");
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 6: the two delay cases from the user's perspective",
+                "Fig. 6 / §V-A2");
+
+  const auto long_cmds = run(10, 40, 60);   // ~5.6 s of speech
+  const auto short_cmds = run(2, 40, 61);   // ~1.6 s of speech
+
+  if (!long_cmds.empty()) narrate_case("a", 10, long_cmds.front());
+  if (!short_cmds.empty()) narrate_case("b", 2, short_cmds.front());
+
+  auto perceived = [](const std::vector<DelaySample>& v) {
+    std::vector<double> out;
+    for (const auto& s : v) out.push_back(s.perceived_s);
+    return out;
+  };
+  const auto pl = perceived(long_cmds);
+  const auto ps = perceived(short_cmds);
+  std::printf("\nAggregate over %zu long + %zu short commands:\n", pl.size(),
+              ps.size());
+  std::printf("  long  (10 words): mean perceived delay %.3f s, zero-delay "
+              "fraction %s\n",
+              analysis::summarize(pl).mean,
+              analysis::pct(analysis::cdf_at(pl, 0.02)).c_str());
+  std::printf("  short (2 words) : mean perceived delay %.3f s, zero-delay "
+              "fraction %s\n",
+              analysis::summarize(ps).mean,
+              analysis::pct(analysis::cdf_at(ps, 0.02)).c_str());
+  std::printf("\nPaper: with >= 4-word commands (86.8%% of the Alexa corpus),\n"
+              "the query usually completes during speech — no perceived "
+              "delay;\neven short commands add only about a second.\n");
+  return 0;
+}

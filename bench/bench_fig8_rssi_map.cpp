@@ -1,0 +1,17 @@
+/// Figure 8 — RSSI measurements at every numbered location of the three
+/// testbeds, speaker deployment location 1. The paper's thresholds: house -8,
+/// apartment -6, office -6. Key structure to look for in the output:
+///  - every location in the speaker's room is above the threshold;
+///  - the house's line-of-sight hallway spots (#25-#27) are above it too;
+///  - the second-floor study (#55/#56/#59/#60, directly above the speaker)
+///    stays above the threshold — the false-accept hole the floor tracker
+///    closes (§V-B2).
+
+#include "rssi_map_common.h"
+
+int main() {
+  vg::bench::header("Figure 8: RSSI maps, speaker deployment location 1",
+                    "Fig. 8 / §V-B1");
+  vg::bench::rssi_map_for_deployment(1);
+  return 0;
+}

@@ -1,0 +1,11 @@
+/// Figure 9 — RSSI measurements at every numbered location of the three
+/// testbeds, speaker deployment location 2 (paper thresholds: -7, -6, -5).
+
+#include "rssi_map_common.h"
+
+int main() {
+  vg::bench::header("Figure 9: RSSI maps, speaker deployment location 2",
+                    "Fig. 9 / §V-B1");
+  vg::bench::rssi_map_for_deployment(2);
+  return 0;
+}

@@ -1,0 +1,94 @@
+/// Micro-benchmarks (google-benchmark) for the hot paths of the guard box:
+/// per-packet classification must be cheap enough for a laptop to keep up
+/// with line-rate speaker traffic (§IV-A's "general-purpose computing
+/// device is sufficient" claim).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/Stats.h"
+#include "home/Testbed.h"
+#include "radio/Propagation.h"
+#include "simcore/EventQueue.h"
+#include "simcore/Rng.h"
+#include "speaker/TrafficPatterns.h"
+#include "voiceguard/Recognizer.h"
+
+using namespace vg;
+
+namespace {
+
+void BM_SpikeClassifierCommand(benchmark::State& state) {
+  sim::RngRegistry reg{1};
+  auto& rng = reg.stream("b");
+  std::vector<std::vector<std::uint32_t>> prefixes;
+  for (int i = 0; i < 256; ++i) {
+    prefixes.push_back(speaker::gen_phase1_prefix(rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guard::classify_spike(prefixes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_SpikeClassifierCommand);
+
+void BM_SpikeClassifierResponse(benchmark::State& state) {
+  sim::RngRegistry reg{2};
+  auto& rng = reg.stream("b");
+  std::vector<std::vector<std::uint32_t>> prefixes;
+  for (int i = 0; i < 256; ++i) {
+    prefixes.push_back(speaker::gen_phase2_prefix(rng));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(guard::classify_spike(prefixes[i++ & 255]));
+  }
+}
+BENCHMARK(BM_SpikeClassifierResponse);
+
+void BM_SignatureMatch(benchmark::State& state) {
+  for (auto _ : state) {
+    guard::SignatureMatcher m{speaker::kAvsConnectionSignature};
+    for (std::uint32_t len : speaker::kAvsConnectionSignature) {
+      benchmark::DoNotOptimize(m.feed(len));
+    }
+  }
+}
+BENCHMARK(BM_SignatureMatch);
+
+void BM_LinearRegression40(benchmark::State& state) {
+  std::vector<double> ys(40);
+  for (int i = 0; i < 40; ++i) ys[static_cast<std::size_t>(i)] = -0.2 * i - 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::linear_regression_uniform(ys, 0.2));
+  }
+}
+BENCHMARK(BM_LinearRegression40);
+
+void BM_RssiThroughHousePlan(benchmark::State& state) {
+  const home::Testbed tb = home::Testbed::two_floor_house();
+  const radio::PathLossParams p{};
+  const radio::Vec3 spk = tb.speaker_position(1);
+  std::size_t i = 0;
+  const auto& locs = tb.locations();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        radio::mean_rssi(tb.plan(), p, spk, locs[i++ % locs.size()].pos));
+  }
+}
+BENCHMARK(BM_RssiThroughHousePlan);
+
+void BM_EventQueueScheduleFire(benchmark::State& state) {
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    q.schedule(sim::TimePoint{t += 10}, [] {});
+    q.schedule(sim::TimePoint{t + 5}, [] {});
+    q.pop().cb();
+    q.pop().cb();
+  }
+}
+BENCHMARK(BM_EventQueueScheduleFire);
+
+}  // namespace
+
+BENCHMARK_MAIN();

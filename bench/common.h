@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "cloud/CloudFarm.h"
+#include "netsim/Router.h"
+#include "speaker/EchoDot.h"
+#include "speaker/GoogleHomeMini.h"
+#include "voiceguard/GuardBox.h"
+
+/// \file common.h
+/// Shared harness for the bench binaries: a minimal
+/// speaker--guard--router--cloud chain with a pluggable decision oracle, used
+/// by the traffic-level benches (Tables/Figures that do not need people or
+/// radio). The full-world benches use workload::SmartHomeWorld instead.
+
+namespace vg::bench {
+
+inline cloud::CloudFarm::Options stable_farm() {
+  cloud::CloudFarm::Options o;
+  o.avs_migration_mean = sim::Duration{0};
+  return o;
+}
+
+struct TrafficHarness {
+  sim::Simulation sim;
+  net::Network net{sim};
+  net::Router router{"router"};
+  cloud::CloudFarm farm;
+  net::Host speaker_host{net, "speaker", net::IpAddress(192, 168, 1, 200)};
+  guard::FixedDecisionModule decision;
+  guard::GuardBox guard;
+
+  TrafficHarness(bool verdict, sim::Duration verdict_latency,
+                 guard::GuardMode mode, std::uint64_t seed = 7,
+                 cloud::CloudFarm::Options farm_opts = stable_farm())
+      : sim(seed),
+        farm(net, router, farm_opts),
+        decision(sim, verdict, verdict_latency),
+        guard(net, "guard", decision,
+              [&] {
+                guard::GuardBox::Options o;
+                o.speaker_ips = {net::IpAddress(192, 168, 1, 200)};
+                o.mode = mode;
+                return o;
+              }()) {
+    net::Link& lan = net.add_link(speaker_host, guard, sim::milliseconds(2));
+    speaker_host.attach(lan);
+    guard.set_lan_link(lan);
+    net::Link& up = net.add_link(guard, router, sim::milliseconds(2));
+    guard.set_wan_link(up);
+    router.add_route(speaker_host.ip(), up);
+  }
+
+  speaker::CommandSpec cmd(std::uint64_t id, int words = 6) {
+    speaker::CommandSpec c;
+    c.id = id;
+    c.text = "bench command";
+    c.words = words;
+    return c;
+  }
+
+  void run_to(double secs) {
+    sim.run_until(sim::TimePoint{} + sim::from_seconds(secs));
+  }
+  void run_for(double secs) { sim.run_until(sim.now() + sim::from_seconds(secs)); }
+};
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("============================================================\n");
+}
+
+}  // namespace vg::bench

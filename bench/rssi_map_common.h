@@ -1,0 +1,91 @@
+#pragma once
+
+/// Shared implementation for the Fig. 8 / Fig. 9 RSSI-map benches.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common.h"
+#include "home/Testbed.h"
+#include "radio/Propagation.h"
+#include "voiceguard/ThresholdApp.h"
+#include "workload/World.h"
+
+namespace vg::bench {
+
+inline void rssi_map_for_deployment(int deployment) {
+  struct Case {
+    workload::WorldConfig::TestbedKind kind;
+    const char* name;
+    const char* device;
+    double paper_threshold_dep1;
+    double paper_threshold_dep2;
+  };
+  const std::vector<Case> cases = {
+      {workload::WorldConfig::TestbedKind::kHouse, "two-floor house (Fig a)",
+       "Pixel 5", -8, -7},
+      {workload::WorldConfig::TestbedKind::kApartment,
+       "two-bedroom apartment (Fig b)", "Pixel 5", -6, -6},
+      {workload::WorldConfig::TestbedKind::kOffice, "office (Fig c)",
+       "Galaxy Watch4", -6, -5},
+  };
+
+  for (const auto& c : cases) {
+    workload::WorldConfig cfg;
+    cfg.testbed = c.kind;
+    cfg.deployment = deployment;
+    cfg.owner_count = 1;
+    cfg.use_watch = c.kind == workload::WorldConfig::TestbedKind::kOffice;
+    cfg.seed = 80 + deployment;
+    workload::SmartHomeWorld w{cfg};
+    w.calibrate();
+
+    const double threshold = w.learned_threshold(0);
+    const double paper_threshold =
+        deployment == 1 ? c.paper_threshold_dep1 : c.paper_threshold_dep2;
+    const radio::Vec3 spk = w.testbed().speaker_position(deployment);
+
+    std::printf("\n%s — speaker deployment %d (%s in %s), device: %s\n",
+                c.name, deployment, w.testbed().speaker_room(deployment).c_str(),
+                w.testbed().name().c_str(), c.device);
+    std::printf("learned RSSI threshold: %.0f dB (paper app: %.0f dB)\n",
+                threshold, paper_threshold);
+    std::printf("16-sample average RSSI per measurement location "
+                "('*' = above threshold -> legitimate area):\n");
+
+    auto& rng = w.sim().rng("bench.rssi-map");
+    std::map<std::string, std::vector<std::pair<int, double>>> per_room;
+    for (const auto& loc : w.testbed().locations()) {
+      const double r = radio::averaged_rssi(w.testbed().plan(),
+                                            w.radio_params(), spk, loc.pos, rng);
+      per_room[loc.room].emplace_back(loc.number, r);
+    }
+    for (const auto& [room, entries] : per_room) {
+      std::printf("  %-12s:", room.c_str());
+      int col = 0;
+      for (const auto& [num, rssi] : entries) {
+        if (col++ % 8 == 0 && col > 1) std::printf("\n               ");
+        std::printf(" #%02d:%6.1f%s", num, rssi, rssi >= threshold ? "*" : " ");
+      }
+      std::printf("\n");
+    }
+
+    int above = 0, above_in_room = 0, in_room = 0;
+    for (const auto& [room, entries] : per_room) {
+      for (const auto& [num, rssi] : entries) {
+        const bool in = room == w.testbed().speaker_room(deployment);
+        in_room += in ? 1 : 0;
+        if (rssi >= threshold) {
+          ++above;
+          above_in_room += in ? 1 : 0;
+        }
+      }
+    }
+    std::printf("  => %d locations above threshold (%d of them inside the "
+                "speaker's room; %d room locations total)\n",
+                above, above_in_room, in_room);
+  }
+}
+
+}  // namespace vg::bench

@@ -1,0 +1,70 @@
+#pragma once
+
+/// Shared runner for the Tables II-IV benches: the 7-day real-world protocol
+/// of §V-B3 for one testbed, over {Echo Dot, Google Home Mini} x
+/// {deployment 1, deployment 2}.
+
+#include <cstdio>
+
+#include "analysis/Stats.h"
+#include "common.h"
+#include "workload/Experiment.h"
+
+namespace vg::bench {
+
+struct TableRow {
+  std::string label;
+  std::uint64_t legit_correct{0}, legit_total{0};
+  std::uint64_t mal_correct{0}, mal_total{0};
+  analysis::ConfusionMatrix m;
+};
+
+inline TableRow run_table_case(workload::WorldConfig::TestbedKind kind,
+                               workload::WorldConfig::SpeakerType speaker,
+                               int deployment, int owners, bool watch,
+                               std::uint64_t seed, sim::Duration duration) {
+  workload::WorldConfig cfg;
+  cfg.testbed = kind;
+  cfg.speaker = speaker;
+  cfg.deployment = deployment;
+  cfg.owner_count = owners;
+  cfg.use_watch = watch;
+  cfg.seed = seed;
+  workload::SmartHomeWorld world{cfg};
+  world.calibrate();
+
+  workload::ExperimentConfig ecfg;
+  ecfg.duration = duration;
+  workload::ExperimentDriver driver{world, ecfg};
+  driver.run();
+
+  TableRow row;
+  row.label =
+      (speaker == workload::WorldConfig::SpeakerType::kEchoDot ? "Echo Dot"
+                                                               : "GH Mini");
+  row.label += ", location " + std::to_string(deployment);
+  row.m = driver.confusion();
+  row.legit_total = row.m.tn + row.m.fp;
+  row.legit_correct = row.m.tn;
+  row.mal_total = row.m.tp + row.m.fn;
+  row.mal_correct = row.m.tp;
+  return row;
+}
+
+inline void print_table(const std::vector<TableRow>& rows) {
+  std::printf("\n%-22s %15s %15s %9s %10s %8s\n", "", "legit (N)",
+              "malicious (P)", "Accuracy", "Precision", "Recall");
+  for (const auto& r : rows) {
+    std::printf("%-22s %9llu / %-5llu %9llu / %-5llu %8s %9s %8s\n",
+                r.label.c_str(),
+                static_cast<unsigned long long>(r.legit_correct),
+                static_cast<unsigned long long>(r.legit_total),
+                static_cast<unsigned long long>(r.mal_correct),
+                static_cast<unsigned long long>(r.mal_total),
+                analysis::pct(r.m.accuracy()).c_str(),
+                analysis::pct(r.m.precision()).c_str(),
+                analysis::pct(r.m.recall()).c_str());
+  }
+}
+
+}  // namespace vg::bench

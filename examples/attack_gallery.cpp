@@ -1,0 +1,109 @@
+/// Attack gallery — every §II-B attack class against every defense layer.
+///
+/// Walks through the paper's threat model: replayed recordings, synthesized
+/// voice (adversarial examples), and ultrasound-modulated inaudible commands,
+/// played against (a) commercial voice-match, (b) a liveness detector, and
+/// (c) a VoiceGuard-protected speaker — on-scene (guest in the room) and
+/// remote (compromised smart TV playing audio while nobody is home).
+
+#include <cstdio>
+
+#include "audio/Verifiers.h"
+#include "workload/World.h"
+
+using namespace vg;
+using workload::SmartHomeWorld;
+using workload::WorldConfig;
+
+namespace {
+
+const char* verdict(bool accepted) { return accepted ? "ACCEPTED" : "rejected"; }
+
+}  // namespace
+
+int main() {
+  // --- audio-domain defenses -------------------------------------------------
+  sim::Simulation audio_sim{99};
+  auto& rng = audio_sim.rng("gallery");
+  const audio::SpeakerProfile owner_voice = audio::SpeakerProfile::random(rng);
+  audio::VoiceMatchVerifier voice_match;
+  voice_match.enroll(owner_voice, rng);
+  audio::LivenessDetector liveness;
+
+  std::printf("== audio-domain defenses against one sample of each attack ==\n");
+  struct Attack {
+    const char* name;
+    audio::VoiceSample sample;
+  };
+  const Attack attacks[] = {
+      {"owner speaking live", owner_voice.live_utterance(rng)},
+      {"replayed recording of owner", audio::replay_attack(owner_voice, rng)},
+      {"synthesized owner voice (AE)", audio::synthesis_attack(owner_voice, rng)},
+      {"ultrasound-injected command", audio::ultrasound_attack(owner_voice, rng)},
+  };
+  for (const auto& a : attacks) {
+    std::printf("  %-30s voice-match: %-9s liveness: %-9s\n", a.name,
+                verdict(voice_match.accepts(a.sample)),
+                verdict(liveness.accepts(a.sample)));
+  }
+  std::printf("\n(the adaptive synthesis attack of [14] beats both)\n");
+
+  // --- VoiceGuard ------------------------------------------------------------
+  std::printf("\n== the same attacks against a VoiceGuard-protected Echo ==\n");
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kHouse;
+  cfg.owner_count = 1;
+  cfg.seed = 99;
+  SmartHomeWorld home{cfg};
+  home.calibrate();
+  std::uint64_t id = 0;
+
+  auto attempt = [&](const char* scenario, const char* cmd_text) {
+    speaker::CommandSpec c;
+    c.id = ++id;
+    c.text = cmd_text;
+    c.words = 5;
+    home.hear_command(c);
+    home.run_for(sim::seconds(50));
+    std::printf("  %-52s -> %s\n", scenario,
+                home.command_executed(c.id) ? "EXECUTED" : "BLOCKED");
+    home.run_for(sim::seconds(15));
+  };
+
+  // On-scene guest, owner in the kitchen. The attack audio is assumed to be a
+  // *perfect* clone — VoiceGuard never inspects it.
+  home.owner(0).teleport(home.location_pos(33));
+  attempt("on-scene guest, owner in the kitchen (replay)",
+          "alexa disarm the security system");
+  attempt("on-scene guest, owner in the kitchen (synthesis)",
+          "alexa order a thousand paper towels");
+
+  // Remote attack: a compromised smart TV plays the command while the owner
+  // is out of the house entirely.
+  home.owner(0).teleport({-4, -2, 1.1});
+  attempt("compromised smart TV, owner out of the house",
+          "alexa unlock the front door");
+
+  // Inaudible ultrasound while the owner sleeps upstairs: RSSI through the
+  // floor can be high, but the stair trace put the owner's level upstairs.
+  bool up = false;
+  home.move_person(home.owner(0), home.location_pos(56), [&up] { up = true; });
+  home.run_until([&up] { return up; }, sim::minutes(3));
+  home.run_for(sim::seconds(12));
+  attempt("ultrasound injection, owner asleep directly above",
+          "alexa open the garage");
+
+  // And the contrast: the owner, downstairs again, is served.
+  bool back = false;
+  const radio::Vec3 spk = home.testbed().speaker_position(1);
+  home.move_person(home.owner(0), {spk.x - 1.5, spk.y + 1.0, 1.1},
+                   [&back] { back = true; });
+  home.run_until([&back] { return back; }, sim::minutes(3));
+  home.run_for(sim::seconds(12));
+  attempt("owner, two meters from the speaker", "alexa what time is it");
+
+  std::printf("\nblocked in total: %llu | executed in total: %llu\n",
+              static_cast<unsigned long long>(home.guard().commands_blocked()),
+              static_cast<unsigned long long>(home.guard().commands_released()));
+  return 0;
+}

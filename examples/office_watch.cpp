@@ -1,0 +1,77 @@
+/// Office scenario — one user with a smartwatch (the paper's third testbed).
+///
+/// The Galaxy-Watch4 configuration: slower BLE scans than a phone, a
+/// "legitimate area" learned by walking a box around the speaker rather than
+/// a whole room, and a Google Home Mini (on-demand QUIC/TCP connections)
+/// instead of the Echo's long-lived session.
+
+#include <cstdio>
+
+#include "analysis/Stats.h"
+#include "workload/World.h"
+
+using namespace vg;
+using workload::SmartHomeWorld;
+using workload::WorldConfig;
+
+int main() {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kOffice;
+  cfg.speaker = WorldConfig::SpeakerType::kGoogleHomeMini;
+  cfg.owner_count = 1;
+  cfg.use_watch = true;
+  cfg.seed = 11;
+  SmartHomeWorld office{cfg};
+  office.calibrate();
+
+  std::printf("office setup: %s threshold %.0f dB (walk around the "
+              "legitimate area near the speaker)\n",
+              office.device(0).name().c_str(), office.learned_threshold(0));
+
+  const radio::Vec3 spk = office.testbed().speaker_position(1);
+  auto& rng = office.sim().rng("example.office");
+  std::uint64_t id = 0;
+  int served = 0, blocked = 0, served_expected = 0, blocked_expected = 0;
+
+  // A workday: the user alternates between their desk (near the speaker) and
+  // meetings in the conference room; a prankster colleague replays commands
+  // whenever the desk is empty.
+  for (int hour = 9; hour < 17; ++hour) {
+    const bool at_desk = rng.chance(0.55);
+    if (at_desk) {
+      office.owner(0).teleport({spk.x + rng.uniform(-2.0, 2.0),
+                                spk.y + rng.uniform(-2.0, 0.5), 1.3});
+    } else {
+      office.owner(0).teleport(office.location_pos(55).x > 0
+                                   ? office.location_pos(55)
+                                   : radio::Vec3{16, 9, 1.3});
+    }
+    speaker::CommandSpec c;
+    c.id = ++id;
+    c.text = at_desk ? "hey google start my focus playlist"
+                     : "hey google send the quarterly report to everyone";
+    c.words = 6;
+    office.hear_command(c);
+    office.run_for(sim::seconds(50));
+    const bool executed = office.command_executed(c.id);
+    std::printf("%02d:00  user %s  \"%s\" -> %s\n", hour,
+                at_desk ? "at desk " : "in mtg  ", c.text.c_str(),
+                executed ? "EXECUTED" : "BLOCKED");
+    (executed ? served : blocked)++;
+    (at_desk ? served_expected : blocked_expected)++;
+    office.run_for(sim::minutes(50));
+  }
+
+  std::printf("\nserved=%d (expected %d), blocked=%d (expected %d)\n", served,
+              served_expected, blocked, blocked_expected);
+  const auto lat = office.decision().latencies_s();
+  if (!lat.empty()) {
+    std::printf("watch verification latency: mean %.2f s (the watch's BLE "
+                "scan window is slower than a phone's)\n",
+                analysis::summarize(lat).mean);
+  }
+  std::printf("Google Home Mini transports: %llu QUIC / %llu TCP interactions\n",
+              static_cast<unsigned long long>(office.ghm()->quic_interactions()),
+              static_cast<unsigned long long>(office.ghm()->tcp_interactions()));
+  return 0;
+}

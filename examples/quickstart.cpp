@@ -1,0 +1,86 @@
+/// Quickstart — the smallest end-to-end VoiceGuard deployment.
+///
+/// Builds a simulated two-bedroom apartment with an Amazon Echo Dot behind a
+/// VoiceGuard box, runs the one-time setup (the walk-around threshold app),
+/// then shows the two headline behaviours:
+///   1. the owner, near the speaker, is served normally;
+///   2. an attacker's (perfectly voice-cloned) command is held at the guard,
+///      fails the Bluetooth-RSSI proximity check, and never reaches the
+///      cloud.
+///
+/// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+///               ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "workload/World.h"
+
+using namespace vg;
+using workload::SmartHomeWorld;
+using workload::WorldConfig;
+
+int main() {
+  // 1. Assemble the home: network chain speaker--guard--router--cloud,
+  //    people, phones, Bluetooth, FCM.
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kApartment;
+  cfg.speaker = WorldConfig::SpeakerType::kEchoDot;
+  cfg.owner_count = 1;
+  cfg.seed = 42;
+  SmartHomeWorld home{cfg};
+
+  // 2. One-time setup: the owner walks the living-room boundary with the
+  //    companion app; the walk minimum becomes the RSSI threshold.
+  home.calibrate();
+  std::printf("setup done: learned RSSI threshold = %.0f dB\n",
+              home.learned_threshold(0));
+  std::printf("guard tracks AVS server at %s\n",
+              home.guard().tracked_avs_ip().to_string().c_str());
+
+  auto say = [&](std::uint64_t id, const char* text, int words) {
+    speaker::CommandSpec c;
+    c.id = id;
+    c.text = text;
+    c.words = words;
+    std::printf("\n> \"%s\"\n", text);
+    home.hear_command(c);
+    home.run_for(sim::seconds(50));
+    std::printf("  cloud executed: %s | guard blocked so far: %llu\n",
+                home.command_executed(id) ? "YES" : "NO",
+                static_cast<unsigned long long>(home.guard().commands_blocked()));
+  };
+
+  // 3. The owner, two meters from the speaker, turns the lights off.
+  const radio::Vec3 spk = home.testbed().speaker_position(1);
+  home.owner(0).teleport({spk.x - 1.6, spk.y + 1.2, 1.1});
+  std::printf("\n[owner is in the living room, near the speaker]");
+  say(1, "alexa turn off the living room lights", 6);
+
+  // 4. The owner goes to the kitchen; a guest replays a recording of the
+  //    owner saying "open the front door". Voice match would accept it —
+  //    the voice IS the owner's. VoiceGuard blocks it on proximity.
+  home.owner(0).teleport(home.location_pos(25));
+  std::printf("\n[owner left for the kitchen; attacker replays owner's voice]");
+  say(2, "alexa unlock the front door", 5);
+
+  // 5. The owner returns; service resumes untouched.
+  home.owner(0).teleport({spk.x - 1.6, spk.y + 1.2, 1.1});
+  home.run_for(sim::seconds(15));  // speaker reconnects after the kill
+  std::printf("\n[owner is back]");
+  say(3, "alexa what time is it", 4);
+
+  std::printf("\nsummary: released=%llu blocked=%llu, decision queries=%llu, "
+              "mean verification %.2f s\n",
+              static_cast<unsigned long long>(home.guard().commands_released()),
+              static_cast<unsigned long long>(home.guard().commands_blocked()),
+              static_cast<unsigned long long>(home.decision().queries()),
+              home.decision().latencies_s().empty()
+                  ? 0.0
+                  : [&] {
+                      double s = 0;
+                      for (double v : home.decision().latencies_s()) s += v;
+                      return s / static_cast<double>(
+                                     home.decision().latencies_s().size());
+                    }());
+  return 0;
+}

@@ -1,0 +1,101 @@
+/// Smart-home defense walkthrough — the two-floor house, multi-user, with
+/// the floor-level tracker.
+///
+/// Narrates a day in the paper's first testbed: two owners with phones, an
+/// Echo Dot in the living room, a Hue motion sensor on the stairs. Shows the
+/// subtle case §V-B2 is about: the room directly above the speaker keeps a
+/// Bluetooth RSSI *above* the threshold, so only the stair-trace floor
+/// tracking stops an attack while the owners are upstairs.
+
+#include <cstdio>
+
+#include "workload/World.h"
+
+using namespace vg;
+using workload::SmartHomeWorld;
+using workload::WorldConfig;
+
+namespace {
+
+std::uint64_t g_next_id = 1;
+
+void command(SmartHomeWorld& home, const char* text, int words,
+             bool expect_executed) {
+  speaker::CommandSpec c;
+  c.id = g_next_id++;
+  c.text = text;
+  c.words = words;
+  home.hear_command(c);
+  home.run_for(sim::seconds(50));
+  const bool executed = home.command_executed(c.id);
+  std::printf("  \"%s\" -> %s%s\n", text,
+              executed ? "EXECUTED" : "BLOCKED",
+              executed == expect_executed ? "" : "   (unexpected!)");
+}
+
+void walk(SmartHomeWorld& home, home::Person& who, radio::Vec3 target,
+          const char* where) {
+  bool arrived = false;
+  home.move_person(who, target, [&arrived] { arrived = true; });
+  home.run_until([&arrived] { return arrived; }, sim::minutes(4));
+  home.run_for(sim::seconds(12));  // let any stair trace classify
+  std::printf("[%s walks to %s]\n", who.name().c_str(), where);
+}
+
+}  // namespace
+
+int main() {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kHouse;
+  cfg.speaker = WorldConfig::SpeakerType::kEchoDot;
+  cfg.owner_count = 2;
+  cfg.seed = 7;
+  SmartHomeWorld home{cfg};
+
+  std::printf("== setup ==\n");
+  home.calibrate();
+  std::printf("thresholds: %s=%.0f dB, %s=%.0f dB; floor trackers trained "
+              "(%llu + %llu calibration traces)\n",
+              home.device(0).name().c_str(), home.learned_threshold(0),
+              home.device(1).name().c_str(), home.learned_threshold(1),
+              static_cast<unsigned long long>(
+                  home.floor_tracker(0)->traces_recorded()),
+              static_cast<unsigned long long>(
+                  home.floor_tracker(1)->traces_recorded()));
+
+  const radio::Vec3 spk = home.testbed().speaker_position(1);
+
+  std::printf("\n== morning: both owners in the living room ==\n");
+  command(home, "alexa what is the weather", 5, true);
+
+  std::printf("\n== owner-2 cooks; owner-1 asks for music ==\n");
+  walk(home, home.owner(1), home.location_pos(33), "the kitchen");
+  command(home, "alexa play some jazz music", 5, true);
+
+  std::printf("\n== both owners go upstairs (stair sensor watches) ==\n");
+  walk(home, home.owner(0), home.location_pos(55), "the study (above the speaker!)");
+  walk(home, home.owner(1), home.location_pos(64), "bedroom-2");
+  std::printf("floor tracker now says: %s on speaker floor / %s on speaker floor\n",
+              home.floor_tracker(0)->owner_on_speaker_floor() ? "owner-1" : "owner-1 NOT",
+              home.floor_tracker(1)->owner_on_speaker_floor() ? "owner-2" : "owner-2 NOT");
+
+  std::printf("\n== a guest replays the owner's recorded voice downstairs ==\n");
+  std::printf("(owner-1's phone still *measures* RSSI above the threshold — "
+              "the study is directly overhead — but the floor gate vetoes it)\n");
+  command(home, "alexa open the garage door", 5, false);
+
+  std::printf("\n== owner-1 comes back down; normal service resumes ==\n");
+  home.run_for(sim::seconds(10));
+  walk(home, home.owner(0), {spk.x - 1.4, spk.y + 1.0, 1.1}, "the living room");
+  command(home, "alexa turn on the porch light", 6, true);
+
+  std::printf("\n== totals ==\n");
+  std::printf("released=%llu blocked=%llu | cloud sequence kills=%llu | "
+              "speaker reconnects=%llu\n",
+              static_cast<unsigned long long>(home.guard().commands_released()),
+              static_cast<unsigned long long>(home.guard().commands_blocked()),
+              static_cast<unsigned long long>(
+                  home.cloud().total_sequence_violations()),
+              static_cast<unsigned long long>(home.echo()->reconnects()));
+  return 0;
+}

@@ -1,0 +1,158 @@
+/// vgsim — command-line runner for VoiceGuard experiments.
+///
+/// Usage:
+///   vgsim_cli [--testbed house|apartment|office] [--speaker echo|ghm]
+///             [--deployment 1|2] [--owners N] [--watch] [--no-sensor]
+///             [--days D] [--episode-minutes M] [--night] [--seed S]
+///             [--mode voiceguard|naive|monitor]
+///
+/// Runs the §V-B3 protocol on the chosen configuration and prints the
+/// Table II-style row plus the latency and event statistics.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/Stats.h"
+#include "workload/Experiment.h"
+
+using namespace vg;
+using workload::ExperimentConfig;
+using workload::ExperimentDriver;
+using workload::SmartHomeWorld;
+using workload::WorldConfig;
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--testbed house|apartment|office] [--speaker "
+               "echo|ghm]\n"
+               "          [--deployment 1|2] [--owners N] [--watch] "
+               "[--no-sensor]\n"
+               "          [--days D] [--episode-minutes M] [--night] "
+               "[--seed S]\n"
+               "          [--mode voiceguard|naive|monitor]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  WorldConfig cfg;
+  ExperimentConfig ecfg;
+  ecfg.duration = sim::days(1);
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--testbed") {
+      const std::string v = value();
+      if (v == "house") {
+        cfg.testbed = WorldConfig::TestbedKind::kHouse;
+      } else if (v == "apartment") {
+        cfg.testbed = WorldConfig::TestbedKind::kApartment;
+      } else if (v == "office") {
+        cfg.testbed = WorldConfig::TestbedKind::kOffice;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--speaker") {
+      const std::string v = value();
+      if (v == "echo") {
+        cfg.speaker = WorldConfig::SpeakerType::kEchoDot;
+      } else if (v == "ghm") {
+        cfg.speaker = WorldConfig::SpeakerType::kGoogleHomeMini;
+      } else {
+        usage(argv[0]);
+      }
+    } else if (arg == "--deployment") {
+      cfg.deployment = std::atoi(value().c_str());
+    } else if (arg == "--owners") {
+      cfg.owner_count = std::atoi(value().c_str());
+    } else if (arg == "--watch") {
+      cfg.use_watch = true;
+    } else if (arg == "--no-sensor") {
+      cfg.motion_sensor = false;
+    } else if (arg == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(value().c_str()));
+    } else if (arg == "--days") {
+      ecfg.duration = sim::days(std::atoi(value().c_str()));
+    } else if (arg == "--episode-minutes") {
+      ecfg.episode_mean = sim::minutes(std::atoi(value().c_str()));
+    } else if (arg == "--night") {
+      ecfg.night_routine = true;
+    } else if (arg == "--mode") {
+      const std::string v = value();
+      if (v == "voiceguard") {
+        cfg.mode = guard::GuardMode::kVoiceGuard;
+      } else if (v == "naive") {
+        cfg.mode = guard::GuardMode::kNaive;
+      } else if (v == "monitor") {
+        cfg.mode = guard::GuardMode::kMonitor;
+      } else {
+        usage(argv[0]);
+      }
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (cfg.deployment != 1 && cfg.deployment != 2) usage(argv[0]);
+  if (cfg.owner_count < 1 || cfg.owner_count > 4) usage(argv[0]);
+
+  SmartHomeWorld world{cfg};
+  std::printf("testbed: %s | deployment %d | %s | %d owner(s)%s | mode %s | "
+              "seed %llu\n",
+              world.testbed().name().c_str(), cfg.deployment,
+              cfg.speaker == WorldConfig::SpeakerType::kEchoDot
+                  ? "Echo Dot"
+                  : "Google Home Mini",
+              cfg.owner_count, cfg.use_watch ? " (smartwatch)" : "",
+              to_string(cfg.mode).c_str(),
+              static_cast<unsigned long long>(cfg.seed));
+
+  std::printf("calibrating (threshold walk%s)...\n",
+              world.motion_sensor() ? " + floor-tracker training" : "");
+  world.calibrate();
+  for (int i = 0; i < world.owner_count(); ++i) {
+    std::printf("  %-10s threshold %.0f dB\n", world.device(i).name().c_str(),
+                world.learned_threshold(i));
+  }
+
+  std::printf("running %.0f-day protocol%s...\n", ecfg.duration.seconds() / 86400.0,
+              ecfg.night_routine ? " with night routine" : "");
+  ExperimentDriver driver{world, ecfg};
+  driver.run();
+
+  const auto m = driver.confusion();
+  std::printf("\nlegit (N): %llu/%llu correct   malicious (P): %llu/%llu "
+              "blocked\n",
+              static_cast<unsigned long long>(m.tn),
+              static_cast<unsigned long long>(m.tn + m.fp),
+              static_cast<unsigned long long>(m.tp),
+              static_cast<unsigned long long>(m.tp + m.fn));
+  std::printf("accuracy %s | precision %s | recall %s\n",
+              analysis::pct(m.accuracy()).c_str(),
+              analysis::pct(m.precision()).c_str(),
+              analysis::pct(m.recall()).c_str());
+
+  const auto& lat = world.decision().latencies_s();
+  if (!lat.empty()) {
+    std::printf("verification latency: mean %.3f s, p90 %.3f s (%zu queries)\n",
+                analysis::summarize(lat).mean, analysis::percentile(lat, 90),
+                lat.size());
+  }
+  std::printf("guard: %llu released, %llu blocked, %zu spike events | cloud "
+              "session kills: %llu\n",
+              static_cast<unsigned long long>(world.guard().commands_released()),
+              static_cast<unsigned long long>(world.guard().commands_blocked()),
+              world.guard().spike_events().size(),
+              static_cast<unsigned long long>(
+                  world.cloud().total_sequence_violations()));
+  return 0;
+}

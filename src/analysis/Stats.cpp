@@ -1,0 +1,120 @@
+#include "analysis/Stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vg::analysis {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(var / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument{"percentile: empty input"};
+  std::sort(xs.begin(), xs.end());
+  const double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double cdf_at(const std::vector<double>& xs, double x) {
+  if (xs.empty()) return 0.0;
+  std::size_t n = 0;
+  for (double v : xs) {
+    if (v <= x) ++n;
+  }
+  return static_cast<double>(n) / static_cast<double>(xs.size());
+}
+
+LineFit linear_regression(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.size() < 2) {
+    throw std::invalid_argument{"linear_regression: need >=2 paired points"};
+  }
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) {
+    throw std::invalid_argument{"linear_regression: xs are constant"};
+  }
+  LineFit f;
+  f.slope = (n * sxy - sx * sy) / denom;
+  f.intercept = (sy - f.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double e = ys[i] - (f.slope * xs[i] + f.intercept);
+    ss_res += e * e;
+  }
+  f.r2 = (ss_tot > 1e-12) ? 1.0 - ss_res / ss_tot : 1.0;
+  return f;
+}
+
+LineFit linear_regression_uniform(const std::vector<double>& ys, double dx) {
+  std::vector<double> xs(ys.size());
+  for (std::size_t i = 0; i < ys.size(); ++i) xs[i] = static_cast<double>(i) * dx;
+  return linear_regression(xs, ys);
+}
+
+double ConfusionMatrix::accuracy() const {
+  const auto t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::precision() const {
+  const auto denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::recall() const {
+  const auto denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+std::string ConfusionMatrix::to_string() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "TP=%llu FN=%llu TN=%llu FP=%llu  acc=%s prec=%s rec=%s",
+                static_cast<unsigned long long>(tp),
+                static_cast<unsigned long long>(fn),
+                static_cast<unsigned long long>(tn),
+                static_cast<unsigned long long>(fp), pct(accuracy()).c_str(),
+                pct(precision()).c_str(), pct(recall()).c_str());
+  return buf;
+}
+
+std::string pct(double fraction, int decimals) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace vg::analysis

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file Stats.h
+/// Summary statistics, CDFs and the linear regression used by the floor
+/// tracker and the result tables.
+
+namespace vg::analysis {
+
+struct Summary {
+  std::size_t count{0};
+  double mean{0};
+  double stddev{0};
+  double min{0};
+  double max{0};
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+/// p in [0,100]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+/// Fraction of values <= x.
+double cdf_at(const std::vector<double>& xs, double x);
+
+struct LineFit {
+  double slope{0};
+  double intercept{0};
+  double r2{0};
+};
+
+/// Ordinary least squares y = slope*x + intercept. Requires xs.size() ==
+/// ys.size() >= 2 and non-constant xs.
+LineFit linear_regression(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Fit over y[i] at x = i*dx (the 0.2 s-spaced RSSI traces of §V-B2).
+LineFit linear_regression_uniform(const std::vector<double>& ys, double dx);
+
+/// Binary-classification counts with the paper's convention: *malicious* is
+/// the positive class (Tables II-IV).
+struct ConfusionMatrix {
+  std::uint64_t tp{0};  // malicious, blocked
+  std::uint64_t fn{0};  // malicious, let through
+  std::uint64_t tn{0};  // legitimate, let through
+  std::uint64_t fp{0};  // legitimate, blocked
+
+  [[nodiscard]] std::uint64_t total() const { return tp + fn + tn + fp; }
+  [[nodiscard]] double accuracy() const;
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Formats 0.9729 -> "97.29%".
+std::string pct(double fraction, int decimals = 2);
+
+}  // namespace vg::analysis

@@ -1,0 +1,32 @@
+#include "audio/Verifiers.h"
+
+#include <algorithm>
+
+namespace vg::audio {
+
+void VoiceMatchVerifier::enroll(const SpeakerProfile& owner, sim::Rng& rng,
+                                int samples, double margin) {
+  std::vector<VoiceSample> enrolls;
+  enrolls.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) enrolls.push_back(owner.live_utterance(rng));
+
+  centroid_ = {};
+  for (const auto& s : enrolls) {
+    for (std::size_t d = 0; d < kEmbeddingDim; ++d) {
+      centroid_[d] += s.features.embedding[d] / samples;
+    }
+  }
+  double max_dist = 0.0;
+  for (const auto& s : enrolls) {
+    max_dist = std::max(max_dist,
+                        embedding_distance(s.features.embedding, centroid_));
+  }
+  threshold_ = max_dist * margin;
+  enrolled_ = true;
+}
+
+double VoiceMatchVerifier::score(const VoiceSample& s) const {
+  return embedding_distance(s.features.embedding, centroid_);
+}
+
+}  // namespace vg::audio

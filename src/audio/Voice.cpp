@@ -1,0 +1,87 @@
+#include "audio/Voice.h"
+
+#include <cmath>
+
+namespace vg::audio {
+
+double embedding_distance(const Embedding& a, const Embedding& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < kEmbeddingDim; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+std::string to_string(SampleSource s) {
+  switch (s) {
+    case SampleSource::kLive: return "live";
+    case SampleSource::kReplay: return "replay";
+    case SampleSource::kSynthesis: return "synthesis";
+    case SampleSource::kUltrasound: return "ultrasound";
+  }
+  return "?";
+}
+
+SpeakerProfile SpeakerProfile::random(sim::Rng& rng, double spread) {
+  SpeakerProfile p;
+  for (auto& v : p.centroid_) v = rng.normal(0.0, 1.0);
+  p.spread_ = spread;
+  return p;
+}
+
+namespace {
+
+Embedding near(const Embedding& c, double sigma, sim::Rng& rng) {
+  Embedding e = c;
+  for (auto& v : e) v += rng.normal(0.0, sigma);
+  return e;
+}
+
+double clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+
+}  // namespace
+
+VoiceSample SpeakerProfile::live_utterance(sim::Rng& rng) const {
+  VoiceSample s;
+  s.source = SampleSource::kLive;
+  s.features.embedding = near(centroid_, spread_, rng);
+  s.features.channel_noise = clamp01(rng.normal(0.10, 0.04));
+  s.features.liveness = clamp01(rng.normal(0.90, 0.05));
+  return s;
+}
+
+VoiceSample replay_attack(const SpeakerProfile& victim, sim::Rng& rng) {
+  VoiceSample s;
+  s.source = SampleSource::kReplay;
+  // It *is* the victim's voice, re-recorded: embedding barely perturbed,
+  // channel artifacts from the extra loudspeaker+microphone pass.
+  s.features.embedding = near(victim.centroid(), victim.spread() * 1.2, rng);
+  s.features.channel_noise = clamp01(rng.normal(0.65, 0.12));
+  s.features.liveness = clamp01(rng.normal(0.35, 0.12));
+  return s;
+}
+
+VoiceSample synthesis_attack(const SpeakerProfile& victim, sim::Rng& rng) {
+  VoiceSample s;
+  s.source = SampleSource::kSynthesis;
+  // Adaptive attacker: slightly noisier identity match, but artifacts and
+  // liveness cues engineered to look live ([14]'s adaptive-evasion point).
+  s.features.embedding = near(victim.centroid(), victim.spread() * 1.6, rng);
+  s.features.channel_noise = clamp01(rng.normal(0.16, 0.06));
+  s.features.liveness = clamp01(rng.normal(0.80, 0.08));
+  return s;
+}
+
+VoiceSample ultrasound_attack(const SpeakerProfile& victim, sim::Rng& rng) {
+  VoiceSample s;
+  s.source = SampleSource::kUltrasound;
+  // Demodulation distorts the band edges: identity a bit off, moderate
+  // channel artifacts, but nothing a voice-match threshold rejects.
+  s.features.embedding = near(victim.centroid(), victim.spread() * 2.0, rng);
+  s.features.channel_noise = clamp01(rng.normal(0.30, 0.10));
+  s.features.liveness = clamp01(rng.normal(0.55, 0.15));
+  return s;
+}
+
+}  // namespace vg::audio

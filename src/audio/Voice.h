@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "simcore/Rng.h"
+
+/// \file Voice.h
+/// A feature-space model of voice authentication and the audio-domain attacks
+/// of §II-B / §III-B.
+///
+/// Substitution note (DESIGN.md): the paper does not build an ASR — it argues
+/// that audio-domain authentication is bypassable (replay, synthesis/AE,
+/// inaudible injection) and defends with a side channel instead. We model the
+/// *decision-relevant* structure of that argument: utterances are points in a
+/// speaker-embedding space with channel/liveness side-features; attacks are
+/// generators that place points where real attacks place them:
+///  - replay: embedding ≈ victim (it IS the victim's voice), strong channel
+///    artifacts (double loudspeaker/mic pass);
+///  - synthesis/adversarial: embedding ≈ victim, artifacts *suppressed* —
+///    the adaptive attacker of [14] who knows the detector;
+///  - ultrasound (DolphinAttack-style): demodulated audio, embedding ≈
+///    victim, no audible artifacts, moderate channel distortion.
+
+namespace vg::audio {
+
+inline constexpr std::size_t kEmbeddingDim = 8;
+using Embedding = std::array<double, kEmbeddingDim>;
+
+double embedding_distance(const Embedding& a, const Embedding& b);
+
+enum class SampleSource { kLive, kReplay, kSynthesis, kUltrasound };
+
+std::string to_string(SampleSource s);
+
+struct VoiceFeatures {
+  Embedding embedding{};
+  /// Channel artifact energy: ~0.1 live, ~0.7 naive replay.
+  double channel_noise{0.0};
+  /// Liveness cue strength (pop noise, sub-bass): ~0.9 live.
+  double liveness{0.0};
+};
+
+struct VoiceSample {
+  VoiceFeatures features;
+  SampleSource source{SampleSource::kLive};
+};
+
+/// A human speaker's voice identity.
+class SpeakerProfile {
+ public:
+  /// Draws a random identity; within-speaker utterance spread is \p spread.
+  static SpeakerProfile random(sim::Rng& rng, double spread = 0.18);
+
+  [[nodiscard]] const Embedding& centroid() const { return centroid_; }
+  [[nodiscard]] double spread() const { return spread_; }
+
+  /// One live utterance by this speaker.
+  [[nodiscard]] VoiceSample live_utterance(sim::Rng& rng) const;
+
+ private:
+  Embedding centroid_{};
+  double spread_{0.18};
+};
+
+/// Plays a prior recording of the victim through a loudspeaker.
+VoiceSample replay_attack(const SpeakerProfile& victim, sim::Rng& rng);
+
+/// Synthesizes the victim's voice (or crafts an adversarial example) with
+/// knowledge of the deployed detectors — artifacts suppressed ([27], [86]).
+VoiceSample synthesis_attack(const SpeakerProfile& victim, sim::Rng& rng);
+
+/// Modulates the command on an ultrasound carrier ([87]); the microphone
+/// demodulates it, humans hear nothing.
+VoiceSample ultrasound_attack(const SpeakerProfile& victim, sim::Rng& rng);
+
+}  // namespace vg::audio

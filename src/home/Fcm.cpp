@@ -1,0 +1,29 @@
+#include "home/Fcm.h"
+
+#include <algorithm>
+
+namespace vg::home {
+
+sim::Duration FcmService::sample_latency() {
+  auto& rng = sim_.rng("home.fcm");
+  const double secs =
+      rng.lognormal(opts_.latency_lognormal_mu, opts_.latency_lognormal_sigma);
+  sim::Duration d = sim::from_seconds(secs);
+  d = std::clamp(d, opts_.min_latency, opts_.max_latency);
+  return d;
+}
+
+void FcmService::push(const std::string& token, std::string payload) {
+  ++pushes_;
+  auto it = devices_.find(token);
+  if (it == devices_.end()) return;
+  const sim::Duration latency = sample_latency();
+  // Copy the handler: the registration may change while the push is in
+  // flight, and the in-flight push was already addressed.
+  Handler h = it->second;
+  sim_.after(latency, [h = std::move(h), payload = std::move(payload)] {
+    h(payload);
+  });
+}
+
+}  // namespace vg::home

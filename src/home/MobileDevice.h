@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "radio/Bluetooth.h"
+#include "simcore/Simulation.h"
+
+/// \file MobileDevice.h
+/// The owner's smartphone or smartwatch running the VoiceGuard companion app.
+/// It can (a) answer an RSSI-measurement request pushed over FCM — wake in
+/// the background, scan the speaker's Bluetooth, report the value back — and
+/// (b) sample continuously (threshold-learning walk, floor-tracker traces).
+
+namespace vg::home {
+
+enum class DeviceKind { kSmartphone, kSmartwatch };
+
+class MobileDevice {
+ public:
+  struct Options {
+    DeviceKind kind{DeviceKind::kSmartphone};
+    radio::ScanParams scan{};
+    /// Report uplink latency (device -> VoiceGuard host over home WiFi).
+    sim::Duration report_latency_min = sim::milliseconds(40);
+    sim::Duration report_latency_max = sim::milliseconds(180);
+  };
+
+  MobileDevice(sim::Simulation& sim, const radio::FloorPlan& plan,
+               radio::PathLossParams params, std::string name,
+               radio::BluetoothScanner::PositionFn carrier_position)
+      : MobileDevice(sim, plan, params, std::move(name),
+                     std::move(carrier_position), Options{}) {}
+
+  MobileDevice(sim::Simulation& sim, const radio::FloorPlan& plan,
+               radio::PathLossParams params, std::string name,
+               radio::BluetoothScanner::PositionFn carrier_position,
+               Options opts);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] DeviceKind kind() const { return opts_.kind; }
+  [[nodiscard]] std::string fcm_token() const { return "fcm:" + name_; }
+
+  /// Where the device actually is: with its carrier, unless it has been put
+  /// down somewhere (e.g. left charging next to the speaker — the
+  /// non-applicable scenario of §VII).
+  [[nodiscard]] radio::Vec3 position() const;
+  void put_down(radio::Vec3 spot) { placed_ = spot; }
+  void pick_up() { placed_.reset(); }
+  [[nodiscard]] bool is_placed() const { return placed_.has_value(); }
+
+  /// Background measurement (FCM path): scan latency + one reading + report
+  /// uplink latency, then \p report fires at the Decision Module.
+  void handle_measure_request(const radio::BluetoothBeacon& beacon,
+                              std::function<void(double)> report);
+
+  /// Foreground continuous-scan sample (no scan latency; see
+  /// BluetoothScanner::measure_now).
+  double instant_rssi(const radio::BluetoothBeacon& beacon) {
+    return scanner_.measure_now(beacon);
+  }
+
+ private:
+  sim::Simulation& sim_;
+  std::string name_;
+  Options opts_;
+  radio::BluetoothScanner::PositionFn carrier_;
+  std::optional<radio::Vec3> placed_;
+  radio::BluetoothScanner scanner_;
+};
+
+}  // namespace vg::home

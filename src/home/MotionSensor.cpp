@@ -1,0 +1,33 @@
+#include "home/MotionSensor.h"
+
+namespace vg::home {
+
+MotionSensor::MotionSensor(sim::Simulation& sim, radio::Rect region,
+                           Options opts)
+    : sim_(sim), region_(region), opts_(opts) {}
+
+void MotionSensor::start() {
+  if (started_) return;
+  started_ = true;
+  poll();
+}
+
+void MotionSensor::poll() {
+  bool fire = false;
+  for (std::size_t i = 0; i < people_.size(); ++i) {
+    const bool contains = covers(people_[i]->position());
+    const bool entered = contains && !inside_[i] && people_[i]->moving();
+    inside_[i] = contains;
+    fire = fire || entered;
+  }
+  if (fire && sim_.now() >= quiet_until_) {
+    ++activations_;
+    quiet_until_ = sim_.now() + opts_.cooldown;
+    for (const auto& cb : subscribers_) {
+      sim_.after(opts_.trigger_latency, [cb] { cb(); });
+    }
+  }
+  sim_.after(opts_.poll_interval, [this] { poll(); });
+}
+
+}  // namespace vg::home

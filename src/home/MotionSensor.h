@@ -1,0 +1,73 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "home/Person.h"
+#include "radio/Geometry.h"
+#include "simcore/Simulation.h"
+
+/// \file MotionSensor.h
+/// A PIR motion sensor (the paper used a Philips Hue near the stairs). It
+/// fires when any watched person is inside its coverage region *and moving*,
+/// then stays quiet for a cooldown. The floor tracker records an RSSI trace
+/// on each activation (§V-B2).
+
+namespace vg::home {
+
+class MotionSensor {
+ public:
+  struct Options {
+    sim::Duration poll_interval = sim::milliseconds(200);
+    /// Minimum spacing between reported events (burst dedup). The sensor is
+    /// edge-triggered: it reports when a moving person *enters* its coverage,
+    /// like a PIR arming on a new heat source, so one staircase crossing
+    /// yields exactly one event.
+    sim::Duration cooldown = sim::seconds(2);
+    sim::Duration trigger_latency = sim::milliseconds(350);  // Hue -> bridge -> LAN
+    /// Height band covered by the PIR. A staircase sensor sees people *on*
+    /// the stairs, not someone on the floor above walking across the
+    /// stairwell's footprint.
+    double z_min = -1e9;
+    double z_max = 1e9;
+  };
+
+  MotionSensor(sim::Simulation& sim, radio::Rect region)
+      : MotionSensor(sim, region, Options{}) {}
+  MotionSensor(sim::Simulation& sim, radio::Rect region, Options opts);
+
+  void watch(Person& p) {
+    people_.push_back(&p);
+    inside_.push_back(false);
+  }
+
+  /// Adds an activation subscriber (fires after the trigger latency).
+  void subscribe(std::function<void()> cb) {
+    subscribers_.push_back(std::move(cb));
+  }
+
+  [[nodiscard]] std::uint64_t activations() const { return activations_; }
+
+  /// Starts polling. Safe to call once; lives for the simulation's duration.
+  void start();
+
+  /// True if \p p is inside the sensor's 3-D coverage.
+  [[nodiscard]] bool covers(radio::Vec3 p) const {
+    return region_.contains(p.xy()) && p.z >= opts_.z_min && p.z <= opts_.z_max;
+  }
+
+ private:
+  void poll();
+
+  sim::Simulation& sim_;
+  radio::Rect region_;
+  Options opts_;
+  std::vector<Person*> people_;
+  std::vector<bool> inside_;  // parallel to people_: was inside last poll
+  std::vector<std::function<void()>> subscribers_;
+  sim::TimePoint quiet_until_{};
+  std::uint64_t activations_{0};
+  bool started_{false};
+};
+
+}  // namespace vg::home

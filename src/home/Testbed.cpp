@@ -1,0 +1,303 @@
+#include "home/Testbed.h"
+
+#include <stdexcept>
+
+namespace vg::home {
+
+using radio::Rect;
+using radio::Room;
+using radio::Segment;
+using radio::Stairs;
+using radio::Vec2;
+using radio::Vec3;
+using radio::Wall;
+
+namespace {
+
+constexpr double kSpeakerHeight = 0.8;
+constexpr double kInteriorWallDb = 6.0;
+constexpr double kExteriorWallDb = 8.0;
+constexpr double kPartitionDb = 3.0;
+
+/// Walls have thickness: a ray passing a doorway at a shallow angle clips
+/// the jamb. Modeled as two short perpendicular stubs at the gap's ends —
+/// without them, zero-thickness walls leak narrow RF "wedges" through every
+/// door, which no real building shows.
+constexpr double kJambDepth = 0.15;
+
+void add_vwall_with_door(radio::FloorPlan& plan, double x, double y0, double y1,
+                         double door_lo, double door_hi, int floor,
+                         double att = kInteriorWallDb) {
+  if (door_lo > y0) plan.add_wall(Wall{Segment{{x, y0}, {x, door_lo}}, floor, att});
+  if (door_hi < y1) plan.add_wall(Wall{Segment{{x, door_hi}, {x, y1}}, floor, att});
+  plan.add_wall(Wall{Segment{{x - kJambDepth, door_lo}, {x + kJambDepth, door_lo}},
+                     floor, att});
+  plan.add_wall(Wall{Segment{{x - kJambDepth, door_hi}, {x + kJambDepth, door_hi}},
+                     floor, att});
+}
+
+void add_hwall_with_door(radio::FloorPlan& plan, double y, double x0, double x1,
+                         double door_lo, double door_hi, int floor,
+                         double att = kInteriorWallDb) {
+  if (door_lo > x0) plan.add_wall(Wall{Segment{{x0, y}, {door_lo, y}}, floor, att});
+  if (door_hi < x1) plan.add_wall(Wall{Segment{{door_hi, y}, {x1, y}}, floor, att});
+  plan.add_wall(Wall{Segment{{door_lo, y - kJambDepth}, {door_lo, y + kJambDepth}},
+                     floor, att});
+  plan.add_wall(Wall{Segment{{door_hi, y - kJambDepth}, {door_hi, y + kJambDepth}},
+                     floor, att});
+}
+
+void add_exterior(radio::FloorPlan& plan, double w, double h, int floor) {
+  plan.add_wall(Wall{Segment{{0, 0}, {w, 0}}, floor, kExteriorWallDb});
+  plan.add_wall(Wall{Segment{{w, 0}, {w, h}}, floor, kExteriorWallDb});
+  plan.add_wall(Wall{Segment{{w, h}, {0, h}}, floor, kExteriorWallDb});
+  plan.add_wall(Wall{Segment{{0, h}, {0, 0}}, floor, kExteriorWallDb});
+}
+
+/// Appends a numbered grid of locations over a room, in row-major order.
+/// \p xs left-to-right (or any order) per row given in \p ys.
+void add_grid(std::vector<MeasurementLocation>& out, int& next_number,
+              const std::vector<double>& xs, const std::vector<double>& ys,
+              double z, const std::string& room) {
+  for (double y : ys) {
+    for (double x : xs) {
+      out.push_back(MeasurementLocation{next_number++, Vec3{x, y, z}, room});
+    }
+  }
+}
+
+}  // namespace
+
+radio::Vec3 Testbed::speaker_position(int which) const {
+  if (which != 1 && which != 2) {
+    throw std::invalid_argument{"Testbed: deployment must be 1 or 2"};
+  }
+  return speaker_pos_[which - 1];
+}
+
+const std::string& Testbed::speaker_room(int which) const {
+  if (which != 1 && which != 2) {
+    throw std::invalid_argument{"Testbed: deployment must be 1 or 2"};
+  }
+  return speaker_room_[which - 1];
+}
+
+const MeasurementLocation& Testbed::location(int number) const {
+  for (const auto& l : locations_) {
+    if (l.number == number) return l;
+  }
+  throw std::out_of_range{"Testbed '" + name_ + "': no location #" +
+                          std::to_string(number)};
+}
+
+std::vector<const MeasurementLocation*> Testbed::locations_in(
+    const std::string& room) const {
+  std::vector<const MeasurementLocation*> out;
+  for (const auto& l : locations_) {
+    if (l.room == room) out.push_back(&l);
+  }
+  return out;
+}
+
+Testbed Testbed::two_floor_house() {
+  Testbed tb;
+  tb.name_ = "two-floor house";
+  tb.floors_ = 2;
+  auto& plan = tb.plan_;
+  plan.set_floor_height(2.8);
+
+  // ---- floor 0: living room (right half), kitchen, hallway, restroom -----
+  plan.add_room(Room{"living-room", Rect{6, 0, 12, 8}, 0});
+  plan.add_room(Room{"kitchen", Rect{0, 4, 6, 8}, 0});
+  plan.add_room(Room{"hallway", Rect{3, 0, 6, 4}, 0});
+  plan.add_room(Room{"restroom", Rect{0, 0, 3, 4}, 0});
+
+  add_exterior(plan, 12, 8, 0);
+  // Living room / hallway: door at y in (3.3, 4.0) — the line-of-sight gap
+  // that makes locations #25-#27 legitimate. (Kept narrow enough that no ray
+  // from the speaker corner threads both this door and the kitchen door.)
+  add_vwall_with_door(plan, 6, 0, 4, 3.3, 4.0, 0);
+  // Living room / kitchen: solid (the kitchen is entered from the hallway).
+  plan.add_wall(Wall{Segment{{6, 4.0}, {6, 8}}, 0, kInteriorWallDb});
+  // Kitchen / hallway+restroom divider; the kitchen door (x in (3.2, 4.0))
+  // opens into the hallway, offset from the restroom door so the two
+  // openings do not line up.
+  add_hwall_with_door(plan, 4, 0, 6, 3.2, 4.0, 0);
+  // Restroom / hallway, door at y in (3.2, 4.0).
+  add_vwall_with_door(plan, 3, 0, 4, 3.2, 4.0, 0);
+
+  // ---- floor 1: two bedrooms, the study directly above the speaker, landing
+  plan.add_room(Room{"bedroom-1", Rect{0, 4, 6, 8}, 1});
+  plan.add_room(Room{"bedroom-2", Rect{6, 4, 12, 8}, 1});
+  plan.add_room(Room{"study", Rect{6, 0, 12, 4}, 1});
+  plan.add_room(Room{"landing", Rect{0, 0, 6, 4}, 1});
+
+  add_exterior(plan, 12, 8, 1);
+  // Bedroom-1 / landing, door at x in (2.5, 3.3).
+  add_hwall_with_door(plan, 4, 0, 6, 2.5, 3.3, 1);
+  // Bedroom-2 / study, door at x in (6.0, 7.0) (next to the landing, so the
+  // direct path from the speaker to bedroom-2 crosses the wall).
+  add_hwall_with_door(plan, 4, 6, 12, 6.0, 7.0, 1);
+  // Landing / study, door at y in (2.8, 4.0).
+  add_vwall_with_door(plan, 6, 0, 4, 2.8, 4.0, 1);
+  // Bedroom-1 / bedroom-2, door at y in (4.0, 4.8).
+  add_vwall_with_door(plan, 6, 4, 8, 4.0, 4.8, 1);
+
+  plan.set_stairs(Stairs{Rect{3.2, 0.4, 5.8, 2.2}, 0, 1});
+
+  tb.speaker_pos_[0] = Vec3{11.0, 1.0, kSpeakerHeight};
+  tb.speaker_room_[0] = "living-room";
+  // Second deployment: on the kitchen counter near the hallway side (but off
+  // the shared living-room wall) — like deployment 1, the staircase then
+  // spans a large RSSI range, which the floor tracker's Up/Down
+  // classification depends on.
+  tb.speaker_pos_[1] = Vec3{5.0, 7.0, kSpeakerHeight};
+  tb.speaker_room_[1] = "kitchen";
+
+  // ---- measurement locations (78) -----------------------------------------
+  auto& locs = tb.locations_;
+  int n = 1;
+  const double z0 = plan.device_height(0);  // 1.1
+  const double z1 = plan.device_height(1);  // 3.9
+
+  // #1-#24: living room, 4x6 grid.
+  add_grid(locs, n, {6.6, 8.2, 9.8, 11.4}, {0.7, 2.1, 3.5, 4.9, 6.3, 7.7}, z0,
+           "living-room");
+  // #25-#27: hallway spots with line of sight through the living-room door.
+  locs.push_back({n++, Vec3{5.7, 3.6, z0}, "hallway"});
+  locs.push_back({n++, Vec3{5.4, 3.8, z0}, "hallway"});
+  locs.push_back({n++, Vec3{5.0, 3.9, z0}, "hallway"});
+  // #28-#37: kitchen, numbered right-to-left so #37 is the far corner
+  // (Route 2 walks #21 -> #37).
+  add_grid(locs, n, {5.6, 4.4, 3.2, 2.0, 0.8}, {5.2, 7.0}, z0, "kitchen");
+  // #38-#41: restroom.
+  add_grid(locs, n, {0.8, 2.2}, {1.0, 3.0}, z0, "restroom");
+  // #42-#48: up the staircase (z rises with each step).
+  {
+    const double xs[] = {5.6, 5.2, 4.8, 4.4, 4.0, 3.7, 3.4};
+    const double ys[] = {0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 1.9};
+    for (int i = 0; i < 7; ++i) {
+      const double z = z0 + (z1 - z0) * i / 6.0;
+      locs.push_back({n++, Vec3{xs[i], ys[i], z}, i < 4 ? "hallway" : "landing"});
+    }
+  }
+  // #49-#54: landing.
+  add_grid(locs, n, {1.0, 2.6, 4.2}, {1.2, 3.0}, z1, "landing");
+  // #55-#62: the study — directly above the first speaker deployment.
+  // Numbered right-to-left so #55/#56 sit immediately overhead.
+  add_grid(locs, n, {11.8, 10.2, 8.6, 7.0}, {1.0, 3.0}, z1, "study");
+  // #63-#70: bedroom-2.
+  add_grid(locs, n, {7.0, 8.6, 10.2, 11.8}, {5.0, 7.0}, z1, "bedroom-2");
+  // #71-#78: bedroom-1.
+  add_grid(locs, n, {0.8, 2.4, 4.0, 5.6}, {5.0, 7.0}, z1, "bedroom-1");
+
+  return tb;
+}
+
+Testbed Testbed::apartment() {
+  Testbed tb;
+  tb.name_ = "two-bedroom apartment";
+  tb.floors_ = 1;
+  auto& plan = tb.plan_;
+  plan.set_floor_height(2.8);
+
+  plan.add_room(Room{"living-room", Rect{4, 0, 10, 5}, 0});
+  plan.add_room(Room{"kitchen", Rect{4, 5, 10, 8}, 0});
+  plan.add_room(Room{"bedroom-1", Rect{0, 4, 4, 8}, 0});
+  plan.add_room(Room{"bedroom-2", Rect{2, 0, 4, 4}, 0});
+  plan.add_room(Room{"bathroom", Rect{0, 0, 2, 4}, 0});
+
+  add_exterior(plan, 10, 8, 0);
+  // Door placements are offset from both speaker deployment spots so that no
+  // straight ray from a speaker threads a doorway into another room's
+  // occupiable space (checked by the leak property tests).
+  // Living room / kitchen, door at x in (4.2, 5.0).
+  add_hwall_with_door(plan, 5, 4, 10, 4.2, 5.0, 0);
+  // Living room / bedroom-2 + bathroom, door at y in (3.4, 3.8).
+  add_vwall_with_door(plan, 4, 0, 5, 3.4, 3.8, 0);
+  // Bedroom-1 / kitchen, door at y in (7.6, 8.0).
+  add_vwall_with_door(plan, 4, 5, 8, 7.6, 8.0, 0);
+  // Bedroom-1 / bedroom-2+bathroom, door at x in (1.2, 2.0).
+  add_hwall_with_door(plan, 4, 0, 4, 1.2, 2.0, 0);
+  // Bathroom / bedroom-2, door at y in (2.8, 3.6).
+  add_vwall_with_door(plan, 2, 0, 4, 2.8, 3.6, 0);
+
+  tb.speaker_pos_[0] = Vec3{9.5, 0.5, kSpeakerHeight};
+  tb.speaker_room_[0] = "living-room";
+  tb.speaker_pos_[1] = Vec3{9.5, 7.5, kSpeakerHeight};
+  tb.speaker_room_[1] = "kitchen";
+
+  auto& locs = tb.locations_;
+  int nn = 1;
+  const double z0 = plan.device_height(0);
+  // #1-#18: living room (6x3).
+  add_grid(locs, nn, {4.5, 5.5, 6.5, 7.5, 8.5, 9.5}, {0.8, 2.5, 4.2}, z0,
+           "living-room");
+  // #19-#30: kitchen (6x2).
+  add_grid(locs, nn, {4.5, 5.5, 6.5, 7.5, 8.5, 9.5}, {5.8, 7.3}, z0, "kitchen");
+  // #31-#42: bedroom-1 (4x3).
+  add_grid(locs, nn, {0.6, 1.7, 2.8, 3.6}, {4.6, 6.2, 7.6}, z0, "bedroom-1");
+  // #43-#50: bedroom-2 (2x4).
+  add_grid(locs, nn, {2.5, 3.5}, {0.6, 1.6, 2.6, 3.6}, z0, "bedroom-2");
+  // #51-#54: bathroom (2x2).
+  add_grid(locs, nn, {0.6, 1.5}, {1.0, 3.0}, z0, "bathroom");
+
+  return tb;
+}
+
+Testbed Testbed::office() {
+  Testbed tb;
+  tb.name_ = "office";
+  tb.floors_ = 1;
+  auto& plan = tb.plan_;
+  plan.set_floor_height(3.2);
+
+  plan.add_room(Room{"open-office", Rect{0, 0, 14, 12}, 0});
+  plan.add_room(Room{"conference", Rect{14, 6, 20, 12}, 0});
+  plan.add_room(Room{"break-room", Rect{14, 0, 20, 6}, 0});
+
+  add_exterior(plan, 20, 12, 0);
+  // Conference and break room fronts, each with a door.
+  add_vwall_with_door(plan, 14, 6, 12, 10.8, 11.6, 0);
+  add_vwall_with_door(plan, 14, 0, 6, 4.8, 5.6, 0);
+  plan.add_wall(Wall{Segment{{14, 6}, {20, 6}}, 0, kInteriorWallDb});
+  // Cubicle partitions: two rows with a central aisle, and two columns over
+  // the desk strips. They carve the open floor into bays; the speaker's
+  // "legitimate area" box fits inside one bay, so every spot outside it is
+  // behind at least one partition.
+  plan.add_wall(Wall{Segment{{0.5, 4}, {6.7, 4}}, 0, kPartitionDb});
+  plan.add_wall(Wall{Segment{{7.5, 4}, {13.5, 4}}, 0, kPartitionDb});
+  plan.add_wall(Wall{Segment{{0.5, 8}, {6.7, 8}}, 0, kPartitionDb});
+  plan.add_wall(Wall{Segment{{7.5, 8}, {13.5, 8}}, 0, kPartitionDb});
+  plan.add_wall(Wall{Segment{{4.6, 0.4}, {4.6, 3.6}}, 0, kPartitionDb});
+  plan.add_wall(Wall{Segment{{4.6, 8.4}, {4.6, 11.6}}, 0, kPartitionDb});
+  plan.add_wall(Wall{Segment{{9.4, 0.4}, {9.4, 3.6}}, 0, kPartitionDb});
+  plan.add_wall(Wall{Segment{{9.4, 8.4}, {9.4, 11.6}}, 0, kPartitionDb});
+
+  // Open-plan clutter (desks, monitors, people) steepens the falloff; see
+  // Testbed::radio_params().
+  tb.radio_.exponent = 1.5;
+
+  tb.speaker_pos_[0] = Vec3{2.0, 10.5, kSpeakerHeight};
+  tb.speaker_room_[0] = "open-office";
+  tb.speaker_pos_[1] = Vec3{12.0, 1.5, kSpeakerHeight};
+  tb.speaker_room_[1] = "open-office";
+
+  auto& locs = tb.locations_;
+  int nn = 1;
+  const double z0 = plan.device_height(0);
+  // #1-#50: open office (10x5).
+  add_grid(locs, nn,
+           {0.8, 2.2, 3.6, 5.0, 6.4, 7.8, 9.2, 10.6, 12.0, 13.4},
+           {1.2, 3.4, 5.9, 8.4, 10.8}, z0, "open-office");
+  // #51-#60: conference (5x2).
+  add_grid(locs, nn, {14.8, 16.0, 17.2, 18.4, 19.4}, {7.5, 10.5}, z0,
+           "conference");
+  // #61-#70: break room (5x2).
+  add_grid(locs, nn, {14.8, 16.0, 17.2, 18.4, 19.4}, {1.5, 4.5}, z0,
+           "break-room");
+
+  return tb;
+}
+
+}  // namespace vg::home

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "radio/FloorPlan.h"
+#include "radio/Propagation.h"
+
+/// \file Testbed.h
+/// The three real-world testbeds of §V, rebuilt as floor plans with numbered
+/// measurement locations:
+///   1. a two-floor house   — 78 locations (Figs. 8a/9a),
+///   2. a two-bedroom apartment — 54 locations (Figs. 8b/9b),
+///   3. a large office      — 70 locations (Figs. 8c/9c),
+/// each with two speaker deployment locations. Location numbers follow the
+/// paper's semantics where the text depends on them: in the house, #1-#24 are
+/// the living room, #25-#27 are line-of-sight hallway spots, #42-#48 walk up
+/// the staircase, and #55/#56/#59-#62 sit in the second-floor room directly
+/// above the speaker's first deployment location.
+
+namespace vg::home {
+
+struct MeasurementLocation {
+  int number{0};
+  radio::Vec3 pos;
+  std::string room;
+};
+
+class Testbed {
+ public:
+  static Testbed two_floor_house();
+  static Testbed apartment();
+  static Testbed office();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const radio::FloorPlan& plan() const { return plan_; }
+  [[nodiscard]] const std::vector<MeasurementLocation>& locations() const {
+    return locations_;
+  }
+
+  /// Speaker position for deployment \p which (1 or 2), ~0.8 m high.
+  [[nodiscard]] radio::Vec3 speaker_position(int which) const;
+  [[nodiscard]] const std::string& speaker_room(int which) const;
+
+  /// Measurement location by paper number (throws if absent).
+  [[nodiscard]] const MeasurementLocation& location(int number) const;
+
+  /// All locations inside a room.
+  [[nodiscard]] std::vector<const MeasurementLocation*> locations_in(
+      const std::string& room) const;
+
+  [[nodiscard]] int floor_count() const { return floors_; }
+
+  /// Propagation calibration for this building. The homes use the default
+  /// (gentle falloff, strong walls); the large open-plan office is cluttered
+  /// (desks, people, monitors), so its distance falloff is much steeper —
+  /// without that no threshold can separate "near the speaker" from "far end
+  /// of the same room", and Fig. 8c's red box could not exist.
+  [[nodiscard]] const radio::PathLossParams& radio_params() const {
+    return radio_;
+  }
+
+ private:
+  std::string name_;
+  radio::FloorPlan plan_;
+  std::vector<MeasurementLocation> locations_;
+  radio::Vec3 speaker_pos_[2];
+  std::string speaker_room_[2];
+  int floors_{1};
+  radio::PathLossParams radio_{};
+};
+
+}  // namespace vg::home

@@ -1,0 +1,30 @@
+#include "netsim/Address.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace vg::net {
+
+std::string IpAddress::to_string() const {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return buf;
+}
+
+IpAddress IpAddress::parse(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char extra = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &extra) != 4 ||
+      a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument{"IpAddress::parse: bad address '" + s + "'"};
+  }
+  return IpAddress{static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                   static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d)};
+}
+
+std::string Endpoint::to_string() const {
+  return ip.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace vg::net

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+/// \file Address.h
+/// IPv4 addresses, ports and endpoints for the simulated network.
+
+namespace vg::net {
+
+/// An IPv4 address stored host-order in 32 bits.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(std::uint32_t v) : value_(v) {}
+  constexpr IpAddress(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] constexpr bool is_unspecified() const { return value_ == 0; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses dotted-quad notation; throws std::invalid_argument on bad input.
+  static IpAddress parse(const std::string& s);
+
+  friend constexpr auto operator<=>(IpAddress a, IpAddress b) = default;
+
+ private:
+  std::uint32_t value_{0};
+};
+
+using Port = std::uint16_t;
+
+/// A transport endpoint: (IP, port).
+struct Endpoint {
+  IpAddress ip;
+  Port port{0};
+
+  [[nodiscard]] std::string to_string() const;
+  friend constexpr auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Identifies one TCP/UDP flow direction-independently where needed.
+struct FlowKey {
+  Endpoint a;  // canonical: min(src,dst)
+  Endpoint b;
+
+  static FlowKey canonical(Endpoint x, Endpoint y) {
+    return (x <= y) ? FlowKey{x, y} : FlowKey{y, x};
+  }
+  friend constexpr auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+
+}  // namespace vg::net
+
+template <>
+struct std::hash<vg::net::IpAddress> {
+  std::size_t operator()(vg::net::IpAddress a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<vg::net::Endpoint> {
+  std::size_t operator()(const vg::net::Endpoint& e) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{e.ip.value()} << 16) ^ e.port);
+  }
+};
+
+template <>
+struct std::hash<vg::net::FlowKey> {
+  std::size_t operator()(const vg::net::FlowKey& f) const noexcept {
+    return std::hash<vg::net::Endpoint>{}(f.a) * 1000003u ^
+           std::hash<vg::net::Endpoint>{}(f.b);
+  }
+};

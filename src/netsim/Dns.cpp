@@ -1,0 +1,89 @@
+#include "netsim/Dns.h"
+
+namespace vg::net {
+
+namespace {
+/// Rough on-wire sizes so DNS packets look like DNS in traces, not like TLS.
+std::uint32_t query_size(const std::string& name) {
+  return 17 + static_cast<std::uint32_t>(name.size());
+}
+std::uint32_t response_size(const std::string& name, std::size_t answers) {
+  return query_size(name) + 16 * static_cast<std::uint32_t>(answers);
+}
+}  // namespace
+
+DnsServerApp::DnsServerApp(Host& host, DnsZone& zone, sim::Duration response_delay)
+    : host_(host), zone_(zone), delay_(response_delay) {
+  host_.udp().bind(kPort, [this](const Packet& p) { on_query(p); });
+}
+
+void DnsServerApp::on_query(const Packet& p) {
+  if (!p.dns || p.dns->is_response) return;
+  ++served_;
+  DnsMessage resp;
+  resp.id = p.dns->id;
+  resp.is_response = true;
+  resp.qname = p.dns->qname;
+  resp.answers = zone_.lookup(p.dns->qname);
+  const Endpoint from = p.src;
+  const Endpoint to = p.dst;
+  host_.sim().after(delay_, [this, resp = std::move(resp), from, to] {
+    host_.udp().send_datagram(to, from,
+                              response_size(resp.qname, resp.answers.size()),
+                              /*quic=*/false, resp, "dns-response");
+  });
+}
+
+DnsClient::DnsClient(Host& host, Endpoint server)
+    : host_(host), server_(server), local_port_(host.udp().ephemeral_port()) {
+  host_.udp().bind(local_port_, [this](const Packet& p) { on_response(p); });
+}
+
+void DnsClient::resolve(const std::string& name, Callback cb) {
+  const std::uint16_t id = next_id_++;
+  Pending pend;
+  pend.name = name;
+  pend.cb = std::move(cb);
+  pending_[id] = std::move(pend);
+  send_query(id, name);
+  arm_timeout(id);
+}
+
+void DnsClient::send_query(std::uint16_t id, const std::string& name) {
+  DnsMessage q;
+  q.id = id;
+  q.is_response = false;
+  q.qname = name;
+  host_.udp().send_datagram(Endpoint{host_.ip(), local_port_}, server_,
+                            query_size(name), /*quic=*/false, q, "dns-query");
+}
+
+void DnsClient::arm_timeout(std::uint16_t id) {
+  auto& pend = pending_[id];
+  pend.timeout = host_.sim().after(kRetryTimeout, [this, id] {
+    auto it = pending_.find(id);
+    if (it == pending_.end()) return;
+    if (it->second.attempts >= kMaxAttempts) {
+      Callback cb = std::move(it->second.cb);
+      pending_.erase(it);
+      cb({});  // resolution failed
+      return;
+    }
+    ++it->second.attempts;
+    ++retries_;
+    send_query(id, it->second.name);
+    arm_timeout(id);
+  });
+}
+
+void DnsClient::on_response(const Packet& p) {
+  if (!p.dns || !p.dns->is_response) return;
+  auto it = pending_.find(p.dns->id);
+  if (it == pending_.end()) return;
+  host_.sim().cancel(it->second.timeout);
+  Callback cb = std::move(it->second.cb);
+  pending_.erase(it);
+  cb(p.dns->answers);
+}
+
+}  // namespace vg::net

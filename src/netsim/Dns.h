@@ -1,0 +1,92 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/Host.h"
+#include "netsim/Packet.h"
+
+/// \file Dns.h
+/// Plaintext DNS over UDP. The recognizer learns server IPs from the
+/// speaker's DNS traffic (and, for Amazon, falls back to packet-level
+/// signatures when the speaker reconnects without a visible query — the
+/// situation §IV-B reports).
+
+namespace vg::net {
+
+/// Name → A records. Mutable at runtime: the AVS server model migrates IPs.
+class DnsZone {
+ public:
+  void set(const std::string& name, std::vector<IpAddress> addrs) {
+    zone_[name] = std::move(addrs);
+  }
+
+  [[nodiscard]] std::vector<IpAddress> lookup(const std::string& name) const {
+    auto it = zone_.find(name);
+    return it != zone_.end() ? it->second : std::vector<IpAddress>{};
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<IpAddress>> zone_;
+};
+
+/// A DNS server application bound to UDP port 53 of a Host.
+class DnsServerApp {
+ public:
+  static constexpr Port kPort = 53;
+
+  /// \param response_delay processing latency before the answer is sent.
+  DnsServerApp(Host& host, DnsZone& zone,
+               sim::Duration response_delay = sim::milliseconds(5));
+
+  [[nodiscard]] std::uint64_t queries_served() const { return served_; }
+
+ private:
+  void on_query(const Packet& p);
+
+  Host& host_;
+  DnsZone& zone_;
+  sim::Duration delay_;
+  std::uint64_t served_{0};
+};
+
+/// Client-side resolver helper for a Host, with timeout-based retry (UDP
+/// queries can be lost on lossy links).
+class DnsClient {
+ public:
+  using Callback = std::function<void(const std::vector<IpAddress>&)>;
+
+  DnsClient(Host& host, Endpoint server);
+
+  /// Issues a query; \p cb runs when a response arrives (empty vector if the
+  /// name has no records, or after all retries time out).
+  void resolve(const std::string& name, Callback cb);
+
+  static constexpr int kMaxAttempts = 3;
+  static constexpr sim::Duration kRetryTimeout = sim::seconds(2);
+
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+
+ private:
+  struct Pending {
+    std::string name;
+    Callback cb;
+    int attempts{1};
+    sim::EventId timeout{};
+  };
+
+  void send_query(std::uint16_t id, const std::string& name);
+  void arm_timeout(std::uint16_t id);
+  void on_response(const Packet& p);
+
+  Host& host_;
+  Endpoint server_;
+  Port local_port_;
+  std::uint16_t next_id_{1};
+  std::unordered_map<std::uint16_t, Pending> pending_;
+  std::uint64_t retries_{0};
+};
+
+}  // namespace vg::net

@@ -1,0 +1,33 @@
+#include "netsim/Host.h"
+
+#include <stdexcept>
+
+namespace vg::net {
+
+Host::Host(Network& net, std::string name, IpAddress ip)
+    : net_(net), name_(std::move(name)), ip_(ip) {
+  auto out = [this](Packet p) { send(std::move(p)); };
+  tcp_ = std::make_unique<TcpStack>(net_.sim(), ip_, out, name_);
+  udp_ = std::make_unique<UdpStack>(net_.sim(), ip_, out, name_);
+}
+
+void Host::send(Packet p) {
+  if (link_ == nullptr) {
+    throw std::logic_error{"Host::send: '" + name_ + "' has no attached link"};
+  }
+  link_->send_from(*this, std::move(p));
+}
+
+void Host::receive(Packet p, Link& /*from*/) {
+  if (p.dst.ip != ip_) return;  // not ours; end hosts don't forward
+  switch (p.protocol) {
+    case Protocol::kTcp:
+      tcp_->on_packet(p);
+      break;
+    case Protocol::kUdp:
+      udp_->on_packet(p);
+      break;
+  }
+}
+
+}  // namespace vg::net

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "netsim/Node.h"
+#include "netsim/Tcp.h"
+#include "netsim/Udp.h"
+
+/// \file Host.h
+/// An end host: one access link, an IP, and TCP/UDP stacks. Smart speakers,
+/// cloud servers and the DNS server are all Hosts with application objects
+/// layered on top.
+
+namespace vg::net {
+
+class Host : public NetNode {
+ public:
+  Host(Network& net, std::string name, IpAddress ip);
+
+  /// Attaches the (single) access link. Must be called before sending.
+  void attach(Link& link) { link_ = &link; }
+
+  void receive(Packet p, Link& from) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] IpAddress ip() const { return ip_; }
+  TcpStack& tcp() { return *tcp_; }
+  UdpStack& udp() { return *udp_; }
+  sim::Simulation& sim() { return net_.sim(); }
+  Network& network() { return net_; }
+
+  /// Sends a raw packet out the access link (stacks route through here).
+  void send(Packet p);
+
+ private:
+  Network& net_;
+  std::string name_;
+  IpAddress ip_;
+  Link* link_{nullptr};
+  std::unique_ptr<TcpStack> tcp_;
+  std::unique_ptr<UdpStack> udp_;
+};
+
+}  // namespace vg::net

@@ -1,0 +1,39 @@
+#include "netsim/MiddleBox.h"
+
+#include <stdexcept>
+
+namespace vg::net {
+
+std::string to_string(Direction d) {
+  return d == Direction::kLanToWan ? "lan->wan" : "wan->lan";
+}
+
+void MiddleBox::receive(Packet p, Link& from) {
+  const bool from_lan = (lan_ != nullptr && &from == lan_);
+  const bool from_wan = (wan_ != nullptr && &from == wan_);
+  if (!from_lan && !from_wan) {
+    throw std::logic_error{"MiddleBox::receive: packet from unattached link"};
+  }
+  const Direction dir = from_lan ? Direction::kLanToWan : Direction::kWanToLan;
+  for (const auto& obs : observers_) obs(p, dir);
+
+  const bool consumed = from_lan ? on_lan_packet(p) : on_wan_packet(p);
+  if (consumed) return;
+  if (from_lan) {
+    send_to_wan(std::move(p));
+  } else {
+    send_to_lan(std::move(p));
+  }
+}
+
+void MiddleBox::send_to_wan(Packet p) {
+  if (wan_ == nullptr) throw std::logic_error{"MiddleBox: no WAN link"};
+  wan_->send_from(*this, std::move(p));
+}
+
+void MiddleBox::send_to_lan(Packet p) {
+  if (lan_ == nullptr) throw std::logic_error{"MiddleBox: no LAN link"};
+  lan_->send_from(*this, std::move(p));
+}
+
+}  // namespace vg::net

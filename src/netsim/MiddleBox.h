@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/Node.h"
+
+/// \file MiddleBox.h
+/// A two-armed inline node (LAN side / WAN side). The default behaviour is a
+/// transparent wire: every packet is forwarded unchanged to the other side.
+/// VoiceGuard's guard box derives from this and overrides the per-direction
+/// hooks to observe, intercept or hold traffic.
+
+namespace vg::net {
+
+enum class Direction { kLanToWan, kWanToLan };
+
+std::string to_string(Direction d);
+
+class MiddleBox : public NetNode {
+ public:
+  /// Observer invoked for every packet traversing (or terminating at) the
+  /// box, before the forwarding decision. This is the "Wireshark on the
+  /// laptop" vantage point of the paper.
+  using Observer = std::function<void(const Packet&, Direction)>;
+
+  MiddleBox(Network& net, std::string name) : net_(net), name_(std::move(name)) {}
+
+  void set_lan_link(Link& l) { lan_ = &l; }
+  void set_wan_link(Link& l) { wan_ = &l; }
+
+  void add_observer(Observer obs) { observers_.push_back(std::move(obs)); }
+
+  void receive(Packet p, Link& from) final;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  void send_to_wan(Packet p);
+  void send_to_lan(Packet p);
+
+  Network& network() { return net_; }
+  sim::Simulation& sim() { return net_.sim(); }
+
+ protected:
+  /// Per-direction hooks. Return true if the packet was consumed (terminated
+  /// or queued); false to passthrough-forward. Defaults: passthrough.
+  virtual bool on_lan_packet(Packet& p) {
+    (void)p;
+    return false;
+  }
+  virtual bool on_wan_packet(Packet& p) {
+    (void)p;
+    return false;
+  }
+
+ private:
+  Network& net_;
+  std::string name_;
+  Link* lan_{nullptr};
+  Link* wan_{nullptr};
+  std::vector<Observer> observers_;
+};
+
+}  // namespace vg::net

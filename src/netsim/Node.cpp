@@ -1,0 +1,59 @@
+#include "netsim/Node.h"
+
+#include <stdexcept>
+
+namespace vg::net {
+
+Link& Network::add_link(NetNode& a, NetNode& b, sim::Duration latency,
+                        sim::Duration jitter, double loss_rate) {
+  links_.push_back(
+      std::make_unique<Link>(*this, a, b, latency, jitter, loss_rate));
+  return *links_.back();
+}
+
+Link::Link(Network& net, NetNode& a, NetNode& b, sim::Duration latency,
+           sim::Duration jitter, double loss_rate)
+    : net_(net),
+      a_(&a),
+      b_(&b),
+      latency_(latency),
+      jitter_(jitter),
+      loss_rate_(loss_rate) {}
+
+NetNode& Link::peer_of(const NetNode& n) const {
+  if (&n == a_) return *b_;
+  if (&n == b_) return *a_;
+  throw std::logic_error{"Link::peer_of: node not attached to this link"};
+}
+
+void Link::send_from(NetNode& sender, Packet p) {
+  if (!connects(sender)) {
+    throw std::logic_error{"Link::send_from: sender not attached"};
+  }
+  if (p.id == 0) p.id = net_.next_packet_id();
+
+  if (loss_rate_ > 0.0 &&
+      net_.sim().rng("net.link.loss").chance(loss_rate_)) {
+    ++dropped_;
+    return;
+  }
+
+  sim::Duration d = latency_;
+  if (jitter_.ns() > 0) {
+    auto& rng = net_.sim().rng("net.link.jitter");
+    d += sim::Duration{rng.uniform_int(-jitter_.ns(), jitter_.ns())};
+  }
+  if (d.ns() < 0) d = sim::Duration{0};
+
+  sim::TimePoint when = net_.sim().now() + d;
+  sim::TimePoint& last = (&sender == a_) ? last_delivery_ab_ : last_delivery_ba_;
+  if (when < last) when = last;  // keep per-direction FIFO ordering
+  last = when;
+
+  NetNode& dst = peer_of(sender);
+  net_.sim().at(when, [this, &dst, pkt = std::move(p)]() mutable {
+    dst.receive(std::move(pkt), *this);
+  });
+}
+
+}  // namespace vg::net

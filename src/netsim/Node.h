@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netsim/Packet.h"
+#include "simcore/Simulation.h"
+
+/// \file Node.h
+/// Topology primitives: nodes, point-to-point links, and the Network that
+/// owns them. The VoiceGuard deployment is the chain
+///   speaker --(lan link)-- guard box --(lan link)-- router --(wan)-- cloud,
+/// with the guard box inline exactly as the laptop in the paper's prototype.
+
+namespace vg::net {
+
+class Link;
+
+/// Anything that can terminate or forward packets.
+class NetNode {
+ public:
+  virtual ~NetNode() = default;
+
+  /// Called when a packet arrives over \p from at the current sim time.
+  virtual void receive(Packet p, Link& from) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Shared context: the simulation handle plus global packet numbering.
+class Network {
+ public:
+  explicit Network(sim::Simulation& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulation& sim() { return sim_; }
+
+  std::uint64_t next_packet_id() { return next_packet_id_++; }
+
+  /// Creates a bidirectional link between \p a and \p b with symmetric
+  /// one-way latency \p latency, uniform jitter of +-\p jitter, and an
+  /// independent per-packet loss probability \p loss_rate.
+  Link& add_link(NetNode& a, NetNode& b, sim::Duration latency,
+                 sim::Duration jitter = sim::Duration{0},
+                 double loss_rate = 0.0);
+
+ private:
+  sim::Simulation& sim_;
+  std::uint64_t next_packet_id_{1};
+  std::vector<std::unique_ptr<Link>> links_;
+};
+
+/// A bidirectional point-to-point link with one-way latency, jitter and
+/// optional random loss. No bandwidth limit: the home LAN and the broadband
+/// uplink in the paper's testbeds were never the bottleneck, and the scheme's
+/// behaviour depends on ordering/latency, not throughput.
+class Link {
+ public:
+  Link(Network& net, NetNode& a, NetNode& b, sim::Duration latency,
+       sim::Duration jitter, double loss_rate = 0.0);
+
+  [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_; }
+
+  /// Sends \p p from \p sender (must be one of the two endpoints) to the
+  /// other endpoint after the link latency. Assigns the packet id if unset.
+  void send_from(NetNode& sender, Packet p);
+
+  [[nodiscard]] NetNode& peer_of(const NetNode& n) const;
+  [[nodiscard]] bool connects(const NetNode& n) const {
+    return &n == a_ || &n == b_;
+  }
+
+  /// In-order delivery guarantee: jitter never reorders packets in one
+  /// direction (the later of "now + sampled latency" and "last scheduled
+  /// delivery" is used).
+ private:
+  Network& net_;
+  NetNode* a_;
+  NetNode* b_;
+  sim::Duration latency_;
+  sim::Duration jitter_;
+  double loss_rate_;
+  std::uint64_t dropped_{0};
+  sim::TimePoint last_delivery_ab_{};
+  sim::TimePoint last_delivery_ba_{};
+};
+
+}  // namespace vg::net

@@ -1,0 +1,56 @@
+#include "netsim/Packet.h"
+
+#include <cstdio>
+
+namespace vg::net {
+
+std::string to_string(TlsContentType t) {
+  switch (t) {
+    case TlsContentType::kChangeCipherSpec: return "ChangeCipherSpec";
+    case TlsContentType::kAlert: return "Alert";
+    case TlsContentType::kHandshake: return "Handshake";
+    case TlsContentType::kApplicationData: return "ApplicationData";
+  }
+  return "?";
+}
+
+std::string TcpFlags::to_string() const {
+  std::string s;
+  auto add = [&](TcpFlag f, const char* name) {
+    if (has(f)) {
+      if (!s.empty()) s += ",";
+      s += name;
+    }
+  };
+  add(TcpFlag::kSyn, "SYN");
+  add(TcpFlag::kAck, "ACK");
+  add(TcpFlag::kFin, "FIN");
+  add(TcpFlag::kRst, "RST");
+  add(TcpFlag::kPsh, "PSH");
+  return s.empty() ? "-" : s;
+}
+
+std::uint32_t Packet::payload_length() const {
+  std::uint32_t n = plain_payload;
+  for (const auto& r : records) n += r.length;
+  return n;
+}
+
+std::string Packet::summary() const {
+  char buf[256];
+  if (protocol == Protocol::kTcp) {
+    std::snprintf(buf, sizeof(buf), "#%llu %s > %s [%s] seq=%u ack=%u len=%u%s",
+                  static_cast<unsigned long long>(id), src.to_string().c_str(),
+                  dst.to_string().c_str(), tcp.flags.to_string().c_str(),
+                  tcp.seq, tcp.ack, payload_length(),
+                  keepalive_probe ? " keepalive" : "");
+  } else {
+    std::snprintf(buf, sizeof(buf), "#%llu %s > %s UDP%s len=%u%s",
+                  static_cast<unsigned long long>(id), src.to_string().c_str(),
+                  dst.to_string().c_str(), quic ? "/QUIC" : "", payload_length(),
+                  dns ? (dns->is_response ? " DNS-resp" : " DNS-query") : "");
+  }
+  return buf;
+}
+
+}  // namespace vg::net

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/Address.h"
+
+/// \file Packet.h
+/// The simulated wire format.
+///
+/// Payload bytes are opaque (the real traffic is TLS-encrypted), but the
+/// metadata that VoiceGuard's prototype could actually observe is modeled
+/// faithfully:
+///   - TCP/UDP headers (ports, seq/ack, flags),
+///   - the *unencrypted* TLS record header (content type + length),
+///   - plaintext DNS messages.
+/// Each TLS record additionally carries the sender-side implicit record
+/// sequence number. Middleboxes must treat it as opaque (they cannot rewrite
+/// it — the stream is integrity-protected); the receiving endpoint checks it,
+/// which is what kills the session when held records are dropped (Fig. 4,
+/// case III).
+
+namespace vg::net {
+
+/// TLS record content types (only those that matter to the recognizer).
+enum class TlsContentType : std::uint8_t {
+  kChangeCipherSpec = 20,
+  kAlert = 21,
+  kHandshake = 22,
+  kApplicationData = 23,
+};
+
+std::string to_string(TlsContentType t);
+
+/// One TLS record as visible on the wire: header in the clear, body opaque.
+struct TlsRecord {
+  TlsContentType type{TlsContentType::kApplicationData};
+  /// Ciphertext length in bytes — the quantity packet-level signatures are
+  /// defined over (§IV-B of the paper).
+  std::uint32_t length{0};
+  /// Implicit per-direction record sequence number assigned by the sender's
+  /// TLS layer. Integrity-protected: a middlebox can delay or drop records
+  /// but never renumber them.
+  std::uint64_t tls_seq{0};
+  /// Free-form label propagated for test/bench introspection only; carries no
+  /// wire semantics ("heartbeat", "voice-cmd", "response", ...).
+  std::string tag;
+};
+
+enum class TcpFlag : std::uint8_t {
+  kSyn = 1u << 0,
+  kAck = 1u << 1,
+  kFin = 1u << 2,
+  kRst = 1u << 3,
+  kPsh = 1u << 4,
+};
+
+struct TcpFlags {
+  std::uint8_t bits{0};
+
+  [[nodiscard]] bool has(TcpFlag f) const {
+    return (bits & static_cast<std::uint8_t>(f)) != 0;
+  }
+  TcpFlags& set(TcpFlag f) {
+    bits |= static_cast<std::uint8_t>(f);
+    return *this;
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct TcpHeader {
+  TcpFlags flags;
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  std::uint16_t window{65535};
+};
+
+/// A plaintext DNS message (queries from the speaker are observable and the
+/// recognizer uses them to learn server IPs).
+struct DnsMessage {
+  std::uint16_t id{0};
+  bool is_response{false};
+  std::string qname;
+  std::vector<IpAddress> answers;  // A records, response only
+  /// Time-to-live is irrelevant to the scheme; omitted.
+};
+
+enum class Protocol : std::uint8_t { kTcp, kUdp };
+
+/// A simulated IP packet.
+struct Packet {
+  std::uint64_t id{0};  // global monotone id, for Fig. 4-style narration
+  Endpoint src;
+  Endpoint dst;
+  Protocol protocol{Protocol::kTcp};
+
+  TcpHeader tcp;  // valid when protocol == kTcp
+
+  /// TLS records carried in this segment/datagram (possibly empty: pure ACKs,
+  /// SYN/FIN, keep-alive probes, DNS).
+  std::vector<TlsRecord> records;
+
+  /// Plain (non-TLS) payload size in bytes, e.g. QUIC datagram or raw bytes.
+  std::uint32_t plain_payload{0};
+
+  std::optional<DnsMessage> dns;
+
+  /// True for QUIC datagrams (UDP); the Google Home Mini switches transports.
+  bool quic{false};
+
+  /// Introspection-only label (no wire semantics), e.g. "voice-cmd".
+  std::string tag;
+
+  /// Total L4 payload length — the value Wireshark would report and the one
+  /// packet-level signatures are computed over.
+  [[nodiscard]] std::uint32_t payload_length() const;
+
+  /// True if this is a TCP keep-alive probe (zero-length, seq one below the
+  /// sender's next sequence number — mirrors the common stack behaviour).
+  bool keepalive_probe{false};
+
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace vg::net

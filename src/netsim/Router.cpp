@@ -1,0 +1,15 @@
+#include "netsim/Router.h"
+
+namespace vg::net {
+
+void Router::receive(Packet p, Link& from) {
+  auto it = routes_.find(p.dst.ip);
+  Link* out = (it != routes_.end()) ? it->second : default_;
+  if (out == nullptr || out == &from) {
+    ++dropped_;  // no route, or it would bounce straight back
+    return;
+  }
+  out->send_from(*this, std::move(p));
+}
+
+}  // namespace vg::net

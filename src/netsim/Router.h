@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "netsim/Node.h"
+
+/// \file Router.h
+/// The home router / internet hub: forwards packets to the link that leads to
+/// the destination IP. One Router instance stands in for "home WiFi router +
+/// the internet path" — per-hop latency lives on the links.
+
+namespace vg::net {
+
+class Router : public NetNode {
+ public:
+  explicit Router(std::string name) : name_(std::move(name)) {}
+
+  /// Packets for \p ip leave through \p link.
+  void add_route(IpAddress ip, Link& link) { routes_[ip] = &link; }
+
+  /// Fallback for unrouted destinations; packets are dropped if unset.
+  void set_default_route(Link& link) { default_ = &link; }
+
+  void receive(Packet p, Link& from) override;
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  [[nodiscard]] std::uint64_t dropped_packets() const { return dropped_; }
+
+ private:
+  std::string name_;
+  std::unordered_map<IpAddress, Link*> routes_;
+  Link* default_{nullptr};
+  std::uint64_t dropped_{0};
+};
+
+}  // namespace vg::net

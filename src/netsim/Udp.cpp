@@ -1,0 +1,39 @@
+#include "netsim/Udp.h"
+
+namespace vg::net {
+
+void UdpStack::send_datagram(Endpoint local, Endpoint remote,
+                             std::uint32_t payload_len, bool quic,
+                             std::optional<DnsMessage> dns, std::string tag) {
+  Packet p;
+  p.src = local;
+  p.dst = remote;
+  p.protocol = Protocol::kUdp;
+  p.plain_payload = payload_len;
+  p.quic = quic;
+  p.dns = std::move(dns);
+  p.tag = std::move(tag);
+  out_(std::move(p));
+}
+
+void UdpStack::send_quic(Endpoint local, Endpoint remote,
+                         std::vector<TlsRecord> records) {
+  Packet p;
+  p.src = local;
+  p.dst = remote;
+  p.protocol = Protocol::kUdp;
+  p.quic = true;
+  p.records = std::move(records);
+  out_(std::move(p));
+}
+
+void UdpStack::on_packet(const Packet& p) {
+  auto it = handlers_.find(p.dst.port);
+  if (it != handlers_.end()) {
+    it->second(p);
+    return;
+  }
+  if (any_handler_) any_handler_(p);
+}
+
+}  // namespace vg::net

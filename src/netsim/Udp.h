@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "netsim/Packet.h"
+#include "simcore/Simulation.h"
+
+/// \file Udp.h
+/// Minimal UDP demultiplexer. Carries DNS and the Google Home Mini's QUIC
+/// datagrams (QUIC is opaque to the guard, which only forwards/holds/drops
+/// whole datagrams — exactly what the paper's UDP forwarder does).
+
+namespace vg::net {
+
+class UdpStack {
+ public:
+  using PacketOut = std::function<void(Packet)>;
+  using Handler = std::function<void(const Packet&)>;
+
+  UdpStack(sim::Simulation& sim, IpAddress ip, PacketOut out, std::string name)
+      : sim_(sim), ip_(ip), out_(std::move(out)), name_(std::move(name)) {}
+
+  /// Delivers datagrams addressed to (our ip, \p port) to \p handler.
+  void bind(Port port, Handler handler) { handlers_[port] = std::move(handler); }
+
+  /// Fallback for datagrams to unbound ports (transparent capture).
+  void bind_any(Handler handler) { any_handler_ = std::move(handler); }
+
+  /// Sends a datagram with \p payload_len opaque bytes.
+  void send_datagram(Endpoint local, Endpoint remote, std::uint32_t payload_len,
+                     bool quic = false,
+                     std::optional<DnsMessage> dns = std::nullopt,
+                     std::string tag = {});
+
+  /// Sends a QUIC datagram carrying \p records (QUIC packet numbers ride in
+  /// TlsRecord::tls_seq; lengths are the observable datagram payload).
+  void send_quic(Endpoint local, Endpoint remote,
+                 std::vector<TlsRecord> records);
+
+  /// Sends a pre-built packet (used by forwarders re-emitting held datagrams).
+  void send_raw(Packet p) { out_(std::move(p)); }
+
+  void on_packet(const Packet& p);
+
+  Port ephemeral_port() { return next_port_++; }
+  [[nodiscard]] IpAddress ip() const { return ip_; }
+  sim::Simulation& sim() { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  IpAddress ip_;
+  PacketOut out_;
+  std::string name_;
+  std::unordered_map<Port, Handler> handlers_;
+  Handler any_handler_;
+  Port next_port_{40000};
+};
+
+}  // namespace vg::net

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "radio/Propagation.h"
+#include "simcore/Simulation.h"
+
+/// \file Bluetooth.h
+/// The Bluetooth layer VoiceGuard leans on: smart speakers advertise
+/// (discoverable, as commercial speakers are), phones/watches scan and read
+/// the speaker's RSSI. A scan is not instantaneous — BLE scan windows mean
+/// 0.2-1.2 s before the advertiser is heard — and that latency is a major
+/// component of the Fig. 7 end-to-end delay.
+
+namespace vg::radio {
+
+/// A fixed transmitter (the smart speaker's Bluetooth radio).
+class BluetoothBeacon {
+ public:
+  BluetoothBeacon(std::string id, Vec3 position)
+      : id_(std::move(id)), position_(position) {}
+
+  [[nodiscard]] const std::string& id() const { return id_; }
+  [[nodiscard]] Vec3 position() const { return position_; }
+  void set_position(Vec3 p) { position_ = p; }
+
+ private:
+  std::string id_;
+  Vec3 position_;
+};
+
+struct ScanParams {
+  /// Scan latency model: uniform window in [min, max] until the beacon's next
+  /// advertisement lands in the scan window.
+  sim::Duration min_latency = sim::milliseconds(200);
+  sim::Duration max_latency = sim::milliseconds(900);
+  /// Android reports integer dB values.
+  bool quantize = true;
+};
+
+/// A scanner bound to a moving device. Position is supplied by a callable so
+/// the measurement uses the device's position at measurement time, not at
+/// request time (the owner may be walking).
+class BluetoothScanner {
+ public:
+  using PositionFn = std::function<Vec3()>;
+  using MeasureCallback = std::function<void(double rssi)>;
+
+  BluetoothScanner(sim::Simulation& sim, const FloorPlan& plan,
+                   PathLossParams params, std::string name, PositionFn pos,
+                   ScanParams scan = {});
+
+  /// Asynchronously measures \p beacon's RSSI; \p cb fires after the scan
+  /// latency with one instantaneous (noisy) reading.
+  void measure(const BluetoothBeacon& beacon, MeasureCallback cb);
+
+  /// Synchronous reading with no scan latency — the continuously-scanning
+  /// mode used by the threshold app and the floor tracker (they sample every
+  /// 0.5 s / 0.2 s while already scanning).
+  double measure_now(const BluetoothBeacon& beacon);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  sim::Simulation& sim_;
+  const FloorPlan& plan_;
+  PathLossParams params_;
+  std::string name_;
+  PositionFn pos_;
+  ScanParams scan_;
+};
+
+}  // namespace vg::radio

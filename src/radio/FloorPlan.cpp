@@ -1,0 +1,48 @@
+#include "radio/FloorPlan.h"
+
+namespace vg::radio {
+
+const Room* FloorPlan::room_at(Vec2 p, int floor) const {
+  for (const auto& r : rooms_) {
+    if (r.floor == floor && r.bounds.contains(p)) return &r;
+  }
+  return nullptr;
+}
+
+const Room* FloorPlan::room_by_name(const std::string& name) const {
+  for (const auto& r : rooms_) {
+    if (r.name == name) return &r;
+  }
+  return nullptr;
+}
+
+int FloorPlan::walls_crossed(Vec2 a, Vec2 b, int floor) const {
+  int n = 0;
+  const Segment path{a, b};
+  for (const auto& w : walls_) {
+    if (w.floor == floor && segments_intersect(path, w.seg)) ++n;
+  }
+  return n;
+}
+
+double FloorPlan::wall_attenuation(Vec3 a, Vec3 b) const {
+  const int fa = floor_of(a.z);
+  const int fb = floor_of(b.z);
+  const Segment path{a.xy(), b.xy()};
+  double total = 0.0;
+  for (const auto& w : walls_) {
+    if ((w.floor == fa || w.floor == fb) && segments_intersect(path, w.seg)) {
+      total += w.attenuation_db;
+    }
+  }
+  return total;
+}
+
+bool FloorPlan::line_of_sight(Vec3 a, Vec3 b) const {
+  const int fa = floor_of(a.z);
+  const int fb = floor_of(b.z);
+  if (fa != fb) return false;
+  return walls_crossed(a.xy(), b.xy(), fa) == 0;
+}
+
+}  // namespace vg::radio

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "radio/Geometry.h"
+
+/// \file FloorPlan.h
+/// Building layouts for the three testbeds: rooms (axis-aligned, per floor),
+/// interior walls with per-wall attenuation, and stair regions connecting
+/// floors. The propagation model queries wall crossings and floor differences
+/// along the straight path between two points.
+
+namespace vg::radio {
+
+struct Room {
+  std::string name;
+  Rect bounds;
+  int floor{0};
+};
+
+struct Wall {
+  Segment seg;
+  int floor{0};
+  /// Signal attenuation when the direct path crosses this wall, in dB.
+  double attenuation_db{6.0};
+};
+
+/// A stair region: walking inside it moves a person between floors.
+struct Stairs {
+  Rect region;        // footprint on both floors
+  int lower_floor{0};
+  int upper_floor{1};
+};
+
+class FloorPlan {
+ public:
+  FloorPlan() = default;
+
+  void add_room(Room r) { rooms_.push_back(std::move(r)); }
+  void add_wall(Wall w) { walls_.push_back(std::move(w)); }
+  void set_stairs(Stairs s) { stairs_ = std::move(s); }
+  void set_floor_height(double h) { floor_height_ = h; }
+
+  [[nodiscard]] const std::vector<Room>& rooms() const { return rooms_; }
+  [[nodiscard]] const std::vector<Wall>& walls() const { return walls_; }
+  [[nodiscard]] const std::optional<Stairs>& stairs() const { return stairs_; }
+  [[nodiscard]] double floor_height() const { return floor_height_; }
+
+  /// Floor index for a height z (floor 0 is [0, floor_height)).
+  [[nodiscard]] int floor_of(double z) const {
+    return static_cast<int>(z / floor_height_);
+  }
+
+  /// z coordinate of a person's device on \p floor (1.1 m above the slab —
+  /// hand/pocket height).
+  [[nodiscard]] double device_height(int floor) const {
+    return floor * floor_height_ + 1.1;
+  }
+
+  /// Room containing the 2-D point on \p floor, or nullptr.
+  [[nodiscard]] const Room* room_at(Vec2 p, int floor) const;
+  [[nodiscard]] const Room* room_by_name(const std::string& name) const;
+
+  /// Number of walls the straight 2-D path a→b crosses, counting only walls
+  /// on \p floor.
+  [[nodiscard]] int walls_crossed(Vec2 a, Vec2 b, int floor) const;
+
+  /// Total wall attenuation (dB) along the straight path: every wall on
+  /// either endpoint's floor that the 2-D projection crosses counts at full
+  /// weight (a cross-floor path passes the lower room's walls *and* the upper
+  /// room's walls in addition to the slab).
+  [[nodiscard]] double wall_attenuation(Vec3 a, Vec3 b) const;
+
+  /// True if the direct path is line-of-sight (same floor, zero walls).
+  [[nodiscard]] bool line_of_sight(Vec3 a, Vec3 b) const;
+
+ private:
+  std::vector<Room> rooms_;
+  std::vector<Wall> walls_;
+  std::optional<Stairs> stairs_;
+  double floor_height_{2.8};
+};
+
+}  // namespace vg::radio

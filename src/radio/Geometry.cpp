@@ -1,0 +1,39 @@
+#include "radio/Geometry.h"
+
+#include <cstdio>
+
+namespace vg::radio {
+
+std::string Vec3::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "(%.2f, %.2f, %.2f)", x, y, z);
+  return buf;
+}
+
+namespace {
+int orient(Vec2 a, Vec2 b, Vec2 c) {
+  const double v = cross(b - a, c - a);
+  if (v > 1e-12) return 1;
+  if (v < -1e-12) return -1;
+  return 0;
+}
+bool on_segment(Vec2 a, Vec2 b, Vec2 p) {
+  return p.x >= std::fmin(a.x, b.x) - 1e-12 && p.x <= std::fmax(a.x, b.x) + 1e-12 &&
+         p.y >= std::fmin(a.y, b.y) - 1e-12 && p.y <= std::fmax(a.y, b.y) + 1e-12;
+}
+}  // namespace
+
+bool segments_intersect(const Segment& s, const Segment& t) {
+  const int o1 = orient(s.a, s.b, t.a);
+  const int o2 = orient(s.a, s.b, t.b);
+  const int o3 = orient(t.a, t.b, s.a);
+  const int o4 = orient(t.a, t.b, s.b);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(s.a, s.b, t.a)) return true;
+  if (o2 == 0 && on_segment(s.a, s.b, t.b)) return true;
+  if (o3 == 0 && on_segment(t.a, t.b, s.a)) return true;
+  if (o4 == 0 && on_segment(t.a, t.b, s.b)) return true;
+  return false;
+}
+
+}  // namespace vg::radio

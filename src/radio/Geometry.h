@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cmath>
+#include <string>
+
+/// \file Geometry.h
+/// Plane/space geometry for the indoor radio model. Coordinates are meters;
+/// x/y span a floor, z is height (floors are z-slabs).
+
+namespace vg::radio {
+
+struct Vec2 {
+  double x{0};
+  double y{0};
+
+  friend Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend Vec2 operator*(Vec2 a, double k) { return {a.x * k, a.y * k}; }
+};
+
+inline double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+inline double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+inline double norm(Vec2 a) { return std::sqrt(dot(a, a)); }
+
+struct Vec3 {
+  double x{0};
+  double y{0};
+  double z{0};
+
+  [[nodiscard]] Vec2 xy() const { return {x, y}; }
+  friend Vec3 operator-(Vec3 a, Vec3 b) { return {a.x - b.x, a.y - b.y, a.z - b.z}; }
+  friend Vec3 operator+(Vec3 a, Vec3 b) { return {a.x + b.x, a.y + b.y, a.z + b.z}; }
+  friend Vec3 operator*(Vec3 a, double k) { return {a.x * k, a.y * k, a.z * k}; }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+inline double distance(Vec3 a, Vec3 b) {
+  const Vec3 d = a - b;
+  return std::sqrt(d.x * d.x + d.y * d.y + d.z * d.z);
+}
+
+inline double distance2d(Vec2 a, Vec2 b) { return norm(a - b); }
+
+/// A closed 2-D segment.
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+};
+
+/// True if segments \p s and \p t properly intersect or touch.
+bool segments_intersect(const Segment& s, const Segment& t);
+
+/// Linear interpolation between points.
+inline Vec3 lerp(Vec3 a, Vec3 b, double t) { return a + (b - a) * t; }
+
+/// An axis-aligned 2-D rectangle (used for rooms and zones).
+struct Rect {
+  double x0{0}, y0{0}, x1{0}, y1{0};
+
+  [[nodiscard]] bool contains(Vec2 p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  [[nodiscard]] Vec2 center() const { return {(x0 + x1) / 2, (y0 + y1) / 2}; }
+  [[nodiscard]] double width() const { return x1 - x0; }
+  [[nodiscard]] double height() const { return y1 - y0; }
+};
+
+}  // namespace vg::radio

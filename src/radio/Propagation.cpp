@@ -1,0 +1,31 @@
+#include "radio/Propagation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vg::radio {
+
+double mean_rssi(const FloorPlan& plan, const PathLossParams& p, Vec3 tx, Vec3 rx) {
+  const double d = std::max(distance(tx, rx), p.min_distance_m);
+  double rssi = p.ref_rssi_db - 10.0 * p.exponent * std::log10(d);
+  rssi -= plan.wall_attenuation(tx, rx);
+  rssi -= p.floor_attenuation_db_per_m * std::abs(tx.z - rx.z);
+  return rssi;
+}
+
+double sample_rssi(const FloorPlan& plan, const PathLossParams& p, Vec3 tx,
+                   Vec3 rx, sim::Rng& rng) {
+  double rssi = mean_rssi(plan, p, tx, rx);
+  rssi += rng.normal(0.0, p.shadowing_sigma_db);
+  rssi += rng.uniform(-p.orientation_spread_db, p.orientation_spread_db);
+  return rssi;
+}
+
+double averaged_rssi(const FloorPlan& plan, const PathLossParams& p, Vec3 tx,
+                     Vec3 rx, sim::Rng& rng, int n) {
+  double acc = 0.0;
+  for (int i = 0; i < n; ++i) acc += sample_rssi(plan, p, tx, rx, rng);
+  return acc / n;
+}
+
+}  // namespace vg::radio

@@ -1,0 +1,48 @@
+#include "simcore/EventQueue.h"
+
+#include <stdexcept>
+
+namespace vg::sim {
+
+EventId EventQueue::schedule(TimePoint when, Callback cb) {
+  EventId id{next_id_++};
+  heap_.push(Entry{when, next_seq_++, id, std::move(cb)});
+  live_.insert(id.value);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Only a still-pending event can be cancelled; cancelling a fired or
+  // already-cancelled one is a no-op.
+  if (live_.erase(id.value) > 0) {
+    cancelled_.insert(id.value);
+  }
+}
+
+void EventQueue::skip_cancelled() const {
+  auto* self = const_cast<EventQueue*>(this);
+  while (!self->heap_.empty()) {
+    auto it = self->cancelled_.find(self->heap_.top().id.value);
+    if (it == self->cancelled_.end()) return;
+    self->cancelled_.erase(it);
+    self->heap_.pop();
+  }
+}
+
+TimePoint EventQueue::next_time() const {
+  skip_cancelled();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::next_time on empty queue"};
+  return heap_.top().when;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  skip_cancelled();
+  if (heap_.empty()) throw std::logic_error{"EventQueue::pop on empty queue"};
+  const Entry& top = heap_.top();
+  Fired f{top.when, std::move(top.cb)};
+  live_.erase(top.id.value);
+  heap_.pop();
+  return f;
+}
+
+}  // namespace vg::sim

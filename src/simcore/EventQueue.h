@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simcore/Time.h"
+
+/// \file EventQueue.h
+/// The pending-event set of the discrete-event simulator.
+///
+/// Events at equal timestamps fire in insertion order (FIFO tie-break), which
+/// keeps causally ordered same-tick interactions — e.g. "packet arrives" then
+/// "proxy inspects packet" — deterministic.
+
+namespace vg::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value{0};
+  friend constexpr bool operator==(EventId, EventId) = default;
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules \p cb to run at \p when. Returns a handle usable with cancel().
+  EventId schedule(TimePoint when, Callback cb);
+
+  /// Cancels a pending event. Cancelling an already-fired or already-cancelled
+  /// event is a no-op (the common pattern for one-of-many timers).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  [[nodiscard]] TimePoint next_time() const;
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  struct Fired {
+    TimePoint when;
+    Callback cb;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimePoint when;
+    std::uint64_t seq;  // insertion order; breaks timestamp ties FIFO
+    EventId id;
+    // Callback stored out of the heap comparisons via shared ownership would
+    // be overkill; we keep it in the entry and move it out on pop.
+    mutable Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet fired/cancelled
+  std::unordered_set<std::uint64_t> cancelled_;  // cancelled, entry still in heap_
+  std::uint64_t next_seq_{0};
+  std::uint64_t next_id_{1};
+};
+
+}  // namespace vg::sim

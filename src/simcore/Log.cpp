@@ -1,0 +1,45 @@
+#include "simcore/Log.h"
+
+#include <cstdio>
+
+namespace vg::sim {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+void Logger::add_sink(LogLevel min_level, Sink sink) {
+  sinks_.push_back(Attached{min_level, std::move(sink)});
+}
+
+void Logger::clear_sinks() { sinks_.clear(); }
+
+void Logger::log(TimePoint now, LogLevel level, std::string_view component,
+                 std::string message) const {
+  if (sinks_.empty()) return;
+  LogRecord rec{now, level, std::string{component}, std::move(message)};
+  for (const auto& s : sinks_) {
+    if (level >= s.min_level) s.sink(rec);
+  }
+}
+
+Logger::Sink stdout_sink() {
+  return [](const LogRecord& r) {
+    std::printf("[%s] %-5s %s: %s\n", format_time(r.time).c_str(),
+                std::string{to_string(r.level)}.c_str(), r.component.c_str(),
+                r.message.c_str());
+  };
+}
+
+Logger::Sink capture_sink(std::vector<LogRecord>& out) {
+  return [&out](const LogRecord& r) { out.push_back(r); };
+}
+
+}  // namespace vg::sim

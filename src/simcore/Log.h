@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "simcore/Time.h"
+
+/// \file Log.h
+/// Lightweight structured trace log for the simulator.
+///
+/// Components emit (time, component, message) records. Tests attach a
+/// capturing sink to assert on behaviour; benches attach a stdout sink with a
+/// minimum level when narrating a figure.
+
+namespace vg::sim {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError };
+
+std::string_view to_string(LogLevel level);
+
+struct LogRecord {
+  TimePoint time;
+  LogLevel level{LogLevel::kInfo};
+  std::string component;
+  std::string message;
+};
+
+/// Fan-out log: records go to every attached sink at or above its level.
+class Logger {
+ public:
+  using Sink = std::function<void(const LogRecord&)>;
+
+  /// Attaches a sink receiving records with level >= \p min_level.
+  void add_sink(LogLevel min_level, Sink sink);
+
+  /// Removes all sinks (used between test cases sharing a Simulation).
+  void clear_sinks();
+
+  void log(TimePoint now, LogLevel level, std::string_view component,
+           std::string message) const;
+
+  [[nodiscard]] bool empty() const { return sinks_.empty(); }
+
+ private:
+  struct Attached {
+    LogLevel min_level;
+    Sink sink;
+  };
+  std::vector<Attached> sinks_;
+};
+
+/// A sink printing "[h:mm:ss.mmm] LEVEL component: message" to stdout.
+Logger::Sink stdout_sink();
+
+/// A sink appending records to \p out (caller owns the vector's lifetime).
+Logger::Sink capture_sink(std::vector<LogRecord>& out);
+
+}  // namespace vg::sim

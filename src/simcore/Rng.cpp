@@ -1,0 +1,49 @@
+#include "simcore/Rng.h"
+
+#include <stdexcept>
+
+namespace vg::sim {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument{"weighted_index: negative weight"};
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument{"weighted_index: all weights zero"};
+  double x = uniform(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: x landed exactly on total
+}
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t RngRegistry::hash_name(std::uint64_t seed, std::string_view name) {
+  std::uint64_t h = 14695981039346656037ULL ^ seed;
+  for (char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  return splitmix64(h);
+}
+
+Rng& RngRegistry::stream(std::string_view name) {
+  auto it = streams_.find(std::string{name});
+  if (it != streams_.end()) return it->second;
+  auto [ins, _] = streams_.emplace(std::string{name}, Rng{hash_name(root_seed_, name)});
+  return ins->second;
+}
+
+}  // namespace vg::sim

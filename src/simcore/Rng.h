@@ -1,0 +1,103 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+/// \file Rng.h
+/// Deterministic, named random-number streams.
+///
+/// Every stochastic component of the simulation draws from a stream obtained
+/// by name from the RngRegistry. Streams are seeded from (root seed, name), so
+/// adding a new component never perturbs the draws of existing ones — a
+/// property the experiment benches rely on for reproducible tables.
+
+namespace vg::sim {
+
+/// A single deterministic random stream (mt19937_64 behind a convenience API).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() { return std::uniform_real_distribution<double>{0.0, 1.0}(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>{lo, hi}(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>{lo, hi}(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>{mean, stddev}(engine_);
+  }
+
+  /// Lognormal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>{mu, sigma}(engine_);
+  }
+
+  /// Exponential with the given mean (not rate).
+  double exponential_mean(double mean) {
+    return std::exponential_distribution<double>{1.0 / mean}(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Picks a uniformly random index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    return v[index(v.size())];
+  }
+
+  /// Picks an index according to non-negative weights (at least one positive).
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Hands out named Rng streams derived from a single root seed.
+class RngRegistry {
+ public:
+  explicit RngRegistry(std::uint64_t root_seed) : root_seed_(root_seed) {}
+
+  /// Returns the stream for \p name, creating it on first use. The stream's
+  /// seed depends only on (root seed, name).
+  Rng& stream(std::string_view name);
+
+  [[nodiscard]] std::uint64_t root_seed() const { return root_seed_; }
+
+  /// Stable 64-bit hash used for stream seeding (FNV-1a + splitmix64 finish).
+  static std::uint64_t hash_name(std::uint64_t seed, std::string_view name);
+
+ private:
+  std::uint64_t root_seed_;
+  std::unordered_map<std::string, Rng> streams_;
+};
+
+}  // namespace vg::sim

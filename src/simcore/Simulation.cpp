@@ -1,0 +1,51 @@
+#include "simcore/Simulation.h"
+
+#include <stdexcept>
+
+namespace vg::sim {
+
+EventId Simulation::at(TimePoint when, EventQueue::Callback cb) {
+  if (when < now_) {
+    throw std::logic_error{"Simulation::at: scheduling into the past"};
+  }
+  return queue_.schedule(when, std::move(cb));
+}
+
+void Simulation::fire_next() {
+  auto fired = queue_.pop();
+  now_ = fired.when;
+  ++executed_;
+  fired.cb();
+}
+
+std::size_t Simulation::run_until(TimePoint until) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    fire_next();
+    ++n;
+  }
+  // Advance the clock to the horizon even if nothing fires there, so that
+  // repeated run_until calls observe monotone time.
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::size_t Simulation::run_all() {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    fire_next();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Simulation::step(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && !queue_.empty()) {
+    fire_next();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace vg::sim

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "simcore/EventQueue.h"
+#include "simcore/Log.h"
+#include "simcore/Rng.h"
+#include "simcore/Time.h"
+
+/// \file Simulation.h
+/// The discrete-event simulation kernel.
+///
+/// A Simulation owns the clock, the pending-event set, the named RNG streams
+/// and the trace logger. All substrates (network, radio, people, devices) are
+/// built around a reference to one Simulation and advance exclusively through
+/// its event loop.
+
+namespace vg::sim {
+
+class Simulation {
+ public:
+  /// \param seed root seed for all named RNG streams.
+  explicit Simulation(std::uint64_t seed = 1) : rngs_(seed) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedules \p cb to run \p delay after the current time.
+  EventId after(Duration delay, EventQueue::Callback cb) {
+    return at(now_ + delay, std::move(cb));
+  }
+
+  /// Schedules \p cb at an absolute time (must not be in the past).
+  EventId at(TimePoint when, EventQueue::Callback cb);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Runs events until the queue drains or the clock passes \p until.
+  /// Events scheduled exactly at \p until still run. Returns the number of
+  /// events executed.
+  std::size_t run_until(TimePoint until);
+
+  /// Runs events until the queue drains completely.
+  std::size_t run_all();
+
+  /// Executes a bounded number of events (debugging aid). Returns how many ran.
+  std::size_t step(std::size_t max_events = 1);
+
+  Rng& rng(std::string_view stream) { return rngs_.stream(stream); }
+  RngRegistry& rngs() { return rngs_; }
+
+  Logger& logger() { return logger_; }
+  void log(LogLevel level, std::string_view component, std::string message) const {
+    logger_.log(now_, level, component, std::move(message));
+  }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  void fire_next();
+
+  TimePoint now_{};
+  EventQueue queue_;
+  RngRegistry rngs_;
+  Logger logger_;
+  std::uint64_t executed_{0};
+};
+
+}  // namespace vg::sim

@@ -1,0 +1,40 @@
+#include "simcore/Time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace vg::sim {
+
+std::string format_time(TimePoint t) {
+  std::int64_t ns = t.ns();
+  const char* sign = "";
+  if (ns < 0) {
+    sign = "-";
+    ns = -ns;
+  }
+  const std::int64_t total_ms = ns / 1'000'000;
+  const std::int64_t ms = total_ms % 1'000;
+  const std::int64_t total_s = total_ms / 1'000;
+  const std::int64_t s = total_s % 60;
+  const std::int64_t m = (total_s / 60) % 60;
+  const std::int64_t h = total_s / 3'600;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s%" PRId64 ":%02" PRId64 ":%02" PRId64 ".%03" PRId64,
+                sign, h, m, s, ms);
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  const double s = d.seconds();
+  char buf[64];
+  if (s >= 1.0 || s <= -1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", s);
+  } else if (d.ns() >= 1'000'000 || d.ns() <= -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", d.millis());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 " ns", d.ns());
+  }
+  return buf;
+}
+
+}  // namespace vg::sim

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+/// \file Time.h
+/// Simulated time primitives.
+///
+/// All simulation time is kept as integer nanoseconds since simulation start.
+/// No component may consult the wall clock: determinism across runs (and
+/// therefore reproducible tables/figures) depends on it.
+
+namespace vg::sim {
+
+/// A span of simulated time, in nanoseconds. Signed so that differences and
+/// backward offsets are representable; the simulation itself never schedules
+/// into the past.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(ns_) / 1e3; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) / 1e6; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  constexpr Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration{a.ns_ + b.ns_}; }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration{a.ns_ * k}; }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration{a.ns_ / k}; }
+  friend constexpr auto operator<=>(Duration a, Duration b) = default;
+
+  /// Scales by a real factor, rounding toward zero. Used by jitter models.
+  [[nodiscard]] constexpr Duration scaled(double f) const {
+    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * f)};
+  }
+
+ private:
+  std::int64_t ns_{0};
+};
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration{n}; }
+constexpr Duration microseconds(std::int64_t n) { return Duration{n * 1'000}; }
+constexpr Duration milliseconds(std::int64_t n) { return Duration{n * 1'000'000}; }
+constexpr Duration seconds(std::int64_t n) { return Duration{n * 1'000'000'000}; }
+constexpr Duration minutes(std::int64_t n) { return seconds(n * 60); }
+constexpr Duration hours(std::int64_t n) { return minutes(n * 60); }
+constexpr Duration days(std::int64_t n) { return hours(n * 24); }
+
+/// Builds a Duration from a floating-point second count (rounds to ns).
+constexpr Duration from_seconds(double s) {
+  return Duration{static_cast<std::int64_t>(s * 1e9)};
+}
+
+/// An instant in simulated time. Epoch is the start of the simulation.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint{t.ns_ + d.ns()}; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint{t.ns_ - d.ns()}; }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration{a.ns_ - b.ns_}; }
+  friend constexpr auto operator<=>(TimePoint a, TimePoint b) = default;
+
+ private:
+  std::int64_t ns_{0};
+};
+
+/// Formats a time point as "h:mm:ss.mmm" for trace output.
+std::string format_time(TimePoint t);
+
+/// Formats a duration as a human-readable string ("1.622 s", "40 ms", ...).
+std::string format_duration(Duration d);
+
+}  // namespace vg::sim

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "simcore/Time.h"
+
+/// \file Command.h
+/// A voice command as the speaker hears it: the acoustic event. Whether it
+/// came from the owner or an attacker is ground truth the *experiment* knows;
+/// the speaker (and VoiceGuard) must not.
+
+namespace vg::speaker {
+
+struct CommandSpec {
+  std::uint64_t id{0};
+  std::string text;
+  int words{4};
+
+  /// Human speech pace from the paper's §V-A2 analysis: 2 words per second.
+  static constexpr double kWordsPerSecond = 2.0;
+  /// Wake-word overhead ("Alexa," / "OK Google,") before the command proper.
+  static constexpr double kWakeWordSeconds = 0.6;
+
+  [[nodiscard]] sim::Duration speech_duration() const {
+    return sim::from_seconds(kWakeWordSeconds + words / kWordsPerSecond);
+  }
+
+  [[nodiscard]] std::string end_tag() const {
+    return "voice-cmd-end:" + std::to_string(id);
+  }
+};
+
+/// What happened to one speaker interaction, from the speaker's own view.
+struct InteractionResult {
+  std::uint64_t cmd_id{0};
+  sim::TimePoint wake_time;       // wake word recognized, speaker activated
+  sim::TimePoint command_end;     // user finished speaking / upload finished
+  sim::TimePoint response_start;  // first response audio arrived
+  sim::TimePoint done;            // playback finished
+  bool response_received{false};
+  bool connection_error{false};  // session died before the response (blocked)
+  bool timed_out{false};         // no response within the client timeout
+};
+
+}  // namespace vg::speaker

@@ -1,0 +1,296 @@
+#include "speaker/EchoDot.h"
+
+#include <algorithm>
+
+namespace vg::speaker {
+
+namespace {
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+}  // namespace
+
+EchoDotModel::EchoDotModel(net::Host& host, net::Endpoint dns_server,
+                           std::function<net::IpAddress()> avs_ip_oracle,
+                           Options opts)
+    : host_(host),
+      dns_(host, dns_server),
+      avs_ip_oracle_(std::move(avs_ip_oracle)),
+      opts_(std::move(opts)) {}
+
+void EchoDotModel::power_on() {
+  if (powered_) return;
+  powered_ = true;
+  resolve_and_connect(/*allow_dnsless=*/false);
+  schedule_heartbeat();
+  if (opts_.misc_connection_mean.ns() > 0) schedule_misc_connection();
+}
+
+void EchoDotModel::resolve_and_connect(bool allow_dnsless) {
+  auto& rng = host_.sim().rng("speaker.echo");
+  if (allow_dnsless && !rng.chance(opts_.dns_on_reconnect_prob)) {
+    // Reconnect without an observable DNS query (§IV-B: "sometimes we fail
+    // to acquire the new IP address of the AVS server by tracking DNS").
+    ++dnsless_reconnects_;
+    connect_to(avs_ip_oracle_());
+    return;
+  }
+  dns_.resolve(opts_.avs_domain, [this](const std::vector<net::IpAddress>& ips) {
+    if (ips.empty()) {
+      host_.sim().after(sim::seconds(5), [this] { resolve_and_connect(false); });
+      return;
+    }
+    connect_to(ips.front());
+  });
+}
+
+void EchoDotModel::connect_to(net::IpAddress ip) {
+  avs_ip_ = ip;
+  tls_seq_ = 0;
+  ++conn_gen_;
+  const std::uint64_t gen = conn_gen_;
+  net::TcpCallbacks cbs;
+  cbs.on_established = [this, gen] { on_connected(gen); };
+  cbs.on_record = [this](const net::TlsRecord& r) { on_server_record(r); };
+  cbs.on_closed = [this, gen](net::TcpCloseReason reason) {
+    if (gen == conn_gen_) on_connection_closed(reason);
+  };
+  net::TcpOptions topts;
+  topts.keepalive_enabled = true;
+  topts.keepalive_idle = sim::seconds(50);
+  conn_ = &host_.tcp().connect(net::Endpoint{ip, opts_.avs_port},
+                               std::move(cbs), topts);
+}
+
+void EchoDotModel::send_record(std::uint64_t gen, std::uint32_t len,
+                               std::string tag, net::TlsContentType type) {
+  if (gen != conn_gen_ || conn_ == nullptr) return;
+  net::TlsRecord r;
+  r.type = type;
+  r.length = len;
+  r.tls_seq = tls_seq_++;
+  r.tag = std::move(tag);
+  conn_->send_record(std::move(r));
+}
+
+void EchoDotModel::on_connected(std::uint64_t gen) {
+  if (gen != conn_gen_) return;
+  // Emit the fixed establishment signature, spread over ~160 ms, exactly the
+  // per-packet lengths of §IV-B (configurable for firmware-update scenarios).
+  sim::Duration t{0};
+  for (std::size_t i = 0; i < opts_.establishment_signature.size(); ++i) {
+    const std::uint32_t len = opts_.establishment_signature[i];
+    const auto type = (i < 3) ? net::TlsContentType::kHandshake
+                              : net::TlsContentType::kApplicationData;
+    host_.sim().after(t, [this, gen, len, type] {
+      send_record(gen, len, "establishment", type);
+    });
+    t += sim::milliseconds(10);
+  }
+}
+
+void EchoDotModel::on_connection_closed(net::TcpCloseReason reason) {
+  conn_ = nullptr;
+  ++conn_gen_;  // invalidate all scheduled sends of the dead connection
+  host_.sim().log(sim::LogLevel::kDebug, "echo-dot",
+                  "AVS session closed (" + net::to_string(reason) + ")");
+  if (pending_) {
+    // Session died mid-interaction: the Echo plays its error chime. This is
+    // what a *blocked* command looks like from the speaker.
+    finish_interaction(/*response_received=*/false, /*connection_error=*/true,
+                       /*timed_out=*/false);
+  }
+  if (!powered_) return;
+  ++reconnects_;
+  auto& rng = host_.sim().rng("speaker.echo");
+  const sim::Duration wait{rng.uniform_int(opts_.reconnect_delay_min.ns(),
+                                           opts_.reconnect_delay_max.ns())};
+  host_.sim().after(wait, [this] { resolve_and_connect(/*allow_dnsless=*/true); });
+}
+
+void EchoDotModel::schedule_heartbeat() {
+  heartbeat_timer_ = host_.sim().after(opts_.heartbeat_interval, [this] {
+    if (connected() && !pending_) {
+      send_record(conn_gen_, opts_.heartbeat_len, "heartbeat");
+    }
+    schedule_heartbeat();
+  });
+}
+
+void EchoDotModel::schedule_misc_connection() {
+  auto& rng = host_.sim().rng("speaker.echo.misc");
+  const sim::Duration wait =
+      sim::from_seconds(rng.exponential_mean(opts_.misc_connection_mean.seconds()));
+  host_.sim().after(wait, [this] {
+    auto& r = host_.sim().rng("speaker.echo.misc");
+    const int idx = static_cast<int>(r.uniform_int(0, 5));
+    dns_.resolve("misc-" + std::to_string(idx) + ".amazon.com",
+                 [this, idx](const std::vector<net::IpAddress>& ips) {
+                   if (!ips.empty()) {
+                     // Short-lived side connection with its own establishment
+                     // signature; exists to exercise signature discrimination.
+                     net::TcpConnection& c = host_.tcp().connect(
+                         net::Endpoint{ips.front(), 443}, net::TcpCallbacks{});
+                     std::uint64_t seq = 0;
+                     for (std::uint32_t len : other_server_signature(idx)) {
+                       net::TlsRecord rec;
+                       rec.length = len;
+                       rec.tls_seq = seq++;
+                       rec.tag = "misc-establishment";
+                       c.send_record(std::move(rec));
+                     }
+                     host_.sim().after(sim::seconds(2), [&c] {
+                       if (c.state() != net::TcpState::kClosed) c.close();
+                     });
+                   }
+                 });
+    schedule_misc_connection();
+  });
+}
+
+void EchoDotModel::hear_command(const CommandSpec& cmd) {
+  if (pending_) return;  // already mid-interaction; real Echos ignore overlap
+  const sim::TimePoint wake =
+      host_.sim().now() + sim::from_seconds(CommandSpec::kWakeWordSeconds);
+  host_.sim().at(wake, [this, cmd, wake] {
+    if (pending_) return;
+    if (!connected()) {
+      InteractionResult res;
+      res.cmd_id = cmd.id;
+      res.wake_time = wake;
+      res.connection_error = true;
+      interactions_.push_back(res);
+      if (on_interaction_done) on_interaction_done(res);
+      return;
+    }
+    start_phase1(cmd, wake);
+  });
+}
+
+void EchoDotModel::start_phase1(const CommandSpec& cmd, sim::TimePoint wake_time) {
+  auto& rng = host_.sim().rng("speaker.echo.traffic");
+  pending_ = PendingInteraction{};
+  pending_->cmd = cmd;
+  pending_->wake_time = wake_time;
+  ++interaction_gen_;
+  const std::uint64_t gen = conn_gen_;
+
+  // Spike (1): activation burst — the prefix whose lengths carry the phase-1
+  // pattern, at ~15 ms spacing.
+  const auto prefix = gen_phase1_prefix(rng, opts_.phase1);
+  sim::Duration t{0};
+  for (std::size_t i = 0; i < prefix.size(); ++i) {
+    const std::uint32_t len = prefix[i];
+    const std::string tag =
+        (i == 0) ? "activation:" + std::to_string(cmd.id) : "activation-data";
+    host_.sim().after(t, [this, gen, len, tag] { send_record(gen, len, tag); });
+    t += sim::milliseconds(15);
+  }
+
+  // Small packets until the user stops speaking (intervals < 1 s, so no
+  // "no-traffic period" splits phase 1 into separate spikes).
+  const sim::Duration speech_left =
+      cmd.speech_duration() - sim::from_seconds(CommandSpec::kWakeWordSeconds);
+  sim::Duration cursor = t + sim::milliseconds(120);
+  while (cursor < speech_left) {
+    const auto len = static_cast<std::uint32_t>(rng.uniform_int(96, 260));
+    host_.sim().after(cursor,
+                      [this, gen, len] { send_record(gen, len, "stream-meta"); });
+    cursor += sim::milliseconds(rng.uniform_int(300, 750));
+  }
+
+  // Spike (2): the command audio itself, finishing right after speech ends.
+  const int audio_records = std::clamp(
+      static_cast<int>(cmd.speech_duration().seconds() * 4.0), 6, 40);
+  sim::Duration audio_t = speech_left;
+  for (int i = 0; i < audio_records; ++i) {
+    const bool last = (i == audio_records - 1);
+    const auto len = static_cast<std::uint32_t>(rng.uniform_int(1180, 1420));
+    const std::string tag = last ? cmd.end_tag() : "voice-audio";
+    host_.sim().after(audio_t,
+                      [this, gen, len, tag] { send_record(gen, len, tag); });
+    audio_t += sim::milliseconds(8);
+  }
+
+  const sim::TimePoint command_end = host_.sim().now() + audio_t;
+  pending_->command_end = command_end;
+
+  // Client-side patience for the response.
+  pending_->timeout_timer =
+      host_.sim().at(command_end + opts_.response_timeout, [this] {
+        if (pending_ && !pending_->response_start) {
+          finish_interaction(false, false, /*timed_out=*/true);
+        }
+      });
+}
+
+void EchoDotModel::on_server_record(const net::TlsRecord& r) {
+  if (starts_with(r.tag, "alert:")) return;  // connection death follows
+  if (r.tag == "heartbeat-ack") return;
+  if (!pending_) return;
+
+  if (starts_with(r.tag, "response-seg-end:")) {
+    // "response-seg-end:<k>/<n>"
+    const auto slash = r.tag.find('/');
+    const int total = std::stoi(r.tag.substr(slash + 1));
+    if (!pending_->response_start) {
+      pending_->response_start = host_.sim().now();
+      pending_->segments_expected = total;
+      host_.sim().cancel(pending_->timeout_timer);
+      // Begin playing segment 1.
+      auto& rng = host_.sim().rng("speaker.echo.playback");
+      const sim::Duration playback{rng.uniform_int(
+          opts_.segment_playback_min.ns(), opts_.segment_playback_max.ns())};
+      const std::uint64_t igen = interaction_gen_;
+      host_.sim().after(playback, [this, igen] { segment_done(igen); });
+    }
+  }
+}
+
+void EchoDotModel::segment_done(std::uint64_t interaction_gen) {
+  if (!pending_ || interaction_gen != interaction_gen_) return;
+  ++pending_->segments_played;
+  emit_phase2_spike();
+  if (pending_->segments_played >= pending_->segments_expected) {
+    finish_interaction(/*response_received=*/true, false, false);
+    return;
+  }
+  auto& rng = host_.sim().rng("speaker.echo.playback");
+  const sim::Duration playback{rng.uniform_int(opts_.segment_playback_min.ns(),
+                                               opts_.segment_playback_max.ns())};
+  host_.sim().after(playback,
+                    [this, interaction_gen] { segment_done(interaction_gen); });
+}
+
+void EchoDotModel::emit_phase2_spike() {
+  auto& rng = host_.sim().rng("speaker.echo.traffic");
+  const auto prefix = gen_phase2_prefix(rng);
+  const std::uint64_t gen = conn_gen_;
+  sim::Duration t{0};
+  for (std::uint32_t len : prefix) {
+    host_.sim().after(
+        t, [this, gen, len] { send_record(gen, len, "playback-telemetry"); });
+    t += sim::milliseconds(15);
+  }
+}
+
+void EchoDotModel::finish_interaction(bool response_received,
+                                      bool connection_error, bool timed_out) {
+  if (!pending_) return;
+  InteractionResult res;
+  res.cmd_id = pending_->cmd.id;
+  res.wake_time = pending_->wake_time;
+  res.command_end = pending_->command_end;
+  res.response_received = response_received;
+  res.connection_error = connection_error;
+  res.timed_out = timed_out;
+  if (pending_->response_start) res.response_start = *pending_->response_start;
+  res.done = host_.sim().now();
+  host_.sim().cancel(pending_->timeout_timer);
+  pending_.reset();
+  ++interaction_gen_;
+  interactions_.push_back(res);
+  if (on_interaction_done) on_interaction_done(res);
+}
+
+}  // namespace vg::speaker

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netsim/Dns.h"
+#include "netsim/Host.h"
+#include "speaker/Command.h"
+#include "speaker/TrafficPatterns.h"
+
+/// \file EchoDot.h
+/// Traffic model of an Amazon Echo Dot.
+///
+/// Observable behaviour reproduced from §IV-B:
+///  - boots by resolving the AVS domain, connecting, and emitting the fixed
+///    16-packet establishment signature;
+///  - heartbeats: one 41-byte record every 30 s on the long-lived session;
+///  - reconnects when the server closes the session — sometimes *without* a
+///    visible DNS query (the case that forces signature-based IP tracking);
+///  - a command produces the two-phase interaction of Fig. 3: activation
+///    spike + small packets + audio spike (phase 1), then, per response
+///    segment spoken, one upstream telemetry spike (phase 2);
+///  - occasional short-lived connections to other Amazon servers.
+
+namespace vg::speaker {
+
+class EchoDotModel {
+ public:
+  struct Options {
+    std::string avs_domain = "avs-alexa-4-na.amazon.com";
+    net::Port avs_port{443};
+    sim::Duration heartbeat_interval = sim::seconds(30);
+    std::uint32_t heartbeat_len{41};
+    /// Client-side patience for the cloud's response. Per the phantom-delay
+    /// findings the paper leans on ([28], [34]), smart-speaker sessions
+    /// tolerate dozens of seconds of delay without alarm.
+    sim::Duration response_timeout = sim::seconds(40);
+    /// Probability a reconnect is preceded by an observable DNS query.
+    double dns_on_reconnect_prob = 0.55;
+    /// The packet-length sequence emitted right after connecting to the AVS
+    /// server. Defaults to the measured signature; tests override it to
+    /// emulate a firmware update changing the establishment shape (§VII).
+    std::vector<std::uint32_t> establishment_signature =
+        kAvsConnectionSignature;
+    sim::Duration reconnect_delay_min = sim::milliseconds(400);
+    sim::Duration reconnect_delay_max = sim::milliseconds(1600);
+    Phase1Options phase1;
+    /// Playback length of one response segment ("one NBA game schedule").
+    sim::Duration segment_playback_min = sim::seconds(2);
+    sim::Duration segment_playback_max = sim::seconds(6);
+    /// Mean interval between short-lived misc-Amazon connections; 0 disables.
+    sim::Duration misc_connection_mean = sim::minutes(25);
+  };
+
+  /// \param avs_ip_oracle how the speaker learns the current AVS IP when it
+  ///        reconnects without DNS (Amazon-internal discovery the prototype
+  ///        could not observe; see DESIGN.md substitutions).
+  EchoDotModel(net::Host& host, net::Endpoint dns_server,
+               std::function<net::IpAddress()> avs_ip_oracle)
+      : EchoDotModel(host, dns_server, std::move(avs_ip_oracle), Options{}) {}
+  EchoDotModel(net::Host& host, net::Endpoint dns_server,
+               std::function<net::IpAddress()> avs_ip_oracle, Options opts);
+
+  /// Boots the speaker: DNS, connect, signature, heartbeats.
+  void power_on();
+
+  /// The speaker hears (wake word + command). Streaming starts once the wake
+  /// word is recognized, ~0.6 s into the utterance.
+  void hear_command(const CommandSpec& cmd);
+
+  [[nodiscard]] bool connected() const { return conn_ != nullptr && conn_->established(); }
+  [[nodiscard]] net::IpAddress current_avs_ip() const { return avs_ip_; }
+  [[nodiscard]] const std::vector<InteractionResult>& interactions() const {
+    return interactions_;
+  }
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+  [[nodiscard]] std::uint64_t dnsless_reconnects() const { return dnsless_reconnects_; }
+
+  net::Host& host() { return host_; }
+
+  /// Fires when an interaction finishes (successfully or not).
+  std::function<void(const InteractionResult&)> on_interaction_done;
+
+ private:
+  struct PendingInteraction {
+    CommandSpec cmd;
+    sim::TimePoint wake_time;
+    sim::TimePoint command_end;
+    std::optional<sim::TimePoint> response_start;
+    int segments_expected{0};
+    int segments_played{0};
+    sim::EventId timeout_timer{};
+  };
+
+  void resolve_and_connect(bool allow_dnsless);
+  void connect_to(net::IpAddress ip);
+  void on_connected(std::uint64_t gen);
+  void on_connection_closed(net::TcpCloseReason reason);
+  /// Sends a record iff the connection generation still matches — scheduled
+  /// sends from a dead connection must not leak onto its successor (they
+  /// would corrupt the fresh TLS sequence space).
+  void send_record(std::uint64_t gen, std::uint32_t len, std::string tag,
+                   net::TlsContentType type = net::TlsContentType::kApplicationData);
+  void schedule_heartbeat();
+  void schedule_misc_connection();
+  void on_server_record(const net::TlsRecord& r);
+  void start_phase1(const CommandSpec& cmd, sim::TimePoint wake_time);
+  void emit_phase2_spike();
+  void segment_done(std::uint64_t interaction_gen);
+  void finish_interaction(bool response_received, bool connection_error,
+                          bool timed_out);
+
+  net::Host& host_;
+  net::DnsClient dns_;
+  std::function<net::IpAddress()> avs_ip_oracle_;
+  Options opts_;
+
+  net::TcpConnection* conn_{nullptr};
+  net::IpAddress avs_ip_{};
+  std::uint64_t tls_seq_{0};
+  std::uint64_t conn_gen_{0};
+  std::uint64_t interaction_gen_{0};
+  sim::EventId heartbeat_timer_{};
+  std::optional<PendingInteraction> pending_;
+  std::vector<InteractionResult> interactions_;
+  std::uint64_t reconnects_{0};
+  std::uint64_t dnsless_reconnects_{0};
+  bool powered_{false};
+};
+
+}  // namespace vg::speaker

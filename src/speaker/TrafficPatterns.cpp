@@ -1,0 +1,117 @@
+#include "speaker/TrafficPatterns.h"
+
+#include <algorithm>
+
+namespace vg::speaker {
+
+const std::vector<std::uint32_t> kAvsConnectionSignature = {
+    63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33};
+
+std::vector<std::uint32_t> other_server_signature(int idx) {
+  // Fixed per-server establishment shapes. Chosen to be plausibly TLS-like
+  // while differing from the AVS signature early (by the 3rd packet at the
+  // latest), as the paper observed for the six other Amazon servers.
+  static const std::vector<std::vector<std::uint32_t>> kSignatures = {
+      {63, 33, 517, 131, 93, 131, 212, 51},
+      {71, 33, 589, 147, 73, 99, 131, 73, 55},
+      {63, 41, 1460, 131, 73, 131, 90},
+      {95, 33, 620, 113, 113, 131, 131, 73, 73, 41},
+      {63, 33, 703, 131, 88, 131, 188, 73, 99},
+      {51, 45, 577, 131, 73, 77, 33, 131},
+  };
+  return kSignatures[static_cast<std::size_t>(idx) % kSignatures.size()];
+}
+
+namespace {
+
+/// A filler length that cannot collide with the discriminating lengths
+/// (138, 75 for phase 1; 77, 33 for phase 2) — the paper reports 100 %
+/// precision, i.e. the phases' frequent lengths do not cross-occur.
+std::uint32_t filler(sim::Rng& rng, std::uint32_t lo, std::uint32_t hi) {
+  for (;;) {
+    auto v = static_cast<std::uint32_t>(rng.uniform_int(lo, hi));
+    if (v != 138 && v != 75 && v != 77 && v != 33) return v;
+  }
+}
+
+std::uint32_t first_packet_length(sim::Rng& rng) {
+  // 250-650 bytes, most common value 277.
+  if (rng.chance(0.40)) return 277;
+  return filler(rng, 250, 650);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> gen_phase1_prefix(sim::Rng& rng,
+                                             const Phase1Options& opts) {
+  std::vector<std::uint32_t> lens;
+  const double x = rng.uniform();
+
+  if (x < opts.irregular_prob) {
+    // Irregular spike: matches neither the frequent-length rule nor any of
+    // the three fixed patterns. (Observed rarely in the real trace; these are
+    // the recognizer's false negatives.)
+    lens.push_back(filler(rng, 250, 650));
+    for (int i = 0; i < 5; ++i) lens.push_back(filler(rng, 90, 700));
+    return lens;
+  }
+
+  const double regular = (x - opts.irregular_prob) / (1.0 - opts.irregular_prob);
+  if (regular < 0.85) {
+    // Frequent-length form: p-138 or p-75 somewhere in the first 5 packets.
+    const std::uint32_t special =
+        rng.chance(0.62) ? 138u : 75u;  // p-138 a bit more common
+    const int n = 5 + static_cast<int>(rng.uniform_int(0, 3));
+    const auto pos = static_cast<std::size_t>(rng.uniform_int(0, 4));
+    for (int i = 0; i < n; ++i) {
+      if (static_cast<std::size_t>(i) == pos) {
+        lens.push_back(special);
+      } else if (i == 0) {
+        lens.push_back(first_packet_length(rng));
+      } else {
+        lens.push_back(filler(rng, 90, 700));
+      }
+    }
+    // A second occurrence shows up sometimes.
+    if (rng.chance(0.3)) lens.push_back(special);
+    return lens;
+  }
+
+  // One of the three fixed patterns.
+  const int which = static_cast<int>(rng.uniform_int(0, 2));
+  const std::uint32_t head = first_packet_length(rng);
+  switch (which) {
+    case 0: lens = {head, 131, 277, 131, 113}; break;
+    case 1: lens = {head, 131, 113, 113, 113}; break;
+    default: lens = {head, 131, 121, 277, 131}; break;
+  }
+  const int extra = static_cast<int>(rng.uniform_int(0, 2));
+  for (int i = 0; i < extra; ++i) lens.push_back(filler(rng, 90, 700));
+  return lens;
+}
+
+std::vector<std::uint32_t> gen_phase2_prefix(sim::Rng& rng) {
+  std::vector<std::uint32_t> lens;
+  // p-77 and p-33 appear sequentially; usually within the first 5 packets,
+  // sometimes as packets 6 and 7 — never later (§IV-B).
+  std::size_t pos;
+  if (rng.chance(0.88)) {
+    pos = static_cast<std::size_t>(rng.uniform_int(0, 3));  // pair within 1..5
+  } else {
+    pos = 5;  // pair is packets 6 and 7
+  }
+  const std::size_t n = std::max<std::size_t>(pos + 2,
+      static_cast<std::size_t>(5 + rng.uniform_int(0, 3)));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i == pos) {
+      lens.push_back(77);
+    } else if (i == pos + 1) {
+      lens.push_back(33);
+    } else {
+      lens.push_back(filler(rng, 100, 900));
+    }
+  }
+  return lens;
+}
+
+}  // namespace vg::speaker

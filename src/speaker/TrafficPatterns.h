@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/Rng.h"
+
+/// \file TrafficPatterns.h
+/// The measured packet-length statistics of §IV-B, as generators (speaker
+/// side) and as constants the recognizer (guard side) matches against.
+///
+/// First phase (command) spikes: a packet of length 138 (p-138) or 75 (p-75)
+/// appears within the first 5 packets most of the time; otherwise one of
+/// three fixed patterns occurs, each starting with a packet of 250-650 bytes
+/// (mode 277). Second phase (response) spikes: p-77 and p-33 appear
+/// *sequentially* within the first 7 packets.
+
+namespace vg::speaker {
+
+/// The 16-packet connection-establishment signature of the Echo Dot's AVS
+/// session, verbatim from the paper.
+extern const std::vector<std::uint32_t> kAvsConnectionSignature;
+
+/// Distinct establishment sequences for the six "other Amazon servers" the
+/// paper compared against. Deterministic per index; none is a prefix-match
+/// of the AVS signature.
+std::vector<std::uint32_t> other_server_signature(int idx);
+
+struct Phase1Options {
+  /// Probability the spike matches none of the documented patterns — the
+  /// source of Table I's two false negatives (2/134 ≈ 1.5 %).
+  double irregular_prob = 0.015;
+};
+
+/// Packet lengths of the first ~5-8 packets of a command (phase-1) spike.
+std::vector<std::uint32_t> gen_phase1_prefix(sim::Rng& rng,
+                                             const Phase1Options& opts = {});
+
+/// Packet lengths of the first ~7-9 packets of a response (phase-2) spike.
+std::vector<std::uint32_t> gen_phase2_prefix(sim::Rng& rng);
+
+}  // namespace vg::speaker

@@ -1,0 +1,182 @@
+#include "voiceguard/FloorTracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace vg::guard {
+
+std::string to_string(TraceClass c) {
+  switch (c) {
+    case TraceClass::kRoute1: return "route-1";
+    case TraceClass::kUp: return "up";
+    case TraceClass::kDown: return "down";
+    case TraceClass::kRoute2: return "route-2";
+    case TraceClass::kRoute3: return "route-3";
+  }
+  return "?";
+}
+
+FloorTracker::FloorTracker(sim::Simulation& sim, home::MobileDevice& device,
+                           const radio::BluetoothBeacon& speaker_beacon,
+                           int speaker_floor, Options opts)
+    : sim_(sim),
+      device_(device),
+      beacon_(speaker_beacon),
+      speaker_floor_(speaker_floor),
+      opts_(opts),
+      level_(speaker_floor) {}
+
+void FloorTracker::add_training_fit(TraceClass label, double slope,
+                                    double intercept) {
+  training_.emplace_back(label, analysis::LineFit{slope, intercept, 0.0});
+}
+
+void FloorTracker::finalize_training() {
+  double max_r1_slope = 0.0;
+  bool has_r1 = false;
+  bool has_updown = false;
+  for (const auto& [label, fit] : training_) {
+    if (label == TraceClass::kRoute1) {
+      has_r1 = true;
+      max_r1_slope = std::max(max_r1_slope, std::abs(fit.slope));
+    } else if (label == TraceClass::kUp || label == TraceClass::kDown) {
+      has_updown = true;
+    }
+  }
+  if (!has_r1 || !has_updown) {
+    throw std::logic_error{
+        "FloorTracker: training needs Route-1 and Up/Down traces"};
+  }
+  // The Route-1 slope band (the paper's ±1 on its scale) is kept for
+  // diagnostics and the untrained fallback; once trained, classification is
+  // pure nearest-neighbour over (start, end) — in some speaker placements a
+  // genuine stair walk has a *shallower* slope than in-room movement right
+  // next to the speaker, so a band cannot gate correctly in general.
+  slope_band_ = std::clamp(max_r1_slope * 1.25, 0.12, 0.9);
+
+  // Feature scaling for the (start, end) plane; see classify().
+  std::vector<double> starts, ends;
+  for (const auto& [label, fit] : training_) {
+    starts.push_back(fit.intercept);
+    ends.push_back(fit.slope * trace_span_s() + fit.intercept);
+  }
+  const auto ss = analysis::summarize(starts);
+  const auto es = analysis::summarize(ends);
+  start_scale_ = std::max(0.5, ss.stddev);
+  end_scale_ = std::max(0.5, es.stddev);
+  trained_ = true;
+}
+
+double FloorTracker::trace_span_s() const {
+  return (opts_.samples - 1) * opts_.sample_interval.seconds();
+}
+
+TraceClass FloorTracker::classify(double slope, double intercept) const {
+  if (!trained_) {
+    // Untrained fallback: the paper's raw slope rule.
+    if (std::abs(slope) <= slope_band_) return TraceClass::kRoute1;
+    return slope < 0 ? TraceClass::kUp : TraceClass::kDown;
+  }
+  // The paper's two-step rule (slope category, then intercept) generalized
+  // to 3-nearest-neighbours over the fitted line's *(start, end)* values —
+  // the same information as (slope, intercept), but in coordinates where the
+  // stair classes are anchored: an Up trace always starts near the
+  // stair-bottom RSSI and ends near the stair-top RSSI (and Down the
+  // reverse), while same-floor routes start and end anywhere.
+  const double span = trace_span_s();
+  const double start = intercept;
+  const double end = slope * span + intercept;
+  struct Scored {
+    double d;
+    TraceClass label;
+  };
+  std::vector<Scored> scored;
+  for (const auto& [label, fit] : training_) {
+    const double ds = (start - fit.intercept) / start_scale_;
+    const double de =
+        (end - (fit.slope * span + fit.intercept)) / end_scale_;
+    scored.push_back(Scored{ds * ds + de * de, label});
+  }
+  if (scored.empty()) return slope < 0 ? TraceClass::kUp : TraceClass::kDown;
+  const std::size_t k = std::min<std::size_t>(3, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end(),
+                    [](const Scored& a, const Scored& b) { return a.d < b.d; });
+  int votes[5] = {0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < k; ++i) {
+    ++votes[static_cast<int>(scored[i].label)];
+  }
+  int best = 0;
+  for (int i = 1; i < 5; ++i) {
+    if (votes[i] > votes[best]) best = i;
+  }
+  // Ties resolve toward the single nearest neighbour.
+  if (votes[best] == 1) best = static_cast<int>(scored[0].label);
+  return static_cast<TraceClass>(best);
+}
+
+void FloorTracker::apply(TraceClass c) {
+  switch (c) {
+    case TraceClass::kUp:
+      level_ = speaker_floor_ + 1;
+      break;
+    case TraceClass::kDown:
+      level_ = speaker_floor_;
+      break;
+    default:
+      break;  // in-room movement or same-floor routes: no level change
+  }
+}
+
+void FloorTracker::attach(home::MotionSensor& sensor) {
+  sensor.subscribe([this] { on_motion_event(); });
+}
+
+void FloorTracker::on_motion_event() {
+  if (recording_) {
+    // A second person hit the stairs while a trace is in flight: queue one
+    // re-record so their transition is not lost.
+    rerecord_pending_ = true;
+    return;
+  }
+  record_trace([this](TraceClass c, analysis::LineFit fit) {
+    sim_.log(sim::LogLevel::kDebug, "floor-tracker." + device_.name(),
+             "trace: slope=" + std::to_string(fit.slope) +
+                 " intercept=" + std::to_string(fit.intercept) + " -> " +
+                 to_string(c));
+    apply(c);
+    if (rerecord_pending_) {
+      rerecord_pending_ = false;
+      on_motion_event();
+    }
+  });
+}
+
+void FloorTracker::record_trace(
+    std::function<void(TraceClass, analysis::LineFit)> done) {
+  if (recording_) return;  // one trace at a time per device
+  recording_ = true;
+  ++traces_;
+  auto samples = std::make_shared<std::vector<double>>();
+  samples->reserve(static_cast<std::size_t>(opts_.samples));
+
+  // Sampling closure: take one reading every interval until `samples` full.
+  auto take = std::make_shared<std::function<void()>>();
+  *take = [this, samples, take, done = std::move(done)]() mutable {
+    samples->push_back(device_.instant_rssi(beacon_));
+    if (static_cast<int>(samples->size()) >= opts_.samples) {
+      recording_ = false;
+      const auto fit = analysis::linear_regression_uniform(
+          *samples, opts_.sample_interval.seconds());
+      const TraceClass c = classify(fit.slope, fit.intercept);
+      if (done) done(c, fit);
+      return;
+    }
+    sim_.after(opts_.sample_interval, *take);
+  };
+  (*take)();
+}
+
+}  // namespace vg::guard

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/Stats.h"
+#include "home/MobileDevice.h"
+#include "home/MotionSensor.h"
+#include "radio/Bluetooth.h"
+#include "simcore/Simulation.h"
+
+/// \file FloorTracker.h
+/// The floor-level tracker of §V-B2. In a multi-floor home, the room directly
+/// above the speaker keeps an RSSI above the threshold, so RSSI alone would
+/// accept commands while the owner is upstairs. The fix: whenever the stair
+/// motion sensor fires, record an 8 s trace of the speaker's RSSI at the
+/// owner's device (40 samples, 0.2 s apart), fit a line, and classify the
+/// (slope, intercept) pair as Up / Down / Route-1/2/3. Up/Down updates the
+/// tracked floor level; a voice command is vetoed whenever the level differs
+/// from the speaker's floor, regardless of the instantaneous RSSI.
+///
+/// Classification generalizes the paper's slope-band + intercept split into
+/// slope-band + nearest-centroid over the z-scored (slope, intercept) plane:
+/// identical behaviour on well-separated data, and robust when a route's
+/// intercept range brushes against Up/Down's (see EXPERIMENTS.md, Fig. 10).
+
+namespace vg::guard {
+
+enum class TraceClass { kRoute1, kUp, kDown, kRoute2, kRoute3 };
+
+std::string to_string(TraceClass c);
+
+class FloorTracker {
+ public:
+  struct Options {
+    sim::Duration sample_interval = sim::milliseconds(200);
+    int samples = 40;  // 8 seconds
+  };
+
+  FloorTracker(sim::Simulation& sim, home::MobileDevice& device,
+               const radio::BluetoothBeacon& speaker_beacon, int speaker_floor)
+      : FloorTracker(sim, device, speaker_beacon, speaker_floor, Options{}) {}
+  FloorTracker(sim::Simulation& sim, home::MobileDevice& device,
+               const radio::BluetoothBeacon& speaker_beacon, int speaker_floor,
+               Options opts);
+
+  // --- training -------------------------------------------------------------
+
+  /// Adds one labeled training trace, already reduced to its line fit.
+  void add_training_fit(TraceClass label, double slope, double intercept);
+
+  /// Computes the Route-1 slope band and the feature scaling for the
+  /// nearest-neighbour classifier. Requires at least one Route-1 and one Up
+  /// or Down training fit.
+  void finalize_training();
+
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] double slope_band() const { return slope_band_; }
+
+  // --- runtime --------------------------------------------------------------
+
+  /// Hooks the stair motion sensor: each activation records a trace.
+  void attach(home::MotionSensor& sensor);
+
+  /// Records one trace starting now (also used to build training data);
+  /// \p done receives the classification.
+  void record_trace(std::function<void(TraceClass, analysis::LineFit)> done);
+
+  /// Classifies a fitted trace without recording.
+  [[nodiscard]] TraceClass classify(double slope, double intercept) const;
+
+  [[nodiscard]] int current_level() const { return level_; }
+  void set_level(int floor) { level_ = floor; }
+  [[nodiscard]] bool owner_on_speaker_floor() const {
+    return level_ == speaker_floor_;
+  }
+
+  [[nodiscard]] std::uint64_t traces_recorded() const { return traces_; }
+
+ private:
+  void apply(TraceClass c);
+  void on_motion_event();
+
+  sim::Simulation& sim_;
+  home::MobileDevice& device_;
+  const radio::BluetoothBeacon& beacon_;
+  int speaker_floor_;
+  Options opts_;
+
+  [[nodiscard]] double trace_span_s() const;
+
+  std::vector<std::pair<TraceClass, analysis::LineFit>> training_;
+  double slope_band_{0.3};
+  double start_scale_{1.0};
+  double end_scale_{1.0};
+  bool trained_{false};
+
+  int level_;
+  std::uint64_t traces_{0};
+  bool recording_{false};
+  bool rerecord_pending_{false};
+};
+
+}  // namespace vg::guard

@@ -1,0 +1,481 @@
+#include "voiceguard/GuardBox.h"
+
+#include <algorithm>
+
+namespace vg::guard {
+
+std::string to_string(GuardMode m) {
+  switch (m) {
+    case GuardMode::kVoiceGuard: return "voiceguard";
+    case GuardMode::kNaive: return "naive";
+    case GuardMode::kMonitor: return "monitor";
+  }
+  return "?";
+}
+
+const std::vector<std::uint32_t>& GuardBox::avs_signature() {
+  // Measured packet-length sequence of an Echo Dot connecting to the AVS
+  // server (§IV-B1). Deliberately a defender-side copy: the guard knows this
+  // from measurement, not by sharing code with a speaker.
+  static const std::vector<std::uint32_t> kSig = {
+      63, 33, 653, 131, 73, 131, 188, 73, 131, 73, 131, 73, 131, 77, 33, 33};
+  return kSig;
+}
+
+GuardBox::GuardBox(net::Network& net, std::string name,
+                   DecisionModule& decision, Options opts)
+    : net::MiddleBox(net, std::move(name)), decision_(decision), opts_(opts) {
+  learner_.seed(avs_signature());
+  // The guard terminates TCP on both arms. The LAN stack impersonates
+  // whatever server the speaker talks to; the WAN stack impersonates the
+  // speaker toward the real server. IPs on the stacks are nominal.
+  lan_stack_ = std::make_unique<net::TcpStack>(
+      sim(), net::IpAddress(192, 168, 1, 2),
+      [this](net::Packet p) { send_to_lan(std::move(p)); },
+      this->name() + ".lan");
+  wan_stack_ = std::make_unique<net::TcpStack>(
+      sim(), net::IpAddress(192, 168, 1, 2),
+      [this](net::Packet p) { send_to_wan(std::move(p)); },
+      this->name() + ".wan");
+  lan_stack_->listen_transparent(
+      [this](net::TcpConnection& c) { accept_lan_connection(c); });
+}
+
+GuardBox::Monitor::Kind GuardBox::classify_destination(
+    net::IpAddress dst) const {
+  if (!avs_ip_.is_unspecified() && dst == avs_ip_) return Monitor::Kind::kAvs;
+  if (!google_ip_.is_unspecified() && dst == google_ip_) {
+    return Monitor::Kind::kGoogle;
+  }
+  return Monitor::Kind::kUnmonitored;
+}
+
+void GuardBox::on_dns_response(const net::DnsMessage& dns) {
+  if (dns.answers.empty()) return;
+  if (dns.qname == opts_.avs_domain) {
+    if (avs_ip_ != dns.answers.front()) {
+      avs_ip_ = dns.answers.front();
+      ++avs_dns_updates_;
+      sim().log(sim::LogLevel::kInfo, name(),
+                "AVS IP from DNS: " + avs_ip_.to_string());
+    }
+  } else if (dns.qname == opts_.google_domain) {
+    google_ip_ = dns.answers.front();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packet path
+// ---------------------------------------------------------------------------
+
+bool GuardBox::is_speaker(net::IpAddress ip) const {
+  for (net::IpAddress s : opts_.speaker_ips) {
+    if (s == ip) return true;
+  }
+  return false;
+}
+
+DecisionModule& GuardBox::decision_for(const Monitor& m) {
+  auto it = per_speaker_decision_.find(m.speaker_ip);
+  return it != per_speaker_decision_.end() ? *it->second : decision_;
+}
+
+bool GuardBox::on_lan_packet(net::Packet& p) {
+  if (p.protocol == net::Protocol::kTcp && is_speaker(p.src.ip)) {
+    // Every speaker TCP flow is transparently proxied from its SYN.
+    lan_stack_->on_packet(p);
+    return true;
+  }
+  if (p.protocol == net::Protocol::kUdp && p.quic && is_speaker(p.src.ip)) {
+    const auto key = net::FlowKey::canonical(p.src, p.dst);
+    auto it = udp_monitors_.find(key);
+    if (it == udp_monitors_.end()) {
+      auto m = std::make_shared<Monitor>(learner_.signature());
+      m->flow_id = ++flow_count_;
+      m->udp = true;
+      m->kind = classify_destination(p.dst.ip);
+      m->flow_dst = p.dst.ip;
+      m->speaker_ip = p.src.ip;
+      m->created = sim().now();
+      m->establishment_done = true;  // QUIC flows have no exempted prefix
+      it = udp_monitors_.emplace(key, std::move(m)).first;
+    }
+    const std::shared_ptr<Monitor>& m = it->second;
+    const std::uint32_t len = p.payload_length();
+    net::Packet copy = p;
+    monitor_upstream(m, len,
+                     [this, copy = std::move(copy)]() mutable {
+                       send_to_wan(std::move(copy));
+                     });
+    return true;
+  }
+  // DNS queries and anything else pass through untouched.
+  return false;
+}
+
+bool GuardBox::on_wan_packet(net::Packet& p) {
+  if (p.dns && p.dns->is_response) on_dns_response(*p.dns);
+  if (p.protocol == net::Protocol::kTcp && wan_stack_->owns_flow(p)) {
+    wan_stack_->on_packet(p);
+    return true;
+  }
+  return false;  // downstream UDP/QUIC and DNS pass through
+}
+
+// ---------------------------------------------------------------------------
+// Transparent TCP proxying
+// ---------------------------------------------------------------------------
+
+void GuardBox::accept_lan_connection(net::TcpConnection& lan_conn) {
+  auto flow = std::make_shared<ProxiedFlow>();
+  flow->id = ++flow_count_;
+  flow->lan = &lan_conn;
+  flow->mon = std::make_shared<Monitor>(learner_.signature());
+  flow->mon->flow_id = flow->id;
+  flow->mon->kind = classify_destination(lan_conn.local().ip);
+  flow->mon->flow_dst = lan_conn.local().ip;
+  flow->mon->speaker_ip = lan_conn.remote().ip;
+  flow->mon->created = sim().now();
+  flows_by_lan_[&lan_conn] = flow;
+  const std::shared_ptr<Monitor> mon = flow->mon;
+
+  if (mon->kind == Monitor::Kind::kAvs) {
+    // A DNS-identified AVS connection: once its establishment window closes,
+    // feed its packet-length prefix to the signature learner even if the
+    // session then goes quiet.
+    sim().after(opts_.establishment_window + sim::milliseconds(100),
+                [this, mon] { finish_establishment(*mon); });
+  }
+
+  // LAN side: speaker <-> guard (guard impersonates the server endpoint).
+  net::TcpCallbacks lan_cbs;
+  lan_cbs.on_record = [this, flow, mon](const net::TlsRecord& r) {
+    maybe_adopt_avs_ip(*mon, r.length);
+    net::TlsRecord copy = r;
+    monitor_upstream(mon, r.length, [flow, copy = std::move(copy)]() mutable {
+      if (flow->wan != nullptr) flow->wan->send_record(std::move(copy));
+    });
+  };
+  lan_cbs.on_closed = [this, flow, mon](net::TcpCloseReason reason) {
+    flow->lan_closed = true;
+    // A dead speaker connection has nothing left to release, and any
+    // outstanding verdict no longer applies.
+    drop(*mon);
+    ++mon->spike_gen;
+    mon->state = Monitor::State::kPass;
+    if (flow->lan != nullptr) {
+      flows_by_lan_.erase(flow->lan);
+      flow->lan = nullptr;
+    }
+    if (!flow->wan_closed && flow->wan != nullptr) {
+      if (reason == net::TcpCloseReason::kFin) {
+        flow->wan->close();
+      } else {
+        flow->wan->abort();
+      }
+    }
+  };
+  lan_conn.set_callbacks(std::move(lan_cbs));
+
+  // WAN side: guard <-> real server, with the speaker's own address.
+  net::TcpCallbacks wan_cbs;
+  wan_cbs.on_record = [flow](const net::TlsRecord& r) {
+    // Downstream records are never held (responses flow freely).
+    if (flow->lan != nullptr && !flow->lan_closed) {
+      flow->lan->send_record(r);
+    }
+  };
+  wan_cbs.on_closed = [this, flow, mon](net::TcpCloseReason reason) {
+    flow->wan_closed = true;
+    drop(*mon);
+    ++mon->spike_gen;
+    mon->state = Monitor::State::kPass;
+    if (flow->wan != nullptr) {
+      flows_by_wan_.erase(flow->wan);
+      flow->wan = nullptr;
+    }
+    if (!flow->lan_closed && flow->lan != nullptr) {
+      if (reason == net::TcpCloseReason::kFin) {
+        flow->lan->close();
+      } else {
+        flow->lan->abort();
+      }
+    }
+  };
+  net::TcpConnection& wan_conn = wan_stack_->connect_from(
+      lan_conn.remote(), lan_conn.local(), std::move(wan_cbs));
+  flow->wan = &wan_conn;
+  flows_by_wan_[&wan_conn] = flow;
+}
+
+// ---------------------------------------------------------------------------
+// Spike monitoring
+// ---------------------------------------------------------------------------
+
+void GuardBox::finish_establishment(Monitor& m) {
+  if (m.establishment_done) return;
+  m.establishment_done = true;
+  if (m.kind == Monitor::Kind::kAvs && opts_.adaptive_signatures &&
+      !m.est_prefix.empty()) {
+    if (learner_.observe(m.est_prefix)) {
+      sim().log(sim::LogLevel::kInfo, name(),
+                "AVS establishment signature re-learned (" +
+                    std::to_string(learner_.signature().size()) + " packets)");
+    }
+  }
+}
+
+void GuardBox::maybe_adopt_avs_ip(Monitor& m, std::uint32_t len) {
+  if (m.udp || m.establishment_done) return;
+  ++m.upstream_records;
+  const bool in_window =
+      (sim().now() - m.created) <= opts_.establishment_window;
+
+  if (m.kind == Monitor::Kind::kAvs) {
+    // DNS-identified AVS flow: its establishment prefix is a labeled example
+    // for the signature learner.
+    if (in_window) {
+      m.est_prefix.push_back(len);
+      return;
+    }
+    // First record past the window: close out establishment and let the
+    // spike logic judge this record like any other (it may well be the first
+    // packet of a command spike).
+    finish_establishment(m);
+    return;
+  }
+  if (m.kind == Monitor::Kind::kGoogle) {
+    m.establishment_done = true;  // on-demand flows are monitored immediately
+    return;
+  }
+  // Unknown destination: try the (possibly learned) signature. A match means
+  // the AVS server moved to a new IP without a visible DNS query (§IV-B1).
+  if (!in_window) {
+    m.establishment_done = true;  // too slow to be an establishment burst
+    return;
+  }
+  switch (m.sig.feed(len)) {
+    case SignatureMatcher::State::kMatched:
+      m.kind = Monitor::Kind::kAvs;
+      m.establishment_done = true;
+      m.last_upstream = sim().now();
+      m.has_upstream = true;
+      if (avs_ip_ != m.flow_dst) {
+        avs_ip_ = m.flow_dst;
+        ++avs_signature_updates_;
+        sim().log(sim::LogLevel::kInfo, name(),
+                  "AVS IP from signature: " + avs_ip_.to_string());
+      }
+      break;
+    case SignatureMatcher::State::kFailed:
+      m.establishment_done = true;  // definitely not AVS; stays unmonitored
+      break;
+    case SignatureMatcher::State::kMatching:
+      break;
+  }
+}
+
+void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
+                                std::uint32_t len,
+                                std::function<void()> forward) {
+  Monitor& mon = *m;
+
+  // Unmonitored flows, and monitored flows still in their establishment
+  // prefix, pass straight through.
+  const bool in_establishment =
+      !mon.udp && mon.kind == Monitor::Kind::kAvs && !mon.establishment_done;
+  if (mon.kind == Monitor::Kind::kUnmonitored || in_establishment) {
+    forward();
+    return;
+  }
+
+  // Heartbeats neither start spikes nor reset the idle clock ("if we ignore
+  // the heartbeat traffic, there is no traffic"), but inside a hold they are
+  // buffered to preserve stream order.
+  const bool heartbeat =
+      mon.kind == Monitor::Kind::kAvs && len == opts_.heartbeat_len;
+
+  switch (mon.state) {
+    case Monitor::State::kPass: {
+      if (heartbeat) {
+        forward();
+        return;
+      }
+      const bool idle =
+          !mon.has_upstream ||
+          (sim().now() - mon.last_upstream) >= opts_.spike_idle_gap;
+      mon.last_upstream = sim().now();
+      mon.has_upstream = true;
+      if (!idle) {
+        forward();  // continuation of a spike already classified benign
+        return;
+      }
+      start_spike(m);
+      if (mon.event_index >= 0 && events_[mon.event_index].prefix.size() < 8) {
+        events_[mon.event_index].prefix.push_back(len);
+      }
+      if (mon.state == Monitor::State::kObserving) {
+        // Monitor-only mode: recognized and classified, never held.
+        if (auto v = mon.classifier.feed(len)) {
+          if (mon.event_index >= 0) events_[mon.event_index].cls = *v;
+          mon.state = Monitor::State::kPass;
+        }
+        forward();
+        return;
+      }
+      mon.held.push_back(std::move(forward));
+      mon.first_held = sim().now();
+      events_[mon.event_index].held = true;
+      if (mon.state == Monitor::State::kClassifying) {
+        if (auto v = mon.classifier.feed(len)) {
+          settle_classification(m, *v);
+        }
+      }
+      return;
+    }
+
+    case Monitor::State::kClassifying: {
+      if (!heartbeat) {
+        mon.last_upstream = sim().now();
+        if (mon.event_index >= 0 &&
+            events_[mon.event_index].prefix.size() < 8) {
+          events_[mon.event_index].prefix.push_back(len);
+        }
+      }
+      mon.held.push_back(std::move(forward));
+      if (!heartbeat) {
+        if (auto v = mon.classifier.feed(len)) settle_classification(m, *v);
+      }
+      return;
+    }
+
+    case Monitor::State::kAwaitingVerdict: {
+      if (!heartbeat) mon.last_upstream = sim().now();
+      mon.held.push_back(std::move(forward));
+      return;
+    }
+
+    case Monitor::State::kObserving: {
+      if (!heartbeat) {
+        mon.last_upstream = sim().now();
+        if (mon.event_index >= 0 &&
+            events_[mon.event_index].prefix.size() < 8) {
+          events_[mon.event_index].prefix.push_back(len);
+        }
+        if (auto v = mon.classifier.feed(len)) {
+          if (mon.event_index >= 0) events_[mon.event_index].cls = *v;
+          mon.state = Monitor::State::kPass;
+        }
+      }
+      forward();
+      return;
+    }
+  }
+}
+
+void GuardBox::start_spike(const std::shared_ptr<Monitor>& m) {
+  Monitor& mon = *m;
+  ++mon.spike_gen;
+  mon.classifier = SpikeClassifier{};
+  mon.held.clear();
+
+  SpikeEvent ev;
+  ev.flow_id = mon.flow_id;
+  ev.udp = mon.udp;
+  ev.start = sim().now();
+  events_.push_back(std::move(ev));
+  mon.event_index = static_cast<int>(events_.size()) - 1;
+
+  if (opts_.mode == GuardMode::kMonitor) {
+    // Record and classify, but never hold (detection-only deployments, and
+    // the Table I bench).
+    mon.state = Monitor::State::kObserving;
+    const std::uint64_t ogen = mon.spike_gen;
+    sim().after(opts_.classify_timeout, [this, m, ogen] {
+      if (m->spike_gen != ogen || m->state != Monitor::State::kObserving) {
+        return;
+      }
+      if (m->event_index >= 0) {
+        events_[m->event_index].cls = m->classifier.finalize();
+      }
+      m->state = Monitor::State::kPass;
+    });
+    return;
+  }
+
+  if (mon.kind == Monitor::Kind::kGoogle || opts_.mode == GuardMode::kNaive) {
+    // Google voice flows: every spike after idle is a command (§IV-B1).
+    // Naive mode: every spike after idle is *treated* as a command (Fig. 3).
+    events_[mon.event_index].cls = SpikeClass::kCommand;
+    mon.state = Monitor::State::kAwaitingVerdict;
+    query_decision(m);
+    return;
+  }
+
+  mon.state = Monitor::State::kClassifying;
+  const std::uint64_t gen = mon.spike_gen;
+  sim().after(opts_.classify_timeout, [this, m, gen] {
+    if (m->spike_gen != gen || m->state != Monitor::State::kClassifying) return;
+    settle_classification(m, m->classifier.finalize());
+  });
+}
+
+void GuardBox::settle_classification(const std::shared_ptr<Monitor>& m,
+                                     SpikeClass cls) {
+  Monitor& mon = *m;
+  if (mon.event_index >= 0) events_[mon.event_index].cls = cls;
+  if (cls == SpikeClass::kCommand) {
+    mon.state = Monitor::State::kAwaitingVerdict;
+    query_decision(m);
+    return;
+  }
+  // Response or unknown: release immediately; the brief buffering is the
+  // "negligible" cost of online classification.
+  if (mon.event_index >= 0) {
+    events_[mon.event_index].hold_seconds =
+        (sim().now() - mon.first_held).seconds();
+  }
+  flush(mon);
+  mon.state = Monitor::State::kPass;
+}
+
+void GuardBox::query_decision(const std::shared_ptr<Monitor>& m) {
+  Monitor& mon = *m;
+  if (mon.event_index >= 0) events_[mon.event_index].queried = true;
+  const std::uint64_t gen = mon.spike_gen;
+  decision_for(mon).query([this, m, gen](bool legit) {
+    Monitor& mon2 = *m;
+    if (mon2.spike_gen != gen ||
+        mon2.state != Monitor::State::kAwaitingVerdict) {
+      return;  // flow died or was resolved meanwhile
+    }
+    if (mon2.event_index >= 0) {
+      SpikeEvent& ev = events_[mon2.event_index];
+      ev.verdict_time = sim().now();
+      ev.verdict_legit = legit;
+      ev.hold_seconds = (sim().now() - mon2.first_held).seconds();
+      ev.dropped = !legit;
+    }
+    if (legit) {
+      ++released_;
+      flush(mon2);
+    } else {
+      ++blocked_;
+      sim().log(sim::LogLevel::kInfo, name(),
+                "malicious voice command blocked (flow " +
+                    std::to_string(mon2.flow_id) + ")");
+      drop(mon2);
+    }
+    mon2.state = Monitor::State::kPass;
+  });
+}
+
+void GuardBox::flush(Monitor& m) {
+  auto held = std::move(m.held);
+  m.held.clear();
+  for (auto& action : held) action();
+}
+
+void GuardBox::drop(Monitor& m) { m.held.clear(); }
+
+}  // namespace vg::guard

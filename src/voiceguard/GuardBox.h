@@ -1,0 +1,212 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netsim/MiddleBox.h"
+#include "netsim/Tcp.h"
+#include "netsim/Udp.h"
+#include "voiceguard/Decision.h"
+#include "voiceguard/Recognizer.h"
+#include "voiceguard/SignatureLearner.h"
+
+/// \file GuardBox.h
+/// The VoiceGuard box: the paper's laptop, inline between the smart speaker
+/// and the home router. It combines
+///  - a *transparent TCP proxy* (§IV-B2): it answers the speaker's SYNs as if
+///    it were the cloud, opens a mirrored connection to the real server with
+///    the speaker's own address, and shuttles TLS records between the two.
+///    While records are held, both TCP connections stay fully alive (the
+///    proxy ACKs segments and keep-alive probes), so a hold never breaks the
+///    session — only an explicit drop does, and then it is the *cloud* that
+///    kills the TLS session on the record-sequence gap (Fig. 4, case III);
+///  - a *UDP forwarder* for the Google Home Mini's QUIC traffic, holding
+///    whole datagrams;
+///  - the Voice Command Traffic Recognition logic (§IV-B1): AVS-IP tracking
+///    by DNS plus connection signature, spike detection with heartbeat
+///    filtering, and the phase-1/phase-2 classifier;
+///  - the hold/query/release-or-drop state machine around the Decision
+///    Module.
+///
+/// Information rule: this class only reads what a real middlebox could —
+/// packet/record lengths, TCP/UDP headers, plaintext DNS. It never reads
+/// TlsRecord::tag (tests enforce the behaviour this guarantees).
+
+namespace vg::guard {
+
+/// Operating mode, for the paper's comparisons.
+enum class GuardMode {
+  kVoiceGuard,  // full scheme: classify spikes, hold only commands
+  kNaive,       // the strawman of Fig. 3: hold every spike after idle
+  kMonitor,     // recognize and record, but never hold (detection only)
+};
+
+std::string to_string(GuardMode m);
+
+/// One recognized spike and what happened to it.
+struct SpikeEvent {
+  std::uint64_t flow_id{0};
+  bool udp{false};
+  sim::TimePoint start;
+  std::vector<std::uint32_t> prefix;  // first packet lengths (<= 8 kept)
+  SpikeClass cls{SpikeClass::kUnknown};
+  bool held{false};
+  bool queried{false};
+  bool verdict_legit{false};
+  bool dropped{false};
+  sim::TimePoint verdict_time;
+  double hold_seconds{0};  // first-held-packet -> release/drop
+};
+
+class GuardBox : public net::MiddleBox {
+ public:
+  struct Options {
+    /// Every protected smart speaker on the LAN, by IP (§V: with several
+    /// speakers, the guard identifies the active one by its unique IP and
+    /// applies the same strategy per speaker).
+    std::vector<net::IpAddress> speaker_ips;
+    std::string avs_domain = "avs-alexa-4-na.amazon.com";
+    std::string google_domain = "www.google.com";
+    /// Heartbeat records are this long and are ignored by spike detection.
+    std::uint32_t heartbeat_len = 41;
+    /// A no-traffic period at least this long starts a new spike.
+    sim::Duration spike_idle_gap = sim::seconds(3);
+    /// Maximum buffering time before the classifier is forced to decide.
+    sim::Duration classify_timeout = sim::milliseconds(300);
+    /// Connection-establishment traffic (exempt from spike detection, and
+    /// the signature learner's observation window) lasts at most this long
+    /// from the first record of a flow.
+    sim::Duration establishment_window = sim::from_seconds(1.5);
+    /// Learn/refresh the AVS establishment signature from DNS-identified
+    /// connections (§VII's future work, implemented).
+    bool adaptive_signatures = true;
+    GuardMode mode = GuardMode::kVoiceGuard;
+  };
+
+  GuardBox(net::Network& net, std::string name, DecisionModule& decision,
+           Options opts);
+
+  /// Routes commands from \p speaker to a dedicated decision module
+  /// (each speaker has its own Bluetooth beacon and thresholds). Speakers
+  /// without a dedicated module use the constructor's default.
+  void set_decision_for(net::IpAddress speaker, DecisionModule& decision) {
+    per_speaker_decision_[speaker] = &decision;
+  }
+
+  // --- recognizer state ------------------------------------------------------
+  [[nodiscard]] net::IpAddress tracked_avs_ip() const { return avs_ip_; }
+  [[nodiscard]] net::IpAddress tracked_google_ip() const { return google_ip_; }
+  [[nodiscard]] std::uint64_t avs_ip_updates_from_dns() const {
+    return avs_dns_updates_;
+  }
+  [[nodiscard]] std::uint64_t avs_ip_updates_from_signature() const {
+    return avs_signature_updates_;
+  }
+
+  // --- outcomes --------------------------------------------------------------
+  [[nodiscard]] const std::vector<SpikeEvent>& spike_events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t commands_released() const { return released_; }
+  [[nodiscard]] std::uint64_t commands_blocked() const { return blocked_; }
+  [[nodiscard]] std::uint64_t proxied_flows() const { return flow_count_; }
+
+  DecisionModule& decision() { return decision_; }
+
+  /// The AVS establishment signature the recognizer ships with (measured by
+  /// the paper's authors; §IV-B1). The live signature may differ once the
+  /// learner has observed enough DNS-identified connections.
+  static const std::vector<std::uint32_t>& avs_signature();
+
+  [[nodiscard]] const SignatureLearner& signature_learner() const {
+    return learner_;
+  }
+
+ protected:
+  bool on_lan_packet(net::Packet& p) override;
+  bool on_wan_packet(net::Packet& p) override;
+
+ private:
+  struct Monitor {
+    enum class Kind { kUnmonitored, kAvs, kGoogle };
+    enum class State { kPass, kClassifying, kAwaitingVerdict, kObserving };
+
+    std::uint64_t flow_id{0};
+    bool udp{false};
+    Kind kind{Kind::kUnmonitored};
+    State state{State::kPass};
+    SignatureMatcher sig;
+    net::IpAddress flow_dst{};
+    net::IpAddress speaker_ip{};
+    sim::TimePoint created{};
+    int upstream_records{0};
+    bool establishment_done{false};
+    std::vector<std::uint32_t> est_prefix;  // DNS-identified AVS flows only
+    bool has_upstream{false};
+    sim::TimePoint last_upstream{};
+    SpikeClassifier classifier;
+    std::vector<std::function<void()>> held;  // deferred forward actions
+    sim::TimePoint first_held{};
+    int event_index{-1};
+    std::uint64_t spike_gen{0};
+
+    explicit Monitor(std::vector<std::uint32_t> signature)
+        : sig(std::move(signature)) {}
+  };
+
+  struct ProxiedFlow {
+    std::uint64_t id{0};
+    net::TcpConnection* lan{nullptr};
+    net::TcpConnection* wan{nullptr};
+    bool lan_closed{false};
+    bool wan_closed{false};
+    std::shared_ptr<Monitor> mon;
+  };
+
+  void accept_lan_connection(net::TcpConnection& lan_conn);
+  void on_dns_response(const net::DnsMessage& dns);
+  Monitor::Kind classify_destination(net::IpAddress dst) const;
+  [[nodiscard]] bool is_speaker(net::IpAddress ip) const;
+  DecisionModule& decision_for(const Monitor& m);
+
+  /// Core hold/release state machine; \p forward sends the item onward.
+  void monitor_upstream(const std::shared_ptr<Monitor>& m, std::uint32_t len,
+                        std::function<void()> forward);
+  void start_spike(const std::shared_ptr<Monitor>& m);
+  void settle_classification(const std::shared_ptr<Monitor>& m, SpikeClass cls);
+  void query_decision(const std::shared_ptr<Monitor>& m);
+  void flush(Monitor& m);
+  void drop(Monitor& m);
+  void maybe_adopt_avs_ip(Monitor& m, std::uint32_t len);
+  void finish_establishment(Monitor& m);
+
+  DecisionModule& decision_;
+  Options opts_;
+  SignatureLearner learner_;
+  std::unordered_map<net::IpAddress, DecisionModule*> per_speaker_decision_;
+
+  std::unique_ptr<net::TcpStack> lan_stack_;
+  std::unique_ptr<net::TcpStack> wan_stack_;
+
+  net::IpAddress avs_ip_{};
+  net::IpAddress google_ip_{};
+  std::uint64_t avs_dns_updates_{0};
+  std::uint64_t avs_signature_updates_{0};
+
+  std::unordered_map<net::TcpConnection*, std::shared_ptr<ProxiedFlow>>
+      flows_by_lan_;
+  std::unordered_map<net::TcpConnection*, std::shared_ptr<ProxiedFlow>>
+      flows_by_wan_;
+  std::unordered_map<net::FlowKey, std::shared_ptr<Monitor>> udp_monitors_;
+
+  std::vector<SpikeEvent> events_;
+  std::uint64_t flow_count_{0};
+  std::uint64_t released_{0};
+  std::uint64_t blocked_{0};
+};
+
+}  // namespace vg::guard

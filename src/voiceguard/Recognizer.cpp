@@ -1,0 +1,92 @@
+#include "voiceguard/Recognizer.h"
+
+namespace vg::guard {
+
+SignatureMatcher::State SignatureMatcher::feed(std::uint32_t len) {
+  if (state_ != State::kMatching) return state_;
+  if (index_ >= signature_.size() || signature_[index_] != len) {
+    state_ = State::kFailed;
+    return state_;
+  }
+  ++index_;
+  if (index_ == signature_.size()) state_ = State::kMatched;
+  return state_;
+}
+
+std::string to_string(SpikeClass c) {
+  switch (c) {
+    case SpikeClass::kCommand: return "command";
+    case SpikeClass::kResponse: return "response";
+    case SpikeClass::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+bool SpikeClassifier::matches_fixed_pattern(
+    const std::vector<std::uint32_t>& f) {
+  if (f.size() < 5) return false;
+  if (f[0] < 250 || f[0] > 650) return false;
+  // a) [250-650, 131, 277, 131, 113]
+  if (f[1] == 131 && f[2] == 277 && f[3] == 131 && f[4] == 113) return true;
+  // b) [250-650, 131, 113, 113, 113]
+  if (f[1] == 131 && f[2] == 113 && f[3] == 113 && f[4] == 113) return true;
+  // c) [250-650, 131, 121, 277, 131]
+  if (f[1] == 131 && f[2] == 121 && f[3] == 277 && f[4] == 131) return true;
+  return false;
+}
+
+std::optional<SpikeClass> SpikeClassifier::evaluate(bool final_call) const {
+  // Phase-2 rule first: the frequent phase-2 pair is checked before the
+  // phase-1 frequent lengths so that a response spike that happens to carry
+  // a 138/75 later cannot be mistaken for a command (the paper reports 100%
+  // precision for this ordering).
+  for (std::size_t i = 0; i + 1 < lens_.size() && i + 1 < 7; ++i) {
+    if (lens_[i] == 77 && lens_[i + 1] == 33) return SpikeClass::kResponse;
+  }
+  // Phase-1 frequent lengths within the first five packets.
+  for (std::size_t i = 0; i < lens_.size() && i < 5; ++i) {
+    if (lens_[i] == 138 || lens_[i] == 75) return SpikeClass::kCommand;
+  }
+  // Phase-1 fixed patterns need exactly the first five.
+  if (lens_.size() >= 5 && matches_fixed_pattern(lens_)) {
+    return SpikeClass::kCommand;
+  }
+  if (lens_.size() >= 7 || final_call) {
+    // No rule matched within the window where the rules are defined.
+    return SpikeClass::kUnknown;
+  }
+  return std::nullopt;  // need more packets
+}
+
+std::optional<SpikeClass> SpikeClassifier::feed(std::uint32_t len) {
+  if (decided_) return decided_;
+  lens_.push_back(len);
+  // The pair rule can still fire at packets 6-7, so a phase-1 "unknown" at
+  // this point must wait; but a positive command/response verdict is final.
+  auto v = evaluate(/*final_call=*/false);
+  if (v && *v != SpikeClass::kUnknown) {
+    decided_ = v;
+    return decided_;
+  }
+  if (lens_.size() >= 7) {
+    decided_ = evaluate(/*final_call=*/true);
+    return decided_;
+  }
+  return std::nullopt;
+}
+
+SpikeClass SpikeClassifier::finalize() const {
+  if (decided_) return *decided_;
+  auto v = evaluate(/*final_call=*/true);
+  return v.value_or(SpikeClass::kUnknown);
+}
+
+SpikeClass classify_spike(const std::vector<std::uint32_t>& lens) {
+  SpikeClassifier c;
+  for (std::uint32_t l : lens) {
+    if (auto v = c.feed(l)) return *v;
+  }
+  return c.finalize();
+}
+
+}  // namespace vg::guard

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file Recognizer.h
+/// Pure packet-length logic of the Voice Command Traffic Recognition
+/// sub-module (§IV-B): connection-signature matching (to track the AVS
+/// server's IP across DNS-less reconnects) and the phase-1/phase-2 spike
+/// classifier. Everything here operates on observable wire lengths only — no
+/// payload, no tags.
+
+namespace vg::guard {
+
+/// Incremental prefix matcher for a packet-length signature.
+class SignatureMatcher {
+ public:
+  explicit SignatureMatcher(std::vector<std::uint32_t> signature)
+      : signature_(std::move(signature)) {}
+
+  enum class State { kMatching, kMatched, kFailed };
+
+  /// Feeds the next observed upstream packet length of a fresh connection.
+  State feed(std::uint32_t len);
+
+  [[nodiscard]] State state() const { return state_; }
+  void reset() {
+    state_ = State::kMatching;
+    index_ = 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> signature_;
+  std::size_t index_{0};
+  State state_{State::kMatching};
+};
+
+/// How a spike was classified.
+enum class SpikeClass {
+  kCommand,   // phase 1: hold and query the Decision Module
+  kResponse,  // phase 2: let through
+  kUnknown,   // matched no rule: let through (these are the FNs of Table I)
+};
+
+std::string to_string(SpikeClass c);
+
+/// Incremental classifier over the first packets of one spike. Decides as
+/// early as the rules allow:
+///  - p-138 or p-75 within the first 5 packets        -> kCommand
+///  - first five packets match a fixed pattern        -> kCommand
+///  - p-77 immediately followed by p-33 in first 7    -> kResponse
+///  - 7 packets seen (or the spike ended) w/o a match -> kUnknown
+class SpikeClassifier {
+ public:
+  /// Feeds the next packet length. Returns the verdict once final.
+  std::optional<SpikeClass> feed(std::uint32_t len);
+
+  /// Forces a verdict from what has been seen (spike ended / timeout).
+  [[nodiscard]] SpikeClass finalize() const;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& seen() const { return lens_; }
+
+  /// The three fixed phase-1 patterns (first packet is a 250-650 range).
+  static bool matches_fixed_pattern(const std::vector<std::uint32_t>& first5);
+
+ private:
+  [[nodiscard]] std::optional<SpikeClass> evaluate(bool final_call) const;
+
+  std::vector<std::uint32_t> lens_;
+  std::optional<SpikeClass> decided_;
+};
+
+/// Classifies a complete spike prefix offline (tests, Table I bench).
+SpikeClass classify_spike(const std::vector<std::uint32_t>& lens);
+
+}  // namespace vg::guard

@@ -1,0 +1,53 @@
+#include "voiceguard/SignatureLearner.h"
+
+#include <algorithm>
+
+namespace vg::guard {
+
+std::vector<std::uint32_t> SignatureLearner::common_prefix(
+    const std::vector<std::vector<std::uint32_t>>& examples) {
+  if (examples.empty()) return {};
+  std::vector<std::uint32_t> prefix = examples.front();
+  for (const auto& e : examples) {
+    std::size_t n = 0;
+    while (n < prefix.size() && n < e.size() && prefix[n] == e[n]) ++n;
+    prefix.resize(n);
+    if (prefix.empty()) break;
+  }
+  return prefix;
+}
+
+bool SignatureLearner::observe(const std::vector<std::uint32_t>& prefix) {
+  ++observations_;
+  std::vector<std::uint32_t> example = prefix;
+  if (example.size() > opts_.example_prefix) {
+    example.resize(opts_.example_prefix);
+  }
+  examples_.push_back(std::move(example));
+  if (examples_.size() > opts_.window) {
+    examples_.erase(examples_.begin());
+  }
+  if (static_cast<int>(examples_.size()) < opts_.min_examples) return false;
+
+  // Consensus over the most recent min_examples observations; a window
+  // spanning a behaviour change would otherwise shrink the prefix to the
+  // pre/post common part.
+  std::vector<std::vector<std::uint32_t>> recent(
+      examples_.end() - opts_.min_examples, examples_.end());
+  std::vector<std::uint32_t> candidate = common_prefix(recent);
+  if (candidate.size() < opts_.min_length) return false;
+  if (candidate == published_) return false;
+  // Never shrink drastically just because a long-prefix consensus got cut by
+  // one noisy example; accept the new signature only if it is not a strict
+  // prefix of the current one (a strict prefix matches a superset of
+  // connections, raising false re-identification).
+  if (!published_.empty() && candidate.size() < published_.size() &&
+      std::equal(candidate.begin(), candidate.end(), published_.begin())) {
+    return false;
+  }
+  published_ = std::move(candidate);
+  ++republished_;
+  return true;
+}
+
+}  // namespace vg::guard

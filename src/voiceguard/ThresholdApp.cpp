@@ -1,0 +1,52 @@
+#include "voiceguard/ThresholdApp.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace vg::guard {
+
+void learn_threshold(sim::Simulation& sim, home::Person& walker,
+                     home::MobileDevice& device,
+                     const radio::BluetoothBeacon& beacon,
+                     std::vector<radio::Vec3> path,
+                     std::function<void(ThresholdResult)> done,
+                     double walk_speed_mps, sim::Duration sample_interval) {
+  auto state = std::make_shared<ThresholdResult>();
+  auto walking = std::make_shared<bool>(true);
+
+  // Sampling loop: one reading per interval while the walk lasts.
+  auto sample = std::make_shared<std::function<void()>>();
+  *sample = [&sim, &device, &beacon, state, walking, sample,
+             sample_interval]() {
+    if (!*walking) return;
+    state->samples.push_back(device.instant_rssi(beacon));
+    sim.after(sample_interval, *sample);
+  };
+  (*sample)();
+
+  walker.follow_path(std::move(path), walk_speed_mps,
+                     [state, walking, done = std::move(done)] {
+                       *walking = false;
+                       double min_v = state->samples.empty()
+                                          ? 0.0
+                                          : state->samples.front();
+                       for (double v : state->samples) {
+                         min_v = std::min(min_v, v);
+                       }
+                       state->threshold = min_v;
+                       if (done) done(*state);
+                     });
+}
+
+std::vector<radio::Vec3> room_boundary_path(const radio::Rect& room, double z,
+                                            double inset) {
+  const double x0 = room.x0 + inset;
+  const double y0 = room.y0 + inset;
+  const double x1 = room.x1 - inset;
+  const double y1 = room.y1 - inset;
+  return {
+      {x0, y0, z}, {x1, y0, z}, {x1, y1, z}, {x0, y1, z}, {x0, y0, z},
+  };
+}
+
+}  // namespace vg::guard

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "home/MobileDevice.h"
+#include "home/Person.h"
+#include "radio/Bluetooth.h"
+#include "simcore/Simulation.h"
+
+/// \file ThresholdApp.h
+/// The threshold-learning companion app of §IV-C: the user switches it on,
+/// walks around the legitimate command area (e.g. along the walls of the
+/// speaker's room), and the app samples the speaker's Bluetooth RSSI every
+/// 0.5 s. When the walk ends, the threshold is the *minimum* sampled value —
+/// everywhere inside the walked boundary then measures at or above it.
+
+namespace vg::guard {
+
+struct ThresholdResult {
+  double threshold{0};
+  std::vector<double> samples;
+};
+
+/// Runs the learning session: \p walker (carrying \p device) walks \p path;
+/// \p done fires when the walk completes.
+void learn_threshold(sim::Simulation& sim, home::Person& walker,
+                     home::MobileDevice& device,
+                     const radio::BluetoothBeacon& speaker_beacon,
+                     std::vector<radio::Vec3> path,
+                     std::function<void(ThresholdResult)> done,
+                     double walk_speed_mps = 1.0,
+                     sim::Duration sample_interval = sim::milliseconds(500));
+
+/// Convenience: the boundary walk for an axis-aligned room at device height,
+/// inset from the walls by \p inset meters.
+std::vector<radio::Vec3> room_boundary_path(const radio::Rect& room, double z,
+                                            double inset = 0.4);
+
+}  // namespace vg::guard

@@ -1,0 +1,142 @@
+#include "workload/Corpus.h"
+
+#include <sstream>
+
+namespace vg::workload {
+
+int count_words(const std::string& s) {
+  std::istringstream in{s};
+  std::string w;
+  int n = 0;
+  while (in >> w) ++n;
+  return n;
+}
+
+namespace {
+
+/// Builds a realistic command of exactly \p words words. Deterministic in
+/// (variant, words) so the corpora are stable across runs.
+std::string make_command(int variant, int words, bool google) {
+  static const std::vector<std::string> kCores = {
+      "turn off the lights",
+      "turn on the porch light",
+      "lock the front door",
+      "set the thermostat to seventy",
+      "play some jazz music",
+      "what is the weather",
+      "set a timer for ten minutes",
+      "add milk to my shopping list",
+      "what time is it",
+      "tell me the news",
+      "dim the bedroom lights",
+      "stop the music",
+      "open the garage door",
+      "what is on my calendar today",
+      "turn up the volume",
+      "start the robot vacuum",
+      "remind me to water the plants",
+      "how is the traffic to work",
+      "play the next episode",
+      "set an alarm for seven",
+  };
+  static const std::vector<std::string> kSuffixes = {
+      "please", "now", "right now", "for me", "in the living room",
+      "in the kitchen", "upstairs", "tonight", "this evening", "again",
+      "when possible", "quietly", "on all speakers", "for everyone",
+      "before dinner", "after the game",
+  };
+
+  const std::string wake = google ? "hey google" : "alexa";
+  (void)wake;  // the wake word is modeled separately (CommandSpec)
+
+  std::string core = kCores[static_cast<std::size_t>(variant) % kCores.size()];
+  int have = count_words(core);
+  // Trim if the core is longer than the target.
+  while (have > words) {
+    const auto pos = core.rfind(' ');
+    core.resize(pos == std::string::npos ? 0 : pos);
+    --have;
+  }
+  if (core.empty()) {
+    core = "stop";
+    have = 1;
+  }
+  // Pad with rotating suffixes until the target length is reached.
+  std::size_t s = static_cast<std::size_t>(variant) * 7u;
+  while (have < words) {
+    const std::string& suf = kSuffixes[s++ % kSuffixes.size()];
+    const int sw = count_words(suf);
+    if (have + sw <= words) {
+      core += " " + suf;
+      have += sw;
+    } else {
+      core += " please";
+      have += 1;
+    }
+  }
+  return core;
+}
+
+std::vector<std::string> build(const std::vector<std::pair<int, int>>& histogram,
+                               bool google) {
+  std::vector<std::string> out;
+  int variant = 0;
+  for (const auto& [words, count] : histogram) {
+    for (int i = 0; i < count; ++i) {
+      out.push_back(make_command(variant++, words, google));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const CommandCorpus& CommandCorpus::alexa() {
+  // 320 commands; mean 5.95 words; >=4 words: 278/320 = 86.9 % (§V-A2).
+  static const CommandCorpus corpus{build(
+      {{2, 20}, {3, 22}, {4, 50}, {5, 47}, {6, 58}, {7, 55}, {8, 30},
+       {9, 18}, {10, 10}, {12, 6}, {14, 4}},
+      /*google=*/false)};
+  return corpus;
+}
+
+const CommandCorpus& CommandCorpus::google() {
+  // 443 commands; mean 7.39 words; >=5 words: 416/443 = 93.9 % (§V-A2).
+  static const CommandCorpus corpus{build(
+      {{3, 12}, {4, 15}, {5, 60}, {6, 70}, {7, 90}, {8, 80}, {9, 60},
+       {10, 30}, {13, 16}, {14, 10}},
+      /*google=*/true)};
+  return corpus;
+}
+
+int CommandCorpus::word_count(std::size_t i) const {
+  return count_words(commands_.at(i));
+}
+
+double CommandCorpus::mean_words() const {
+  if (commands_.empty()) return 0.0;
+  double sum = 0;
+  for (const auto& c : commands_) sum += count_words(c);
+  return sum / static_cast<double>(commands_.size());
+}
+
+double CommandCorpus::fraction_with_at_least(int n) const {
+  if (commands_.empty()) return 0.0;
+  std::size_t k = 0;
+  for (const auto& c : commands_) {
+    if (count_words(c) >= n) ++k;
+  }
+  return static_cast<double>(k) / static_cast<double>(commands_.size());
+}
+
+speaker::CommandSpec CommandCorpus::sample(sim::Rng& rng,
+                                           std::uint64_t id) const {
+  const std::size_t i = rng.index(commands_.size());
+  speaker::CommandSpec c;
+  c.id = id;
+  c.text = commands_[i];
+  c.words = count_words(commands_[i]);
+  return c;
+}
+
+}  // namespace vg::workload

@@ -1,0 +1,388 @@
+#include "workload/World.h"
+
+#include <algorithm>
+
+#include "voiceguard/ThresholdApp.h"
+
+namespace vg::workload {
+
+namespace {
+
+home::Testbed make_testbed(WorldConfig::TestbedKind kind) {
+  switch (kind) {
+    case WorldConfig::TestbedKind::kHouse: return home::Testbed::two_floor_house();
+    case WorldConfig::TestbedKind::kApartment: return home::Testbed::apartment();
+    case WorldConfig::TestbedKind::kOffice: return home::Testbed::office();
+  }
+  return home::Testbed::two_floor_house();
+}
+
+constexpr double kStairSpeed = 0.45;  // m/s — ~8 s for the staircase (§V-B2)
+
+}  // namespace
+
+SmartHomeWorld::SmartHomeWorld(WorldConfig cfg)
+    : cfg_(cfg),
+      sim_(std::make_unique<sim::Simulation>(cfg.seed)),
+      net_(std::make_unique<net::Network>(*sim_)),
+      testbed_(make_testbed(cfg.testbed)) {
+  speaker_floor_ =
+      testbed_.plan().floor_of(testbed_.speaker_position(cfg_.deployment).z);
+  build_network();
+  build_people();
+}
+
+void SmartHomeWorld::build_network() {
+  router_ = std::make_unique<net::Router>("router");
+  cloud_ = std::make_unique<cloud::CloudFarm>(*net_, *router_);
+
+  speaker_host_ = std::make_unique<net::Host>(*net_, "speaker",
+                                              net::IpAddress(192, 168, 1, 200));
+  beacon_ = std::make_unique<radio::BluetoothBeacon>(
+      "speaker-bt", testbed_.speaker_position(cfg_.deployment));
+  fcm_ = std::make_unique<home::FcmService>(*sim_);
+  decision_ = std::make_unique<guard::RssiDecisionModule>(*sim_, *fcm_, *beacon_);
+
+  guard::GuardBox::Options gopts;
+  gopts.speaker_ips = {speaker_host_->ip()};
+  gopts.mode = cfg_.mode;
+  guard_ = std::make_unique<guard::GuardBox>(*net_, "guard", *decision_, gopts);
+
+  // Inline chain: speaker -- guard -- router.
+  net::Link& lan = net_->add_link(*speaker_host_, *guard_,
+                                  sim::milliseconds(2), sim::microseconds(400));
+  speaker_host_->attach(lan);
+  guard_->set_lan_link(lan);
+  net::Link& uplink = net_->add_link(*guard_, *router_, sim::milliseconds(2),
+                                     sim::microseconds(400));
+  guard_->set_wan_link(uplink);
+  router_->add_route(speaker_host_->ip(), uplink);
+
+  // Speaker firmware.
+  if (cfg_.speaker == WorldConfig::SpeakerType::kEchoDot) {
+    echo_ = std::make_unique<speaker::EchoDotModel>(
+        *speaker_host_, cloud_->dns_endpoint(),
+        [this] { return cloud_->current_avs_ip(); });
+    echo_->power_on();
+  } else {
+    ghm_ = std::make_unique<speaker::GoogleHomeMiniModel>(
+        *speaker_host_, cloud_->dns_endpoint());
+    ghm_->power_on();
+  }
+}
+
+radio::Vec3 SmartHomeWorld::spot_near_speaker(int i) const {
+  // A spot ~1-2 m from the speaker, clamped inside the speaker's room (the
+  // speaker may sit in a corner).
+  const radio::Vec3 spk = testbed_.speaker_position(cfg_.deployment);
+  const radio::Rect& room =
+      testbed_.plan().room_by_name(testbed_.speaker_room(cfg_.deployment))
+          ->bounds;
+  const double z0 = testbed_.plan().device_height(speaker_floor_);
+  return radio::Vec3{
+      std::clamp(spk.x - 1.0 - i, room.x0 + 0.5, room.x1 - 0.5),
+      std::clamp(spk.y + 1.0 + 0.4 * i, room.y0 + 0.5, room.y1 - 0.5), z0};
+}
+
+void SmartHomeWorld::build_people() {
+  const radio::Vec3 spk = testbed_.speaker_position(cfg_.deployment);
+  const std::string& room = testbed_.speaker_room(cfg_.deployment);
+  const double z0 = testbed_.plan().device_height(speaker_floor_);
+
+  for (int i = 0; i < cfg_.owner_count; ++i) {
+    const radio::Vec3 start = spot_near_speaker(i);
+    owners_.push_back(std::make_unique<home::Person>(
+        *sim_, "owner-" + std::to_string(i + 1), start));
+    home::Person* person = owners_.back().get();
+
+    home::MobileDevice::Options dopts;
+    std::string dev_name;
+    if (cfg_.use_watch) {
+      dopts.kind = home::DeviceKind::kSmartwatch;
+      dopts.scan.min_latency = sim::milliseconds(250);
+      dopts.scan.max_latency = sim::milliseconds(1100);
+      dev_name = "watch-" + std::to_string(i + 1);
+    } else {
+      dev_name = "phone-" + std::to_string(i + 1);
+    }
+    devices_.push_back(std::make_unique<home::MobileDevice>(
+        *sim_, testbed_.plan(), radio_params(), dev_name,
+        [person] { return person->position(); }, dopts));
+  }
+
+  // The attacker starts just outside the speaker room's door area.
+  attacker_ = std::make_unique<home::Person>(
+      *sim_, "attacker", radio::Vec3{spk.x - 2.0, spk.y + 2.0, z0});
+  (void)room;
+
+  if (cfg_.testbed == WorldConfig::TestbedKind::kHouse && cfg_.motion_sensor &&
+      testbed_.plan().stairs()) {
+    home::MotionSensor::Options sopts;
+    // Covers the stair volume only: mid-climb heights, not either floor.
+    sopts.z_min = testbed_.plan().device_height(0) + 0.3;
+    sopts.z_max = testbed_.plan().device_height(1) - 0.3;
+    sensor_ = std::make_unique<home::MotionSensor>(
+        *sim_, *stair_sensor_region(), sopts);
+    for (auto& o : owners_) sensor_->watch(*o);
+    sensor_->watch(*attacker_);
+    sensor_->start();
+  }
+
+  // Floor tracking requires the stair motion sensor (§V-B2: without it, the
+  // system still works, with more multi-floor false accepts).
+  if (sensor_ != nullptr) {
+    for (int i = 0; i < cfg_.owner_count; ++i) {
+      trackers_.push_back(std::make_unique<guard::FloorTracker>(
+          *sim_, device(i), *beacon_, speaker_floor_));
+    }
+  }
+}
+
+radio::Rect SmartHomeWorld::legitimate_area() const {
+  const radio::Room* room =
+      testbed_.plan().room_by_name(testbed_.speaker_room(cfg_.deployment));
+  if (cfg_.testbed == WorldConfig::TestbedKind::kOffice) {
+    // The office's legitimate area is the red box around the speaker, not
+    // the whole open floor (Fig. 8c). Sized to the speaker's cubicle bay.
+    const radio::Vec3 spk = testbed_.speaker_position(cfg_.deployment);
+    radio::Rect box{spk.x - 2.3, spk.y - 2.3, spk.x + 2.3, spk.y + 2.3};
+    box.x0 = std::max(box.x0, room->bounds.x0 + 0.4);
+    box.y0 = std::max(box.y0, room->bounds.y0 + 0.4);
+    box.x1 = std::min(box.x1, room->bounds.x1 - 0.4);
+    box.y1 = std::min(box.y1, room->bounds.y1 - 0.4);
+    return box;
+  }
+  return room->bounds;
+}
+
+bool SmartHomeWorld::in_legitimate_area(const radio::Vec3& p) const {
+  return testbed_.plan().floor_of(p.z) == speaker_floor_ &&
+         legitimate_area().contains(p.xy());
+}
+
+radio::Vec3 SmartHomeWorld::random_legit_spot(sim::Rng& rng) const {
+  const radio::Rect area = legitimate_area();
+  const double m = 0.4;
+  return radio::Vec3{rng.uniform(area.x0 + m, area.x1 - m),
+                     rng.uniform(area.y0 + m, area.y1 - m),
+                     testbed_.plan().device_height(speaker_floor_)};
+}
+
+std::vector<radio::Vec3> SmartHomeWorld::threshold_walk_path() const {
+  const double z = testbed_.plan().device_height(speaker_floor_);
+  const double inset =
+      cfg_.testbed == WorldConfig::TestbedKind::kOffice ? 0.0 : 0.4;
+  return guard::room_boundary_path(legitimate_area(), z, inset);
+}
+
+void SmartHomeWorld::calibrate() {
+  // Let the speaker boot (DNS + connect + establishment signature) so the
+  // guard has learned the AVS / Google voice endpoints.
+  run_for(sim::seconds(8));
+
+  const auto path = threshold_walk_path();
+  thresholds_.assign(devices_.size(), 0.0);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    bool done = false;
+    guard::learn_threshold(*sim_, *owners_[i], *devices_[i], *beacon_, path,
+                           [this, i, &done](guard::ThresholdResult r) {
+                             thresholds_[i] = r.threshold;
+                             done = true;
+                           });
+    run_until([&done] { return done; }, sim::minutes(10));
+  }
+
+  if (!trackers_.empty()) train_floor_trackers();
+
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    guard::FloorTracker* tracker =
+        i < trackers_.size() ? trackers_[i].get() : nullptr;
+    decision_->register_device(*devices_[i], thresholds_[i], tracker);
+    if (tracker != nullptr && sensor_ != nullptr) tracker->attach(*sensor_);
+  }
+
+  // Everyone back to their start: owners near the speaker, attacker away.
+  for (std::size_t i = 0; i < owners_.size(); ++i) {
+    owners_[i]->teleport(spot_near_speaker(static_cast<int>(i)));
+  }
+}
+
+std::optional<radio::Rect> SmartHomeWorld::stair_sensor_region() const {
+  if (!testbed_.plan().stairs()) return std::nullopt;
+  // The Hue sensor is aimed at the staircase itself, not the hallway around
+  // it: its coverage is the stair core, so passers-by skirting the staircase
+  // do not trigger traces of half-walks.
+  const radio::Rect full = testbed_.plan().stairs()->region;
+  return radio::Rect{full.x0 + 0.5, full.y0 + 0.3, full.x1 - 0.5,
+                     full.y1 - 0.3};
+}
+
+void SmartHomeWorld::train_floor_trackers() {
+  // The §V-B2 protocol, with traces captured under *operational* conditions:
+  // Up/Down traces begin when the walker reaches the motion sensor's
+  // coverage (plus its trigger latency), exactly as at run time, and the
+  // journeys start/end at varied rooms so approach segments are represented.
+  // Routes 2/3 are same-floor walks captured at a random moment of the walk
+  // (at run time they are recorded whenever *someone else* trips the stair
+  // sensor). Route 1 is small in-room movement.
+  auto& rng = sim_->rng("world.training");
+  const auto& plan = testbed_.plan();
+
+  std::vector<std::string> ground_rooms, upper_rooms;
+  for (const auto& r : plan.rooms()) {
+    (r.floor == 0 ? ground_rooms : upper_rooms).push_back(r.name);
+  }
+
+  for (std::size_t d = 0; d < trackers_.size(); ++d) {
+    guard::FloorTracker& tracker = *trackers_[d];
+    home::Person& walker = *owners_[d];
+
+    auto capture_fit = [&](guard::TraceClass label) {
+      bool done = false;
+      tracker.record_trace(
+          [&tracker, &done, label](guard::TraceClass, analysis::LineFit fit) {
+            tracker.add_training_fit(label, fit.slope, fit.intercept);
+            done = true;
+          });
+      run_until([&done] { return done; }, sim::minutes(2));
+    };
+
+    auto stair_journey = [&](bool up) {
+      const std::string& from =
+          up ? ground_rooms[rng.index(ground_rooms.size())]
+             : upper_rooms[rng.index(upper_rooms.size())];
+      const std::string& to = up ? upper_rooms[rng.index(upper_rooms.size())]
+                                 : ground_rooms[rng.index(ground_rooms.size())];
+      walker.teleport(random_point_in_room(from, rng));
+      move_person(walker, random_point_in_room(to, rng));
+      // Wait for the walker to hit the sensor's coverage, then the trigger
+      // latency, then record — as the live pipeline does.
+      run_until([&] { return sensor_->covers(walker.position()); },
+                sim::minutes(2));
+      run_for(sim::milliseconds(350));
+      capture_fit(up ? guard::TraceClass::kUp : guard::TraceClass::kDown);
+    };
+
+    for (int k = 0; k < 15; ++k) stair_journey(true);
+    for (int k = 0; k < 15; ++k) stair_journey(false);
+
+    // Route 1: small movements within rooms on both floors.
+    std::vector<std::string> all_rooms = ground_rooms;
+    all_rooms.insert(all_rooms.end(), upper_rooms.begin(), upper_rooms.end());
+    for (int k = 0; k < 25; ++k) {
+      const std::string& room = all_rooms[k % all_rooms.size()];
+      const radio::Rect& bounds = plan.room_by_name(room)->bounds;
+      const radio::Vec3 center = random_point_in_room(room, rng);
+      walker.teleport(center);
+      std::vector<radio::Vec3> wiggle;
+      for (int s = 0; s < 6; ++s) {
+        // Stay inside the room: a "within a room" movement must not slosh
+        // through walls, or its trace stops being flat.
+        wiggle.push_back(radio::Vec3{
+            std::clamp(center.x + rng.uniform(-0.9, 0.9), bounds.x0 + 0.3,
+                       bounds.x1 - 0.3),
+            std::clamp(center.y + rng.uniform(-0.9, 0.9), bounds.y0 + 0.3,
+                       bounds.y1 - 0.3),
+            center.z});
+      }
+      walker.follow_path(std::move(wiggle), 0.7);
+      capture_fit(guard::TraceClass::kRoute1);
+    }
+
+    // Routes 2/3: cross-room walks on one floor, trace starting at a random
+    // moment of the walk.
+    auto floor_walk = [&](const std::vector<std::string>& rooms,
+                          guard::TraceClass label) {
+      const std::string& from = rooms[rng.index(rooms.size())];
+      std::string to = rooms[rng.index(rooms.size())];
+      if (to == from) to = rooms[(rng.index(rooms.size()) + 1) % rooms.size()];
+      walker.teleport(random_point_in_room(from, rng));
+      const radio::Vec3 target = random_point_in_room(to, rng);
+      const double dist = radio::distance(walker.position(), target);
+      walker.walk_to(target, 0.9);
+      run_for(sim::from_seconds(rng.uniform(0.0, dist / 0.9 / 2.0)));
+      capture_fit(label);
+    };
+    for (int k = 0; k < 10; ++k) floor_walk(ground_rooms, guard::TraceClass::kRoute2);
+    for (int k = 0; k < 10; ++k) floor_walk(upper_rooms, guard::TraceClass::kRoute3);
+
+    tracker.finalize_training();
+  }
+}
+
+void SmartHomeWorld::hear_command(const speaker::CommandSpec& cmd) {
+  if (echo_) {
+    echo_->hear_command(cmd);
+  } else {
+    ghm_->hear_command(cmd);
+  }
+}
+
+const std::vector<speaker::InteractionResult>& SmartHomeWorld::interactions()
+    const {
+  static const std::vector<speaker::InteractionResult> kEmpty;
+  if (echo_) return echo_->interactions();
+  if (ghm_) return ghm_->interactions();
+  return kEmpty;
+}
+
+bool SmartHomeWorld::command_executed(std::uint64_t id) const {
+  const std::string tag = "voice-cmd-end:" + std::to_string(id);
+  for (const auto& e : cloud_->all_executed()) {
+    if (e.command_tag == tag) return true;
+  }
+  return false;
+}
+
+void SmartHomeWorld::move_person(home::Person& person, radio::Vec3 target,
+                                 std::function<void()> done) {
+  const auto& plan = testbed_.plan();
+  const int from_floor = plan.floor_of(person.position().z);
+  const int to_floor = plan.floor_of(target.z);
+  if (from_floor == to_floor || !plan.stairs()) {
+    person.walk_to(target, home::Person::kDefaultSpeed, std::move(done));
+    return;
+  }
+  // Route through the staircase, slowly on the stairs.
+  const radio::Vec3 bottom = location_pos(42);
+  const radio::Vec3 top = location_pos(48);
+  const radio::Vec3 stair_from = (to_floor > from_floor) ? bottom : top;
+  const radio::Vec3 stair_to = (to_floor > from_floor) ? top : bottom;
+  person.walk_to(stair_from, home::Person::kDefaultSpeed,
+                 [&person, stair_to, target, done = std::move(done)]() mutable {
+                   person.walk_to(stair_to, kStairSpeed,
+                                  [&person, target, done = std::move(done)]() mutable {
+                                    person.walk_to(target,
+                                                   home::Person::kDefaultSpeed,
+                                                   std::move(done));
+                                  });
+                 });
+}
+
+radio::Vec3 SmartHomeWorld::random_point_in_room(const std::string& room,
+                                                 sim::Rng& rng) const {
+  const radio::Room* r = testbed_.plan().room_by_name(room);
+  if (r == nullptr) {
+    throw std::invalid_argument{"unknown room '" + room + "'"};
+  }
+  const double margin = 0.4;
+  return radio::Vec3{rng.uniform(r->bounds.x0 + margin, r->bounds.x1 - margin),
+                     rng.uniform(r->bounds.y0 + margin, r->bounds.y1 - margin),
+                     testbed_.plan().device_height(r->floor)};
+}
+
+bool SmartHomeWorld::run_until(const std::function<bool()>& pred,
+                               sim::Duration max_wait) {
+  const sim::TimePoint deadline = sim_->now() + max_wait;
+  while (!pred()) {
+    if (sim_->pending_events() == 0 || sim_->now() >= deadline) return pred();
+    sim_->step(1);
+  }
+  return true;
+}
+
+void SmartHomeWorld::run_for(sim::Duration d) {
+  sim_->run_until(sim_->now() + d);
+}
+
+}  // namespace vg::workload

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "analysis/Stats.h"
+
+namespace vg::analysis {
+namespace {
+
+TEST(Stats, Summary) {
+  const auto s = summarize({1, 2, 3, 4});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1);
+  EXPECT_DOUBLE_EQ(s.max, 4);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+}
+
+TEST(Stats, SummaryEmptyAndSingle) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const auto s = summarize({7});
+  EXPECT_DOUBLE_EQ(s.mean, 7);
+  EXPECT_DOUBLE_EQ(s.stddev, 0);
+}
+
+TEST(Stats, Percentile) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 20);
+  EXPECT_THROW(percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Stats, CdfAt) {
+  const std::vector<double> xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(cdf_at(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf_at(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf_at(xs, 10), 1.0);
+}
+
+TEST(Regression, RecoversExactLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 40; ++i) {
+    xs.push_back(i * 0.2);
+    ys.push_back(-1.3 * i * 0.2 + 5.0);
+  }
+  const auto f = linear_regression(xs, ys);
+  EXPECT_NEAR(f.slope, -1.3, 1e-9);
+  EXPECT_NEAR(f.intercept, 5.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(Regression, UniformSpacingHelper) {
+  std::vector<double> ys;
+  for (int i = 0; i < 40; ++i) ys.push_back(2.0 * i * 0.2 - 7.0);
+  const auto f = linear_regression_uniform(ys, 0.2);
+  EXPECT_NEAR(f.slope, 2.0, 1e-9);
+  EXPECT_NEAR(f.intercept, -7.0, 1e-9);
+}
+
+TEST(Regression, RejectsDegenerateInput) {
+  EXPECT_THROW(linear_regression({1}, {1}), std::invalid_argument);
+  EXPECT_THROW(linear_regression({1, 1}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(linear_regression({1, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Regression, NoisyFitHasLowerR2) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(i + ((i % 2 == 0) ? 3.0 : -3.0));
+  }
+  const auto f = linear_regression(xs, ys);
+  EXPECT_LT(f.r2, 1.0);
+  EXPECT_NEAR(f.slope, 1.0, 0.2);
+}
+
+TEST(Confusion, PaperExampleTable2EchoLoc1) {
+  // "Echo Dot at the 1st location" in Table II: 69/69 malicious blocked,
+  // 89/91 legitimate passed.
+  ConfusionMatrix m;
+  m.tp = 69;
+  m.fn = 0;
+  m.tn = 89;
+  m.fp = 2;
+  EXPECT_NEAR(m.accuracy(), 0.9875, 1e-4);
+  EXPECT_NEAR(m.precision(), 0.9718, 1e-4);
+  EXPECT_DOUBLE_EQ(m.recall(), 1.0);
+  EXPECT_EQ(m.total(), 160u);
+}
+
+TEST(Confusion, EmptyDenominatorsAreZero) {
+  ConfusionMatrix m;
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(m.recall(), 0.0);
+}
+
+TEST(Confusion, ToStringContainsMetrics) {
+  ConfusionMatrix m;
+  m.tp = 1;
+  m.tn = 1;
+  const std::string s = m.to_string();
+  EXPECT_NE(s.find("acc=100.00%"), std::string::npos);
+}
+
+TEST(Pct, Formats) {
+  EXPECT_EQ(pct(0.9729), "97.29%");
+  EXPECT_EQ(pct(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace vg::analysis

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "audio/Verifiers.h"
+#include "audio/Voice.h"
+#include "simcore/Rng.h"
+
+namespace vg::audio {
+namespace {
+
+struct AudioFixture : ::testing::Test {
+  sim::RngRegistry reg{2024};
+  sim::Rng& rng = reg.stream("audio");
+  SpeakerProfile owner = SpeakerProfile::random(rng);
+  SpeakerProfile stranger = SpeakerProfile::random(rng);
+  VoiceMatchVerifier vm;
+
+  void SetUp() override { vm.enroll(owner, rng); }
+
+  template <typename Gen>
+  double acceptance_rate(Gen gen, int n = 300) {
+    int ok = 0;
+    for (int i = 0; i < n; ++i) {
+      if (vm.accepts(gen())) ++ok;
+    }
+    return static_cast<double>(ok) / n;
+  }
+};
+
+TEST_F(AudioFixture, OwnerLiveUtterancesAccepted) {
+  EXPECT_GT(acceptance_rate([&] { return owner.live_utterance(rng); }), 0.95);
+}
+
+TEST_F(AudioFixture, StrangerRejected) {
+  EXPECT_LT(acceptance_rate([&] { return stranger.live_utterance(rng); }),
+            0.05);
+}
+
+TEST_F(AudioFixture, ReplayBypassesVoiceMatch) {
+  // The voice-match protection of commercial speakers is evaded by replaying
+  // the owner's recorded voice ([31], [48], [72]).
+  EXPECT_GT(acceptance_rate([&] { return replay_attack(owner, rng); }), 0.85);
+}
+
+TEST_F(AudioFixture, SynthesisBypassesVoiceMatch) {
+  EXPECT_GT(acceptance_rate([&] { return synthesis_attack(owner, rng); }),
+            0.70);
+}
+
+TEST_F(AudioFixture, UltrasoundOftenBypassesVoiceMatch) {
+  // Demodulation distorts the identity match more than replay/synthesis do,
+  // but a substantial fraction still slips past the voice-match threshold.
+  EXPECT_GT(acceptance_rate([&] { return ultrasound_attack(owner, rng); }),
+            0.30);
+}
+
+TEST_F(AudioFixture, LivenessDetectorCatchesNaiveReplay) {
+  LivenessDetector ld;
+  int caught = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (!ld.accepts(replay_attack(owner, rng))) ++caught;
+  }
+  EXPECT_GT(caught, 270);
+}
+
+TEST_F(AudioFixture, AdaptiveSynthesisEvadesLivenessDetector) {
+  // The [14] adaptive-attacker point: knowing the detector, synthesis
+  // suppresses the cues liveness detection keys on.
+  LivenessDetector ld;
+  int passed = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (ld.accepts(synthesis_attack(owner, rng))) ++passed;
+  }
+  EXPECT_GT(passed, 240);
+}
+
+TEST_F(AudioFixture, LivenessDetectorAcceptsLiveSpeech) {
+  LivenessDetector ld;
+  int passed = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (ld.accepts(owner.live_utterance(rng))) ++passed;
+  }
+  EXPECT_GT(passed, 285);
+}
+
+TEST(Voice, EmbeddingDistanceIsAMetricOnExamples) {
+  Embedding a{}, b{};
+  b[0] = 3.0;
+  b[1] = 4.0;
+  EXPECT_DOUBLE_EQ(embedding_distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(embedding_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(embedding_distance(a, b), embedding_distance(b, a));
+}
+
+TEST(Voice, SourcesLabelled) {
+  EXPECT_EQ(to_string(SampleSource::kReplay), "replay");
+  EXPECT_EQ(to_string(SampleSource::kSynthesis), "synthesis");
+}
+
+TEST(Voice, UnenrolledVerifierRejectsEverything) {
+  sim::RngRegistry reg{9};
+  auto& rng = reg.stream("a");
+  const SpeakerProfile p = SpeakerProfile::random(rng);
+  VoiceMatchVerifier vm;
+  EXPECT_FALSE(vm.enrolled());
+  EXPECT_FALSE(vm.accepts(p.live_utterance(rng)));
+}
+
+}  // namespace
+}  // namespace vg::audio

@@ -1,0 +1,147 @@
+/// Direct unit tests for the cloud backends.
+
+#include <gtest/gtest.h>
+
+#include "cloud/CloudFarm.h"
+#include "netsim/Host.h"
+
+namespace vg::cloud {
+namespace {
+
+using net::IpAddress;
+
+struct CloudFixture : ::testing::Test {
+  sim::Simulation sim{41};
+  net::Network net{sim};
+  net::Host server{net, "avs", IpAddress(52, 94, 232, 10)};
+  net::Host client{net, "client", IpAddress(192, 168, 1, 200)};
+  AvsServerApp app{server};
+
+  CloudFixture() {
+    net::Link& l = net.add_link(client, server, sim::milliseconds(5));
+    client.attach(l);
+    server.attach(l);
+  }
+
+  net::TcpConnection* connect() {
+    return &client.tcp().connect(net::Endpoint{server.ip(), 443},
+                                 net::TcpCallbacks{});
+  }
+
+  static net::TlsRecord rec(std::uint64_t seq, std::uint32_t len,
+                            std::string tag) {
+    net::TlsRecord r;
+    r.length = len;
+    r.tls_seq = seq;
+    r.tag = std::move(tag);
+    return r;
+  }
+};
+
+TEST_F(CloudFixture, HeartbeatsAreAcknowledged) {
+  std::size_t acks = 0;
+  net::TcpCallbacks cbs;
+  cbs.on_record = [&](const net::TlsRecord& r) {
+    if (r.tag == "heartbeat-ack") ++acks;
+  };
+  net::TcpConnection& c =
+      client.tcp().connect(net::Endpoint{server.ip(), 443}, std::move(cbs));
+  for (std::uint64_t i = 0; i < 3; ++i) c.send_record(rec(i, 41, "heartbeat"));
+  sim.run_until(sim::TimePoint{} + sim::seconds(5));
+  EXPECT_EQ(acks, 3u);
+  EXPECT_EQ(app.heartbeats_received(), 3u);
+}
+
+TEST_F(CloudFixture, InOrderCommandExecutesOnce) {
+  net::TcpConnection* c = connect();
+  c->send_record(rec(0, 500, "voice-audio"));
+  c->send_record(rec(1, 500, "voice-cmd-end:42"));
+  sim.run_until(sim::TimePoint{} + sim::seconds(5));
+  ASSERT_EQ(app.executed().size(), 1u);
+  EXPECT_EQ(app.executed()[0].command_tag, "voice-cmd-end:42");
+  EXPECT_EQ(app.sequence_violations(), 0u);
+}
+
+TEST_F(CloudFixture, DuplicateSeqIsAViolation) {
+  net::TcpConnection* c = connect();
+  c->send_record(rec(0, 100, "x"));
+  c->send_record(rec(0, 100, "x"));  // replayed record
+  sim.run_until(sim::TimePoint{} + sim::seconds(5));
+  EXPECT_EQ(app.sequence_violations(), 1u);
+  EXPECT_EQ(app.sessions_killed(), 1u);
+}
+
+TEST_F(CloudFixture, DeadSessionIgnoresLaterRecords) {
+  net::TcpConnection* c = connect();
+  c->send_record(rec(2, 100, "gap"));  // immediate violation (expected 0)
+  c->send_record(rec(3, 100, "voice-cmd-end:7"));
+  sim.run_until(sim::TimePoint{} + sim::seconds(5));
+  EXPECT_TRUE(app.executed().empty());
+  EXPECT_EQ(app.sequence_violations(), 1u);
+}
+
+TEST_F(CloudFixture, CloseAllSessionsDrainsSpeakers) {
+  bool closed = false;
+  net::TcpCallbacks cbs;
+  cbs.on_closed = [&](net::TcpCloseReason r) {
+    closed = true;
+    EXPECT_EQ(r, net::TcpCloseReason::kFin);
+  };
+  client.tcp().connect(net::Endpoint{server.ip(), 443}, std::move(cbs));
+  sim.run_until(sim::TimePoint{} + sim::seconds(2));
+  EXPECT_EQ(app.sessions_opened(), 1u);
+  app.close_all_sessions();
+  sim.run_until(sim.now() + sim::seconds(5));
+  EXPECT_TRUE(closed);
+}
+
+TEST_F(CloudFixture, ResponseFollowsCommandAfterProcessingDelay) {
+  sim::TimePoint cmd_done, first_response;
+  net::TcpCallbacks cbs;
+  cbs.on_record = [&](const net::TlsRecord& r) {
+    if (first_response == sim::TimePoint{} && r.tag.rfind("response", 0) == 0) {
+      first_response = sim.now();
+    }
+  };
+  net::TcpConnection& c =
+      client.tcp().connect(net::Endpoint{server.ip(), 443}, std::move(cbs));
+  c.send_record(rec(0, 1000, "voice-cmd-end:1"));
+  sim.run_until(sim::TimePoint{} + sim::seconds(1));
+  cmd_done = sim::TimePoint{};  // command sent at ~connection time
+  sim.run_until(sim::TimePoint{} + sim::seconds(5));
+  ASSERT_NE(first_response, sim::TimePoint{});
+  // Processing delay: 380 +- 150 ms plus RTTs.
+  EXPECT_GT((first_response - cmd_done).seconds(), 0.2);
+  EXPECT_LT((first_response - cmd_done).seconds(), 1.5);
+}
+
+TEST(GenericServer, AcksApplicationRecords) {
+  sim::Simulation sim{43};
+  net::Network net{sim};
+  net::Host server{net, "misc", IpAddress(54, 239, 28, 20)};
+  net::Host client{net, "client", IpAddress(192, 168, 1, 200)};
+  net::Link& l = net.add_link(client, server, sim::milliseconds(5));
+  client.attach(l);
+  server.attach(l);
+  GenericTlsServerApp app{server};
+
+  std::size_t acks = 0;
+  net::TcpCallbacks cbs;
+  cbs.on_record = [&](const net::TlsRecord& r) {
+    if (r.tag == "generic-ack") ++acks;
+  };
+  net::TcpConnection& c =
+      client.tcp().connect(net::Endpoint{server.ip(), 443}, std::move(cbs));
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    net::TlsRecord r;
+    r.length = 120;
+    r.tls_seq = i;
+    c.send_record(r);
+  }
+  sim.run_until(sim::TimePoint{} + sim::seconds(5));
+  EXPECT_EQ(acks, 4u);
+  EXPECT_EQ(app.connections(), 1u);
+}
+
+}  // namespace
+}  // namespace vg::cloud

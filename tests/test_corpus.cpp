@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include "simcore/Rng.h"
+#include "workload/Corpus.h"
+
+namespace vg::workload {
+namespace {
+
+TEST(Corpus, CountWords) {
+  EXPECT_EQ(count_words("turn off the lights"), 4);
+  EXPECT_EQ(count_words("  padded   words  "), 2);
+  EXPECT_EQ(count_words(""), 0);
+}
+
+TEST(Corpus, AlexaMatchesPaperStatistics) {
+  const auto& c = CommandCorpus::alexa();
+  // §V-A2: 320 commands, mean 5.95 words, >=4 words for 86.8 %.
+  EXPECT_EQ(c.size(), 320u);
+  EXPECT_NEAR(c.mean_words(), 5.95, 0.05);
+  EXPECT_NEAR(c.fraction_with_at_least(4), 0.868, 0.01);
+}
+
+TEST(Corpus, GoogleMatchesPaperStatistics) {
+  const auto& c = CommandCorpus::google();
+  // §V-A2: 443 commands, mean 7.39 words, >=5 words for 93.9 %.
+  EXPECT_EQ(c.size(), 443u);
+  EXPECT_NEAR(c.mean_words(), 7.39, 0.05);
+  EXPECT_NEAR(c.fraction_with_at_least(5), 0.939, 0.01);
+}
+
+TEST(Corpus, EveryCommandHasItsTargetLength) {
+  for (const auto* corpus : {&CommandCorpus::alexa(), &CommandCorpus::google()}) {
+    for (std::size_t i = 0; i < corpus->size(); ++i) {
+      EXPECT_GE(corpus->word_count(i), 1);
+      EXPECT_EQ(corpus->word_count(i), count_words(corpus->commands()[i]));
+    }
+  }
+}
+
+TEST(Corpus, SampleProducesConsistentSpec) {
+  sim::RngRegistry reg{5};
+  auto& rng = reg.stream("c");
+  const auto& c = CommandCorpus::alexa();
+  for (int i = 0; i < 50; ++i) {
+    const auto cmd = c.sample(rng, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(cmd.id, static_cast<std::uint64_t>(i));
+    EXPECT_EQ(cmd.words, count_words(cmd.text));
+    // Speech duration: wake word + words at 2 words/s.
+    EXPECT_NEAR(cmd.speech_duration().seconds(), 0.6 + cmd.words / 2.0, 1e-6);
+  }
+}
+
+TEST(Corpus, UserExperienceArgumentHolds) {
+  // §V-A2's conclusion: at 2 words/s, >=80 % of commands take long enough to
+  // speak that a sub-2 s RSSI query finishes within the utterance.
+  const auto& alexa = CommandCorpus::alexa();
+  const auto& google = CommandCorpus::google();
+  EXPECT_GE(alexa.fraction_with_at_least(4), 0.80);   // >= 2.0 s of speech
+  EXPECT_GE(google.fraction_with_at_least(5), 0.80);  // >= 2.5 s of speech
+}
+
+}  // namespace
+}  // namespace vg::workload

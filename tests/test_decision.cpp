@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "home/Fcm.h"
+#include "home/MobileDevice.h"
+#include "home/Person.h"
+#include "home/Testbed.h"
+#include "voiceguard/Decision.h"
+#include "voiceguard/FloorTracker.h"
+#include "voiceguard/ThresholdApp.h"
+
+namespace vg::guard {
+namespace {
+
+/// RSSI decision harness on the two-floor house, speaker deployment 1.
+struct DecisionFixture : ::testing::Test {
+  sim::Simulation sim{21};
+  home::Testbed tb = home::Testbed::two_floor_house();
+  radio::PathLossParams params{};
+  radio::BluetoothBeacon beacon{"spk", tb.speaker_position(1)};
+  home::FcmService fcm{sim};
+  RssiDecisionModule module{sim, fcm, beacon};
+
+  home::Person owner{sim, "owner", near_speaker()};
+  home::MobileDevice phone{sim, tb.plan(), params, "phone",
+                           [this] { return owner.position(); }};
+
+  radio::Vec3 near_speaker() const {
+    const auto s = tb.speaker_position(1);
+    return {s.x - 1.5, s.y + 1.0, tb.plan().device_height(0)};
+  }
+  radio::Vec3 kitchen() const { return tb.location(33).pos; }
+
+  /// Queries and runs the sim until the verdict arrives.
+  bool query() {
+    bool done = false, verdict = false;
+    module.query([&](bool legit) {
+      verdict = legit;
+      done = true;
+    });
+    while (!done && sim.pending_events() > 0) sim.step(1);
+    EXPECT_TRUE(done);
+    return verdict;
+  }
+};
+
+TEST_F(DecisionFixture, NoDevicesFailsClosed) {
+  EXPECT_FALSE(query());
+}
+
+TEST_F(DecisionFixture, NearbyOwnerIsLegit) {
+  module.register_device(phone, -8.0);
+  EXPECT_TRUE(query());
+  ASSERT_EQ(module.history().size(), 1u);
+  EXPECT_TRUE(module.history()[0].legit);
+  ASSERT_EQ(module.history()[0].reports.size(), 1u);
+  EXPECT_GT(module.history()[0].reports[0].rssi, -8.0);
+}
+
+TEST_F(DecisionFixture, AwayOwnerIsMalicious) {
+  module.register_device(phone, -8.0);
+  owner.teleport(kitchen());
+  EXPECT_FALSE(query());
+}
+
+TEST_F(DecisionFixture, QueryLatencyIsRecorded) {
+  module.register_device(phone, -8.0);
+  (void)query();
+  ASSERT_EQ(module.latencies_s().size(), 1u);
+  // FCM push + BLE scan + report uplink: between ~0.3 s and ~6 s.
+  EXPECT_GT(module.latencies_s()[0], 0.3);
+  EXPECT_LT(module.latencies_s()[0], 6.0);
+  EXPECT_EQ(module.queries(), 1u);
+  EXPECT_EQ(module.legit_verdicts(), 1u);
+}
+
+TEST_F(DecisionFixture, MultiUserAnyNearbyDeviceSuffices) {
+  home::Person owner2{sim, "owner2", kitchen()};
+  home::MobileDevice phone2{sim, tb.plan(), params, "phone2",
+                            [&] { return owner2.position(); }};
+  module.register_device(phone, -8.0);
+  module.register_device(phone2, -8.0);
+
+  // Owner 1 far, owner 2 far -> malicious.
+  owner.teleport(kitchen());
+  EXPECT_FALSE(query());
+  // Owner 2 returns to the speaker -> legit again.
+  owner2.teleport(near_speaker());
+  EXPECT_TRUE(query());
+}
+
+TEST_F(DecisionFixture, UnresponsiveDeviceCountsAsAway) {
+  module.register_device(phone, -8.0);
+  // Break the FCM registration: the push goes nowhere.
+  fcm.register_device(phone.fcm_token(), [](const std::string&) {});
+  const bool verdict = query();
+  EXPECT_FALSE(verdict);
+  ASSERT_EQ(module.history().size(), 1u);
+  ASSERT_EQ(module.history()[0].reports.size(), 1u);
+  EXPECT_TRUE(module.history()[0].reports[0].timed_out);
+}
+
+TEST_F(DecisionFixture, FloorGateVetoesHighRssi) {
+  // Owner in the directly-overhead study: RSSI above threshold, but the
+  // floor tracker says "upstairs" -> blocked (§V-B2).
+  FloorTracker tracker{sim, phone, beacon, /*speaker_floor=*/0};
+  module.register_device(phone, -8.0, &tracker);
+  owner.teleport(tb.location(55).pos);
+  tracker.set_level(1);
+  EXPECT_FALSE(query());
+  tracker.set_level(0);
+  EXPECT_TRUE(query());  // same place, gate open -> RSSI decides
+}
+
+TEST_F(DecisionFixture, SetThresholdAffectsOutcome) {
+  module.register_device(phone, -8.0);
+  ASSERT_TRUE(query());
+  module.set_threshold("phone", 50.0);  // impossible bar
+  EXPECT_FALSE(query());
+}
+
+TEST_F(DecisionFixture, PlacedDeviceMeasuresFromItsSpot) {
+  // §VII non-applicable scenario: phone left charging next to the speaker
+  // while the owner is away -> VoiceGuard is fooled by design.
+  module.register_device(phone, -8.0);
+  phone.put_down(near_speaker());
+  owner.teleport(kitchen());
+  EXPECT_TRUE(query());  // the phone vouches for an absent owner
+  phone.pick_up();
+  EXPECT_FALSE(query());
+}
+
+TEST(ThresholdApp, LearnsRoomMinimum) {
+  sim::Simulation sim{31};
+  home::Testbed tb = home::Testbed::two_floor_house();
+  radio::BluetoothBeacon beacon{"spk", tb.speaker_position(1)};
+  home::Person walker{sim, "w", tb.location(1).pos};
+  home::MobileDevice phone{sim, tb.plan(), radio::PathLossParams{}, "phone",
+                           [&] { return walker.position(); }};
+
+  const auto* room = tb.plan().room_by_name("living-room");
+  ASSERT_NE(room, nullptr);
+  const auto path =
+      room_boundary_path(room->bounds, tb.plan().device_height(0));
+
+  ThresholdResult result;
+  bool done = false;
+  learn_threshold(sim, walker, phone, beacon, path, [&](ThresholdResult r) {
+    result = r;
+    done = true;
+  });
+  while (!done && sim.pending_events() > 0) sim.step(1);
+  ASSERT_TRUE(done);
+
+  // Dozens of samples along a ~40 m walk at 1 m/s, 0.5 s apart.
+  EXPECT_GT(result.samples.size(), 50u);
+  // The paper set -8 for this room; noise puts the walk minimum near there.
+  EXPECT_LT(result.threshold, -5.0);
+  EXPECT_GT(result.threshold, -11.0);
+  // Every sample is >= the learned threshold by construction.
+  for (double s : result.samples) EXPECT_GE(s, result.threshold);
+}
+
+TEST(FcmService, LatencyWithinConfiguredBounds) {
+  sim::Simulation sim{41};
+  home::FcmService fcm{sim};
+  std::vector<double> latencies;
+  for (int i = 0; i < 100; ++i) {
+    fcm.register_device("tok", [&, t0 = sim.now()](const std::string&) {
+      latencies.push_back((sim.now() - t0).seconds());
+    });
+    fcm.push("tok", "x");
+    sim.run_all();
+  }
+  ASSERT_EQ(latencies.size(), 100u);
+  for (double l : latencies) {
+    EXPECT_GE(l, 0.18);
+    EXPECT_LE(l, 5.0);
+  }
+  // Median near the configured ~0.65 s.
+  std::sort(latencies.begin(), latencies.end());
+  EXPECT_GT(latencies[50], 0.35);
+  EXPECT_LT(latencies[50], 1.1);
+}
+
+TEST(FcmService, UnknownTokenDropped) {
+  sim::Simulation sim{41};
+  home::FcmService fcm{sim};
+  fcm.push("ghost", "x");
+  sim.run_all();
+  EXPECT_EQ(fcm.pushes_sent(), 1u);
+}
+
+}  // namespace
+}  // namespace vg::guard

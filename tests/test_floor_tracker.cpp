@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "home/MobileDevice.h"
+#include "home/MotionSensor.h"
+#include "home/Person.h"
+#include "home/Testbed.h"
+#include "voiceguard/FloorTracker.h"
+
+namespace vg::guard {
+namespace {
+
+constexpr double kStairSpeed = 0.45;
+
+struct FloorTrackerFixture : ::testing::Test {
+  sim::Simulation sim{77};
+  home::Testbed tb = home::Testbed::two_floor_house();
+  radio::BluetoothBeacon beacon{"spk", tb.speaker_position(1)};
+  home::Person owner{sim, "owner", tb.location(1).pos};
+  home::MobileDevice phone{sim, tb.plan(), radio::PathLossParams{}, "phone",
+                           [this] { return owner.position(); }};
+  FloorTracker tracker{sim, phone, beacon, /*speaker_floor=*/0};
+
+  radio::Vec3 stair_bottom = tb.location(42).pos;
+  radio::Vec3 stair_top = tb.location(48).pos;
+
+  /// Records one trace while `start_walk` drives the owner; returns the fit.
+  std::pair<TraceClass, analysis::LineFit> capture(
+      const std::function<void()>& start_walk) {
+    start_walk();
+    TraceClass cls{};
+    analysis::LineFit fit{};
+    bool done = false;
+    tracker.record_trace([&](TraceClass c, analysis::LineFit f) {
+      cls = c;
+      fit = f;
+      done = true;
+    });
+    while (!done && sim.pending_events() > 0) sim.step(1);
+    EXPECT_TRUE(done);
+    return {cls, fit};
+  }
+
+  void train(int per_class = 6) {
+    auto& rng = sim.rng("train");
+    for (int k = 0; k < per_class; ++k) {
+      owner.teleport(stair_bottom);
+      auto [c1, f1] = capture([&] { owner.walk_to(stair_top, kStairSpeed); });
+      tracker.add_training_fit(TraceClass::kUp, f1.slope, f1.intercept);
+
+      owner.teleport(stair_top);
+      auto [c2, f2] = capture([&] { owner.walk_to(stair_bottom, kStairSpeed); });
+      tracker.add_training_fit(TraceClass::kDown, f2.slope, f2.intercept);
+
+      for (const char* room : {"kitchen", "living-room", "bedroom-1"}) {
+        const auto center = radio::Vec3{
+            tb.plan().room_by_name(room)->bounds.center().x,
+            tb.plan().room_by_name(room)->bounds.center().y,
+            tb.plan().device_height(tb.plan().room_by_name(room)->floor)};
+        owner.teleport(center);
+        auto [c3, f3] = capture([&] {
+          std::vector<radio::Vec3> wiggle;
+          for (int s = 0; s < 6; ++s) {
+            wiggle.push_back({center.x + rng.uniform(-0.9, 0.9),
+                              center.y + rng.uniform(-0.9, 0.9), center.z});
+          }
+          owner.follow_path(std::move(wiggle), 0.7);
+        });
+        tracker.add_training_fit(TraceClass::kRoute1, f3.slope, f3.intercept);
+      }
+
+      owner.teleport(tb.location(21).pos);
+      auto [c4, f4] =
+          capture([&] { owner.walk_to(tb.location(37).pos, 0.7); });
+      tracker.add_training_fit(TraceClass::kRoute2, f4.slope, f4.intercept);
+
+      owner.teleport(tb.location(48).pos);
+      auto [c5, f5] =
+          capture([&] { owner.walk_to(tb.location(59).pos, 1.0); });
+      tracker.add_training_fit(TraceClass::kRoute3, f5.slope, f5.intercept);
+    }
+    tracker.finalize_training();
+  }
+};
+
+TEST_F(FloorTrackerFixture, TrainingRequiresBothKinds) {
+  tracker.add_training_fit(TraceClass::kRoute1, 0.05, -5);
+  EXPECT_THROW(tracker.finalize_training(), std::logic_error);
+  tracker.add_training_fit(TraceClass::kUp, -1.2, -11);
+  EXPECT_NO_THROW(tracker.finalize_training());
+  EXPECT_TRUE(tracker.trained());
+}
+
+TEST_F(FloorTrackerFixture, UpTracesHaveSteepNegativeSlope) {
+  owner.teleport(stair_bottom);
+  auto [cls, fit] = capture([&] { owner.walk_to(stair_top, kStairSpeed); });
+  EXPECT_LT(fit.slope, -0.4);
+  (void)cls;
+}
+
+TEST_F(FloorTrackerFixture, DownTracesHaveSteepPositiveSlope) {
+  owner.teleport(stair_top);
+  auto [cls, fit] = capture([&] { owner.walk_to(stair_bottom, kStairSpeed); });
+  EXPECT_GT(fit.slope, 0.4);
+  (void)cls;
+}
+
+TEST_F(FloorTrackerFixture, InRoomMovementHasFlatSlope) {
+  owner.teleport(tb.location(33).pos);
+  auto [cls, fit] = capture([&] {
+    owner.follow_path({tb.location(34).pos, tb.location(33).pos,
+                       tb.location(34).pos, tb.location(33).pos},
+                      0.6);
+  });
+  EXPECT_LT(std::abs(fit.slope), 0.35);
+  (void)cls;
+}
+
+TEST_F(FloorTrackerFixture, TrainedClassifierSeparatesStairsFromRoutes) {
+  train();
+  auto& rng = sim.rng("verify");
+  int errors = 0, total = 0;
+
+  // What matters for the floor level is Up/Down vs everything else: a missed
+  // stair transition or a route mistaken for a stair transition corrupts the
+  // level; Route-1/2/3 confusion among themselves is harmless.
+  auto check = [&](TraceClass expected, const std::function<void()>& walk,
+                   radio::Vec3 start) {
+    owner.teleport(start);
+    auto [cls, fit] = capture(walk);
+    (void)fit;
+    ++total;
+    const bool expected_stairs =
+        expected == TraceClass::kUp || expected == TraceClass::kDown;
+    if (expected_stairs) {
+      if (cls != expected) ++errors;
+    } else {
+      if (cls == TraceClass::kUp || cls == TraceClass::kDown) ++errors;
+    }
+  };
+
+  for (int k = 0; k < 5; ++k) {
+    check(TraceClass::kUp, [&] { owner.walk_to(stair_top, kStairSpeed); },
+          stair_bottom);
+    check(TraceClass::kDown, [&] { owner.walk_to(stair_bottom, kStairSpeed); },
+          stair_top);
+    const auto center = tb.location(33).pos;
+    check(TraceClass::kRoute1,
+          [&] {
+            std::vector<radio::Vec3> wiggle;
+            for (int s = 0; s < 6; ++s) {
+              wiggle.push_back({center.x + rng.uniform(-0.9, 0.9),
+                                center.y + rng.uniform(-0.9, 0.9), center.z});
+            }
+            owner.follow_path(std::move(wiggle), 0.7);
+          },
+          center);
+    check(TraceClass::kRoute2, [&] { owner.walk_to(tb.location(37).pos, 0.7); },
+          tb.location(21).pos);
+    check(TraceClass::kRoute3, [&] { owner.walk_to(tb.location(59).pos, 1.0); },
+          tb.location(48).pos);
+  }
+  // Fig. 10's claim: stair transitions separate from the confusable routes.
+  EXPECT_LE(errors, 2) << errors << "/" << total;
+}
+
+TEST_F(FloorTrackerFixture, UpDownUpdatesFloorLevel) {
+  train();
+  EXPECT_EQ(tracker.current_level(), 0);
+  EXPECT_TRUE(tracker.owner_on_speaker_floor());
+
+  owner.teleport(stair_bottom);
+  bool done = false;
+  owner.walk_to(stair_top, kStairSpeed);
+  tracker.record_trace([&](TraceClass c, analysis::LineFit) {
+    EXPECT_EQ(c, TraceClass::kUp);
+    tracker.set_level(c == TraceClass::kUp ? 1 : 0);
+    done = true;
+  });
+  while (!done && sim.pending_events() > 0) sim.step(1);
+  EXPECT_FALSE(tracker.owner_on_speaker_floor());
+}
+
+TEST_F(FloorTrackerFixture, MotionSensorDrivesTracker) {
+  train();
+  home::MotionSensor sensor{sim, tb.plan().stairs()->region};
+  sensor.watch(owner);
+  sensor.start();
+  tracker.attach(sensor);
+
+  // Owner walks from the living room through the stairs to the landing.
+  owner.teleport(tb.location(10).pos);
+  bool arrived = false;
+  owner.follow_path({stair_bottom}, 1.1, [&] {
+    owner.walk_to(stair_top, kStairSpeed, [&] {
+      owner.walk_to(tb.location(50).pos, 1.1, [&] { arrived = true; });
+    });
+  });
+  while (!arrived && sim.pending_events() > 0) sim.step(1);
+  // Let the triggered trace finish (8 s).
+  sim.run_until(sim.now() + sim::seconds(10));
+
+  EXPECT_GE(sensor.activations(), 1u);
+  EXPECT_GE(tracker.traces_recorded(), 1u);
+  EXPECT_EQ(tracker.current_level(), 1);
+  EXPECT_FALSE(tracker.owner_on_speaker_floor());
+
+  // And back down.
+  bool back = false;
+  owner.walk_to(stair_top, 1.1, [&] {
+    owner.walk_to(stair_bottom, kStairSpeed, [&] {
+      owner.walk_to(tb.location(10).pos, 1.1, [&] { back = true; });
+    });
+  });
+  while (!back && sim.pending_events() > 0) sim.step(1);
+  sim.run_until(sim.now() + sim::seconds(10));
+  EXPECT_EQ(tracker.current_level(), 0);
+  EXPECT_TRUE(tracker.owner_on_speaker_floor());
+}
+
+TEST_F(FloorTrackerFixture, UntrainedFallbackUsesSlopeSign) {
+  EXPECT_EQ(tracker.classify(-1.5, -10), TraceClass::kUp);
+  EXPECT_EQ(tracker.classify(1.5, -20), TraceClass::kDown);
+  EXPECT_EQ(tracker.classify(0.05, -5), TraceClass::kRoute1);
+}
+
+}  // namespace
+}  // namespace vg::guard

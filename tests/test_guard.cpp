@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "cloud/CloudFarm.h"
+#include "speaker/EchoDot.h"
+#include "speaker/GoogleHomeMini.h"
+#include "voiceguard/GuardBox.h"
+
+namespace vg {
+namespace {
+
+using net::IpAddress;
+
+cloud::CloudFarm::Options no_migration() {
+  cloud::CloudFarm::Options o;
+  o.avs_migration_mean = sim::Duration{0};
+  return o;
+}
+
+/// speaker -- guard -- router -- cloud, with a fixed-answer decision oracle.
+struct GuardWorld {
+  sim::Simulation sim{13};
+  net::Network net{sim};
+  net::Router router{"router"};
+  cloud::CloudFarm farm{net, router, no_migration()};
+  net::Host speaker_host{net, "speaker", IpAddress(192, 168, 1, 200)};
+  guard::FixedDecisionModule decision;
+  guard::GuardBox guard;
+
+  explicit GuardWorld(bool verdict,
+                      sim::Duration verdict_latency = sim::from_seconds(1.5),
+                      guard::GuardMode mode = guard::GuardMode::kVoiceGuard)
+      : decision(sim, verdict, verdict_latency),
+        guard(net, "guard", decision, [&] {
+          guard::GuardBox::Options o;
+          o.speaker_ips = {IpAddress(192, 168, 1, 200)};
+          o.mode = mode;
+          return o;
+        }()) {
+    net::Link& lan = net.add_link(speaker_host, guard, sim::milliseconds(2));
+    speaker_host.attach(lan);
+    guard.set_lan_link(lan);
+    net::Link& up = net.add_link(guard, router, sim::milliseconds(2));
+    guard.set_wan_link(up);
+    router.add_route(speaker_host.ip(), up);
+  }
+
+  speaker::CommandSpec cmd(std::uint64_t id, int words = 6) {
+    speaker::CommandSpec c;
+    c.id = id;
+    c.text = "test";
+    c.words = words;
+    return c;
+  }
+
+  void run_to(double secs) { sim.run_until(sim::TimePoint{} + sim::from_seconds(secs)); }
+};
+
+speaker::EchoDotModel::Options regular_echo() {
+  speaker::EchoDotModel::Options o;
+  o.phase1.irregular_prob = 0.0;  // deterministic recognition in these tests
+  o.misc_connection_mean = sim::Duration{0};
+  return o;
+}
+
+TEST(GuardBox, LearnsAvsIpFromBootDns) {
+  GuardWorld w{true};
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); },
+                             regular_echo()};
+  echo.power_on();
+  w.run_to(10);
+  EXPECT_TRUE(echo.connected());
+  EXPECT_EQ(w.guard.tracked_avs_ip(), w.farm.current_avs_ip());
+  EXPECT_GE(w.guard.avs_ip_updates_from_dns(), 1u);
+}
+
+TEST(GuardBox, ProxyIsTransparentToNormalOperation) {
+  GuardWorld w{true, sim::milliseconds(800)};
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); },
+                             regular_echo()};
+  echo.power_on();
+  w.run_to(10);
+  echo.hear_command(w.cmd(1));
+  w.run_to(90);
+  ASSERT_EQ(echo.interactions().size(), 1u);
+  EXPECT_TRUE(echo.interactions()[0].response_received);
+  EXPECT_EQ(w.farm.all_executed().size(), 1u);
+  EXPECT_EQ(w.farm.total_sequence_violations(), 0u);
+  EXPECT_EQ(w.guard.commands_released(), 1u);
+}
+
+TEST(GuardBox, HoldsCommandForVerdictDuration) {
+  GuardWorld w{true, sim::from_seconds(1.5)};
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); },
+                             regular_echo()};
+  echo.power_on();
+  w.run_to(10);
+  echo.hear_command(w.cmd(1));
+  w.run_to(90);
+
+  const auto& events = w.guard.spike_events();
+  ASSERT_FALSE(events.empty());
+  const auto& first = events.front();
+  EXPECT_EQ(first.cls, guard::SpikeClass::kCommand);
+  EXPECT_TRUE(first.held);
+  EXPECT_TRUE(first.queried);
+  EXPECT_TRUE(first.verdict_legit);
+  EXPECT_NEAR(first.hold_seconds, 1.5, 0.1);
+  EXPECT_FALSE(first.dropped);
+}
+
+TEST(GuardBox, ResponseSpikesAreNotQueried) {
+  GuardWorld w{true, sim::milliseconds(500)};
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); },
+                             regular_echo()};
+  echo.power_on();
+  w.run_to(10);
+  echo.hear_command(w.cmd(1));
+  w.run_to(90);
+
+  const auto& events = w.guard.spike_events();
+  ASSERT_GE(events.size(), 2u);  // 1 command + >=1 response spike
+  std::size_t responses = 0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].cls, guard::SpikeClass::kResponse) << "event " << i;
+    EXPECT_FALSE(events[i].queried) << "event " << i;
+    ++responses;
+  }
+  EXPECT_GE(responses, 1u);
+  EXPECT_EQ(w.decision.queries(), 1u);
+}
+
+TEST(GuardBox, NaiveModeHoldsResponsesToo) {
+  GuardWorld w{true, sim::milliseconds(600), guard::GuardMode::kNaive};
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); },
+                             regular_echo()};
+  echo.power_on();
+  w.run_to(10);
+  echo.hear_command(w.cmd(1));
+  w.run_to(90);
+  const auto& events = w.guard.spike_events();
+  ASSERT_GE(events.size(), 2u);
+  for (const auto& e : events) {
+    EXPECT_TRUE(e.queried);  // the Fig. 3 strawman: every spike is held
+  }
+  EXPECT_EQ(w.decision.queries(), events.size());
+}
+
+TEST(GuardBox, DropBlocksCommandViaRecordGap) {
+  GuardWorld w{false, sim::from_seconds(1.5)};
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); },
+                             regular_echo()};
+  echo.power_on();
+  w.run_to(10);
+  echo.hear_command(w.cmd(666));
+  w.run_to(120);
+
+  // The cloud never executed the command ...
+  EXPECT_TRUE(w.farm.all_executed().empty());
+  EXPECT_EQ(w.guard.commands_blocked(), 1u);
+  // ... the TLS session died on the sequence gap (Fig. 4 case III) ...
+  EXPECT_GE(w.farm.total_sequence_violations(), 1u);
+  // ... the speaker saw an error and reconnected.
+  ASSERT_FALSE(echo.interactions().empty());
+  EXPECT_FALSE(echo.interactions()[0].response_received);
+  EXPECT_GE(echo.reconnects(), 1u);
+  w.run_to(140);
+  EXPECT_TRUE(echo.connected());
+}
+
+TEST(GuardBox, TracksAvsIpAcrossDnslessMigration) {
+  GuardWorld w{true, sim::milliseconds(500)};
+  auto opts = regular_echo();
+  opts.dns_on_reconnect_prob = 0.0;  // force the signature-tracking path
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); }, opts};
+  echo.power_on();
+  w.run_to(10);
+  ASSERT_EQ(w.guard.tracked_avs_ip(), w.farm.current_avs_ip());
+
+  w.farm.migrate_avs_now();
+  w.run_to(40);
+  ASSERT_TRUE(echo.connected());
+  ASSERT_GE(echo.dnsless_reconnects(), 1u);
+  // No DNS was visible, yet the guard followed the IP via the signature.
+  EXPECT_EQ(w.guard.tracked_avs_ip(), w.farm.current_avs_ip());
+  EXPECT_GE(w.guard.avs_ip_updates_from_signature(), 1u);
+
+  // And a command on the new connection is still recognized and held.
+  echo.hear_command(w.cmd(2));
+  w.run_to(120);
+  EXPECT_EQ(w.farm.all_executed().size(), 1u);
+  bool found_command = false;
+  for (const auto& e : w.guard.spike_events()) {
+    if (e.cls == guard::SpikeClass::kCommand && e.queried) found_command = true;
+  }
+  EXPECT_TRUE(found_command);
+}
+
+TEST(GuardBox, GoogleTcpCommandBlocked) {
+  GuardWorld w{false, sim::from_seconds(1.2)};
+  speaker::GoogleHomeMiniModel::Options opts;
+  opts.quic_probability = 0.0;
+  speaker::GoogleHomeMiniModel ghm{w.speaker_host, w.farm.dns_endpoint(), opts};
+  ghm.power_on();
+  ghm.hear_command(w.cmd(7, 7));
+  w.run_to(90);
+  EXPECT_TRUE(w.farm.all_executed().empty());
+  EXPECT_GE(w.guard.commands_blocked(), 1u);
+  ASSERT_FALSE(ghm.interactions().empty());
+  EXPECT_FALSE(ghm.interactions()[0].response_received);
+}
+
+TEST(GuardBox, GoogleTcpCommandReleased) {
+  GuardWorld w{true, sim::from_seconds(1.2)};
+  speaker::GoogleHomeMiniModel::Options opts;
+  opts.quic_probability = 0.0;
+  speaker::GoogleHomeMiniModel ghm{w.speaker_host, w.farm.dns_endpoint(), opts};
+  ghm.power_on();
+  ghm.hear_command(w.cmd(8, 7));
+  w.run_to(90);
+  EXPECT_EQ(w.farm.all_executed().size(), 1u);
+  ASSERT_FALSE(ghm.interactions().empty());
+  EXPECT_TRUE(ghm.interactions()[0].response_received);
+}
+
+TEST(GuardBox, GoogleQuicCommandBlocked) {
+  GuardWorld w{false, sim::from_seconds(1.2)};
+  speaker::GoogleHomeMiniModel::Options opts;
+  opts.quic_probability = 1.0;
+  speaker::GoogleHomeMiniModel ghm{w.speaker_host, w.farm.dns_endpoint(), opts};
+  ghm.power_on();
+  ghm.hear_command(w.cmd(9, 7));
+  w.run_to(90);
+  EXPECT_TRUE(w.farm.all_executed().empty());
+  EXPECT_GE(w.guard.commands_blocked(), 1u);
+}
+
+TEST(GuardBox, GoogleQuicCommandReleased) {
+  GuardWorld w{true, sim::from_seconds(1.2)};
+  speaker::GoogleHomeMiniModel::Options opts;
+  opts.quic_probability = 1.0;
+  speaker::GoogleHomeMiniModel ghm{w.speaker_host, w.farm.dns_endpoint(), opts};
+  ghm.power_on();
+  ghm.hear_command(w.cmd(10, 7));
+  w.run_to(90);
+  EXPECT_EQ(w.farm.all_executed().size(), 1u);
+  ASSERT_FALSE(ghm.interactions().empty());
+  EXPECT_TRUE(ghm.interactions()[0].response_received);
+}
+
+TEST(GuardBox, MonitorModeNeverHolds) {
+  GuardWorld w{false, sim::from_seconds(1.5), guard::GuardMode::kMonitor};
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); },
+                             regular_echo()};
+  echo.power_on();
+  w.run_to(10);
+  echo.hear_command(w.cmd(1));
+  w.run_to(90);
+  // Even with a "block" oracle, monitor mode lets everything through...
+  EXPECT_EQ(w.farm.all_executed().size(), 1u);
+  EXPECT_EQ(w.guard.commands_blocked(), 0u);
+  // ...but still recognizes and classifies the spikes.
+  ASSERT_FALSE(w.guard.spike_events().empty());
+  EXPECT_EQ(w.guard.spike_events()[0].cls, guard::SpikeClass::kCommand);
+  EXPECT_FALSE(w.guard.spike_events()[0].held);
+}
+
+TEST(GuardBox, MiscAmazonFlowsAreNotMonitored) {
+  GuardWorld w{false, sim::milliseconds(500)};
+  auto opts = regular_echo();
+  opts.misc_connection_mean = sim::seconds(20);  // frequent misc connections
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); }, opts};
+  echo.power_on();
+  w.sim.run_until(sim::TimePoint{} + sim::minutes(4));
+  // Misc connections carried traffic but never triggered holds or spikes on
+  // unmonitored flows (no commands were issued at all).
+  EXPECT_EQ(w.decision.queries(), 0u);
+  EXPECT_EQ(w.guard.commands_blocked(), 0u);
+  EXPECT_TRUE(echo.connected());
+}
+
+TEST(GuardBox, HeartbeatsDoNotTriggerSpikes) {
+  GuardWorld w{false, sim::milliseconds(500)};
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); },
+                             regular_echo()};
+  echo.power_on();
+  // Five minutes of idle heartbeats: no spike events, no queries.
+  w.sim.run_until(sim::TimePoint{} + sim::minutes(5));
+  EXPECT_TRUE(w.guard.spike_events().empty());
+  EXPECT_EQ(w.decision.queries(), 0u);
+  EXPECT_TRUE(echo.connected());
+}
+
+}  // namespace
+}  // namespace vg

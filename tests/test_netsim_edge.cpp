@@ -1,0 +1,233 @@
+/// Edge cases of the network substrate: teardown races, keep-alive death,
+/// out-of-order reassembly, DNS corner cases.
+
+#include <gtest/gtest.h>
+
+#include "netsim/Dns.h"
+#include "netsim/Host.h"
+#include "netsim/MiddleBox.h"
+
+namespace vg::net {
+namespace {
+
+struct TcpWorld {
+  sim::Simulation sim{2};
+  Network net{sim};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+
+  TcpWorld() {
+    Link& l = net.add_link(a, b, sim::milliseconds(5));
+    a.attach(l);
+    b.attach(l);
+  }
+};
+
+TlsRecord rec(std::uint32_t len, std::uint64_t seq) {
+  TlsRecord r;
+  r.length = len;
+  r.tls_seq = seq;
+  return r;
+}
+
+TEST(TcpEdge, SimultaneousCloseResolves) {
+  TcpWorld w;
+  TcpConnection* server = nullptr;
+  int closed = 0;
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    server = &c;
+    TcpCallbacks cbs;
+    cbs.on_closed = [&](TcpCloseReason) { ++closed; };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpCallbacks ccbs;
+  ccbs.on_closed = [&](TcpCloseReason) { ++closed; };
+  TcpConnection& cc = w.a.tcp().connect(Endpoint{w.b.ip(), 443}, std::move(ccbs));
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(1));
+  ASSERT_NE(server, nullptr);
+  // Both sides close in the same instant: FINs cross on the wire.
+  cc.close();
+  server->close();
+  w.sim.run_all();
+  EXPECT_EQ(closed, 2);
+  EXPECT_EQ(w.a.tcp().connection_count(), 0u);
+  EXPECT_EQ(w.b.tcp().connection_count(), 0u);
+}
+
+TEST(TcpEdge, DataQueuedBeforeConnectSurvivesHandshake) {
+  TcpWorld w;
+  std::uint64_t bytes = 0;
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    TcpCallbacks cbs;
+    cbs.on_record = [&](const TlsRecord& r) { bytes += r.length; };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpConnection& cc = w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  // Multiple writes while still SYN_SENT.
+  for (int i = 0; i < 5; ++i) cc.send_record(rec(10, static_cast<std::uint64_t>(i)));
+  w.sim.run_all();
+  EXPECT_EQ(bytes, 50u);
+}
+
+TEST(TcpEdge, EstablishedCallbackFiresBeforeFirstRecord) {
+  TcpWorld w;
+  std::vector<std::string> order;
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    TcpCallbacks cbs;
+    cbs.on_established = [&] { order.push_back("est"); };
+    cbs.on_record = [&](const TlsRecord&) { order.push_back("rec"); };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpConnection& cc = w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  cc.send_record(rec(10, 0));
+  w.sim.run_all();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "est");
+  EXPECT_EQ(order[1], "rec");
+}
+
+TEST(TcpEdge, AbortDuringHandshakeIsClean) {
+  TcpWorld w;
+  w.b.tcp().listen(443, [](TcpConnection&) {});
+  TcpConnection& cc = w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  cc.abort();  // still SYN_SENT
+  w.sim.run_all();
+  EXPECT_EQ(w.a.tcp().connection_count(), 0u);
+}
+
+TEST(TcpEdge, CloseIsIdempotent) {
+  TcpWorld w;
+  w.b.tcp().listen(443, [](TcpConnection&) {});
+  int closed = 0;
+  TcpCallbacks cbs;
+  cbs.on_closed = [&](TcpCloseReason) { ++closed; };
+  TcpConnection& cc = w.a.tcp().connect(Endpoint{w.b.ip(), 443}, std::move(cbs));
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(1));
+  cc.close();
+  cc.close();
+  cc.close();
+  w.sim.run_all();
+  EXPECT_EQ(closed, 1);
+}
+
+/// Middlebox that can swallow ACKs in one direction (to starve keep-alives).
+struct AckEater : NetNode {
+  Link* lan{nullptr};
+  Link* wan{nullptr};
+  bool eat_from_wan{false};
+  void receive(Packet p, Link& from) override {
+    if (&from == wan && eat_from_wan) return;
+    (&from == lan ? wan : lan)->send_from(*this, std::move(p));
+  }
+  [[nodiscard]] std::string name() const override { return "ack-eater"; }
+};
+
+TEST(TcpEdge, KeepaliveProbesExhaustOnDeadPeer) {
+  sim::Simulation sim{2};
+  Network net{sim};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+  AckEater mb;
+  Link& l1 = net.add_link(a, mb, sim::milliseconds(2));
+  Link& l2 = net.add_link(mb, b, sim::milliseconds(2));
+  a.attach(l1);
+  b.attach(l2);
+  mb.lan = &l1;
+  mb.wan = &l2;
+
+
+  b.tcp().listen(443, [](TcpConnection&) {});
+  TcpOptions opts;
+  opts.keepalive_enabled = true;
+  opts.keepalive_idle = sim::seconds(5);
+  opts.keepalive_interval = sim::seconds(3);
+  opts.keepalive_probes = 3;
+  bool closed = false;
+  TcpCloseReason reason{};
+  TcpCallbacks cbs;
+  cbs.on_closed = [&](TcpCloseReason r) {
+    closed = true;
+    reason = r;
+  };
+  a.tcp().connect(Endpoint{b.ip(), 443}, std::move(cbs), opts);
+  sim.run_until(sim::TimePoint{} + sim::seconds(2));
+  // The peer "dies": its responses stop reaching us.
+  mb.eat_from_wan = true;
+  sim.run_until(sim::TimePoint{} + sim::minutes(2));
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(reason, TcpCloseReason::kKeepaliveTimeout);
+}
+
+TEST(DnsEdge, MultipleARecordsReturned) {
+  sim::Simulation sim{4};
+  Network net{sim};
+  Host client{net, "c", IpAddress(10, 0, 0, 1)};
+  Host server{net, "dns", IpAddress(8, 8, 8, 8)};
+  Link& l = net.add_link(client, server, sim::milliseconds(2));
+  client.attach(l);
+  server.attach(l);
+  DnsZone zone;
+  zone.set("multi.example", {IpAddress(1, 1, 1, 1), IpAddress(2, 2, 2, 2)});
+  DnsServerApp app{server, zone};
+  DnsClient resolver{client, {server.ip(), DnsServerApp::kPort}};
+  std::vector<IpAddress> got;
+  resolver.resolve("multi.example",
+                   [&](const std::vector<IpAddress>& ips) { got = ips; });
+  sim.run_all();
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], IpAddress(1, 1, 1, 1));
+}
+
+TEST(DnsEdge, ConcurrentQueriesDemuxById) {
+  sim::Simulation sim{4};
+  Network net{sim};
+  Host client{net, "c", IpAddress(10, 0, 0, 1)};
+  Host server{net, "dns", IpAddress(8, 8, 8, 8)};
+  Link& l = net.add_link(client, server, sim::milliseconds(2));
+  client.attach(l);
+  server.attach(l);
+  DnsZone zone;
+  zone.set("a.example", {IpAddress(1, 0, 0, 1)});
+  zone.set("b.example", {IpAddress(2, 0, 0, 2)});
+  DnsServerApp app{server, zone};
+  DnsClient resolver{client, {server.ip(), DnsServerApp::kPort}};
+  IpAddress ra{}, rb{};
+  resolver.resolve("a.example",
+                   [&](const std::vector<IpAddress>& ips) { ra = ips.at(0); });
+  resolver.resolve("b.example",
+                   [&](const std::vector<IpAddress>& ips) { rb = ips.at(0); });
+  sim.run_all();
+  EXPECT_EQ(ra, IpAddress(1, 0, 0, 1));
+  EXPECT_EQ(rb, IpAddress(2, 0, 0, 2));
+}
+
+TEST(MiddleBoxEdge, UnattachedLinksThrow) {
+  sim::Simulation sim{4};
+  Network net{sim};
+  MiddleBox mb{net, "mb"};
+  Packet p;
+  EXPECT_THROW(mb.send_to_lan(p), std::logic_error);
+  EXPECT_THROW(mb.send_to_wan(p), std::logic_error);
+}
+
+TEST(HostEdge, SendWithoutLinkThrows) {
+  sim::Simulation sim{4};
+  Network net{sim};
+  Host h{net, "h", IpAddress(10, 0, 0, 9)};
+  Packet p;
+  EXPECT_THROW(h.send(p), std::logic_error);
+}
+
+TEST(HostEdge, IgnoresForeignDestination) {
+  TcpWorld w;
+  // A UDP datagram addressed to a third IP traverses the link but is not
+  // delivered to either stack.
+  int got = 0;
+  w.b.udp().bind_any([&](const Packet&) { ++got; });
+  w.a.udp().send_datagram({w.a.ip(), 1}, {IpAddress(9, 9, 9, 9), 9}, 10);
+  w.sim.run_all();
+  EXPECT_EQ(got, 0);
+}
+
+}  // namespace
+}  // namespace vg::net

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "netsim/Dns.h"
+#include "netsim/Host.h"
+#include "netsim/MiddleBox.h"
+#include "netsim/Router.h"
+
+namespace vg::net {
+namespace {
+
+TEST(Address, ParseAndFormat) {
+  EXPECT_EQ(IpAddress(192, 168, 1, 200).to_string(), "192.168.1.200");
+  EXPECT_EQ(IpAddress::parse("8.8.8.8"), IpAddress(8, 8, 8, 8));
+  EXPECT_THROW(IpAddress::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::parse("1.2.3.999"), std::invalid_argument);
+  EXPECT_THROW(IpAddress::parse("junk"), std::invalid_argument);
+}
+
+TEST(Address, EndpointOrderingAndHash) {
+  const Endpoint a{IpAddress(1, 2, 3, 4), 80};
+  const Endpoint b{IpAddress(1, 2, 3, 4), 81};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(FlowKey::canonical(a, b), FlowKey::canonical(b, a));
+  EXPECT_NE(std::hash<Endpoint>{}(a), std::hash<Endpoint>{}(b));
+}
+
+TEST(Packet, PayloadLengthSumsRecords) {
+  Packet p;
+  p.records.push_back(TlsRecord{TlsContentType::kApplicationData, 100, 0, ""});
+  p.records.push_back(TlsRecord{TlsContentType::kApplicationData, 38, 1, ""});
+  p.plain_payload = 12;
+  EXPECT_EQ(p.payload_length(), 150u);
+}
+
+TEST(Packet, SummaryMentionsFlagsAndLength) {
+  Packet p;
+  p.id = 7;
+  p.src = {IpAddress(10, 0, 0, 1), 1000};
+  p.dst = {IpAddress(10, 0, 0, 2), 443};
+  p.tcp.flags.set(TcpFlag::kSyn);
+  const std::string s = p.summary();
+  EXPECT_NE(s.find("SYN"), std::string::npos);
+  EXPECT_NE(s.find("#7"), std::string::npos);
+}
+
+TEST(Link, DeliversWithLatency) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+  Link& l = net.add_link(a, b, sim::milliseconds(7));
+  a.attach(l);
+  b.attach(l);
+
+  sim::TimePoint arrival;
+  b.udp().bind(9, [&](const Packet&) { arrival = sim.now(); });
+  a.udp().send_datagram({a.ip(), 1}, {b.ip(), 9}, 10);
+  sim.run_all();
+  EXPECT_EQ(arrival, sim::TimePoint{} + sim::milliseconds(7));
+}
+
+TEST(Link, JitterNeverReordersOneDirection) {
+  sim::Simulation sim{3};
+  Network net{sim};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+  Link& l = net.add_link(a, b, sim::milliseconds(5), sim::milliseconds(4));
+  a.attach(l);
+  b.attach(l);
+
+  std::vector<std::uint32_t> order;
+  b.udp().bind(9, [&](const Packet& p) { order.push_back(p.plain_payload); });
+  for (std::uint32_t i = 0; i < 50; ++i) {
+    sim.after(sim::microseconds(i * 100), [&a, &b, i] {
+      a.udp().send_datagram({a.ip(), 1}, {b.ip(), 9}, i);
+    });
+  }
+  sim.run_all();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::uint32_t i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Router, RoutesByDestination) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Router router{"r"};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+  Host c{net, "c", IpAddress(10, 0, 0, 3)};
+  Link& la = net.add_link(a, router, sim::milliseconds(1));
+  Link& lb = net.add_link(b, router, sim::milliseconds(1));
+  Link& lc = net.add_link(c, router, sim::milliseconds(1));
+  a.attach(la);
+  b.attach(lb);
+  c.attach(lc);
+  router.add_route(a.ip(), la);
+  router.add_route(b.ip(), lb);
+  router.add_route(c.ip(), lc);
+
+  int b_got = 0, c_got = 0;
+  b.udp().bind(9, [&](const Packet&) { ++b_got; });
+  c.udp().bind(9, [&](const Packet&) { ++c_got; });
+  a.udp().send_datagram({a.ip(), 1}, {b.ip(), 9}, 10);
+  a.udp().send_datagram({a.ip(), 1}, {c.ip(), 9}, 10);
+  sim.run_all();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 1);
+  EXPECT_EQ(router.dropped_packets(), 0u);
+}
+
+TEST(Router, DropsUnroutable) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Router router{"r"};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Link& la = net.add_link(a, router, sim::milliseconds(1));
+  a.attach(la);
+  router.add_route(a.ip(), la);
+  a.udp().send_datagram({a.ip(), 1}, {IpAddress(99, 9, 9, 9), 9}, 10);
+  sim.run_all();
+  EXPECT_EQ(router.dropped_packets(), 1u);
+}
+
+TEST(Dns, ResolvesFromZone) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host client{net, "client", IpAddress(10, 0, 0, 1)};
+  Host server{net, "dns", IpAddress(8, 8, 8, 8)};
+  Link& l = net.add_link(client, server, sim::milliseconds(3));
+  client.attach(l);
+  server.attach(l);
+
+  DnsZone zone;
+  zone.set("example.com", {IpAddress(93, 184, 216, 34)});
+  DnsServerApp app{server, zone};
+  DnsClient resolver{client, {server.ip(), DnsServerApp::kPort}};
+
+  std::vector<IpAddress> got;
+  resolver.resolve("example.com", [&](const std::vector<IpAddress>& ips) {
+    got = ips;
+  });
+  std::vector<IpAddress> missing{IpAddress(1, 1, 1, 1)};  // sentinel
+  resolver.resolve("nosuch.example", [&](const std::vector<IpAddress>& ips) {
+    missing = ips;
+  });
+  sim.run_all();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], IpAddress(93, 184, 216, 34));
+  EXPECT_TRUE(missing.empty());
+  EXPECT_EQ(app.queries_served(), 2u);
+}
+
+TEST(Dns, ZoneUpdatesAreVisible) {
+  DnsZone zone;
+  zone.set("d", {IpAddress(1, 1, 1, 1)});
+  zone.set("d", {IpAddress(2, 2, 2, 2)});
+  ASSERT_EQ(zone.lookup("d").size(), 1u);
+  EXPECT_EQ(zone.lookup("d")[0], IpAddress(2, 2, 2, 2));
+}
+
+TEST(MiddleBox, PassthroughForwardsBothWays) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+  MiddleBox mb{net, "mb"};
+  Link& l1 = net.add_link(a, mb, sim::milliseconds(1));
+  Link& l2 = net.add_link(mb, b, sim::milliseconds(1));
+  a.attach(l1);
+  b.attach(l2);
+  mb.set_lan_link(l1);
+  mb.set_wan_link(l2);
+
+  std::vector<std::pair<Direction, std::uint32_t>> observed;
+  mb.add_observer([&](const Packet& p, Direction d) {
+    observed.emplace_back(d, p.plain_payload);
+  });
+
+  int a_got = 0, b_got = 0;
+  a.udp().bind(8, [&](const Packet&) { ++a_got; });
+  b.udp().bind(9, [&](const Packet&) { ++b_got; });
+  a.udp().send_datagram({a.ip(), 8}, {b.ip(), 9}, 11);
+  b.udp().send_datagram({b.ip(), 9}, {a.ip(), 8}, 22);
+  sim.run_all();
+  EXPECT_EQ(a_got, 1);
+  EXPECT_EQ(b_got, 1);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0].first, Direction::kLanToWan);
+  EXPECT_EQ(observed[0].second, 11u);
+  EXPECT_EQ(observed[1].first, Direction::kWanToLan);
+  EXPECT_EQ(observed[1].second, 22u);
+}
+
+TEST(Udp, BindAnyCatchesUnboundPorts) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+  Link& l = net.add_link(a, b, sim::milliseconds(1));
+  a.attach(l);
+  b.attach(l);
+  int any = 0, bound = 0;
+  b.udp().bind(5, [&](const Packet&) { ++bound; });
+  b.udp().bind_any([&](const Packet&) { ++any; });
+  a.udp().send_datagram({a.ip(), 1}, {b.ip(), 5}, 1);
+  a.udp().send_datagram({a.ip(), 1}, {b.ip(), 6}, 1);
+  sim.run_all();
+  EXPECT_EQ(bound, 1);
+  EXPECT_EQ(any, 1);
+}
+
+}  // namespace
+}  // namespace vg::net

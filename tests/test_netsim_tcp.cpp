@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "netsim/Host.h"
+#include "netsim/Node.h"
+
+namespace vg::net {
+namespace {
+
+/// Two hosts on one link — the smallest TCP world.
+struct TcpWorld {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+
+  TcpWorld() {
+    Link& l = net.add_link(a, b, sim::milliseconds(5));
+    a.attach(l);
+    b.attach(l);
+  }
+};
+
+TlsRecord rec(std::uint32_t len, std::uint64_t seq, std::string tag = "data") {
+  TlsRecord r;
+  r.length = len;
+  r.tls_seq = seq;
+  r.tag = std::move(tag);
+  return r;
+}
+
+TEST(Tcp, HandshakeEstablishesBothSides) {
+  TcpWorld w;
+  bool server_est = false, client_est = false;
+  TcpConnection* server_conn = nullptr;
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    server_conn = &c;
+    TcpCallbacks cbs;
+    cbs.on_established = [&] { server_est = true; };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpCallbacks cbs;
+  cbs.on_established = [&] { client_est = true; };
+  TcpConnection& cc = w.a.tcp().connect(Endpoint{w.b.ip(), 443}, std::move(cbs));
+  w.sim.run_all();
+  EXPECT_TRUE(client_est);
+  EXPECT_TRUE(server_est);
+  EXPECT_EQ(cc.state(), TcpState::kEstablished);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(server_conn->state(), TcpState::kEstablished);
+}
+
+TEST(Tcp, ConnectionToClosedPortIsReset) {
+  TcpWorld w;
+  bool closed = false;
+  TcpCloseReason reason{};
+  TcpCallbacks cbs;
+  cbs.on_closed = [&](TcpCloseReason r) {
+    closed = true;
+    reason = r;
+  };
+  w.a.tcp().connect(Endpoint{w.b.ip(), 9999}, std::move(cbs));
+  w.sim.run_all();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(reason, TcpCloseReason::kReset);
+}
+
+TEST(Tcp, RecordsDeliveredInOrder) {
+  TcpWorld w;
+  std::vector<std::uint64_t> seqs;
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    TcpCallbacks cbs;
+    cbs.on_record = [&](const TlsRecord& r) { seqs.push_back(r.tls_seq); };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpConnection& cc =
+      w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  for (std::uint64_t i = 0; i < 10; ++i) cc.send_record(rec(100, i));
+  w.sim.run_all();
+  ASSERT_EQ(seqs.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) EXPECT_EQ(seqs[i], i);
+}
+
+TEST(Tcp, WritesBeforeEstablishmentAreQueued) {
+  TcpWorld w;
+  std::vector<std::uint32_t> lens;
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    TcpCallbacks cbs;
+    cbs.on_record = [&](const TlsRecord& r) { lens.push_back(r.length); };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpConnection& cc =
+      w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  cc.send_record(rec(42, 0));  // still SYN_SENT here
+  EXPECT_EQ(cc.state(), TcpState::kSynSent);
+  w.sim.run_all();
+  ASSERT_EQ(lens.size(), 1u);
+  EXPECT_EQ(lens[0], 42u);
+}
+
+TEST(Tcp, ByteCountersMatchRecordLengths) {
+  TcpWorld w;
+  TcpConnection* server_conn = nullptr;
+  w.b.tcp().listen(443, [&](TcpConnection& c) { server_conn = &c; });
+  TcpConnection& cc =
+      w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  cc.send_record(rec(100, 0));
+  cc.send_records({rec(50, 1), rec(25, 2)});
+  w.sim.run_all();
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(server_conn->bytes_received(), 175u);
+  EXPECT_EQ(server_conn->records_received(), 3u);
+  EXPECT_EQ(cc.bytes_sent(), 175u);
+}
+
+TEST(Tcp, OrderlyCloseNotifiesBothSides) {
+  TcpWorld w;
+  bool server_closed = false, client_closed = false;
+  TcpConnection* server_conn = nullptr;
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    server_conn = &c;
+    TcpCallbacks cbs;
+    cbs.on_closed = [&](TcpCloseReason r) {
+      server_closed = true;
+      EXPECT_EQ(r, TcpCloseReason::kFin);
+    };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpCallbacks ccbs;
+  ccbs.on_closed = [&](TcpCloseReason r) {
+    client_closed = true;
+    EXPECT_EQ(r, TcpCloseReason::kFin);
+  };
+  TcpConnection& cc = w.a.tcp().connect(Endpoint{w.b.ip(), 443}, std::move(ccbs));
+  w.sim.after(sim::seconds(1), [&] { cc.close(); });
+  w.sim.run_all();
+  EXPECT_TRUE(server_closed);
+  EXPECT_TRUE(client_closed);
+}
+
+TEST(Tcp, AbortSendsRst) {
+  TcpWorld w;
+  bool server_closed = false;
+  TcpCloseReason server_reason{};
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    TcpCallbacks cbs;
+    cbs.on_closed = [&](TcpCloseReason r) {
+      server_closed = true;
+      server_reason = r;
+    };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpConnection& cc =
+      w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  w.sim.after(sim::seconds(1), [&] { cc.abort(); });
+  w.sim.run_all();
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(server_reason, TcpCloseReason::kReset);
+}
+
+TEST(Tcp, DataAfterCloseIsDiscarded) {
+  TcpWorld w;
+  std::size_t received = 0;
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    TcpCallbacks cbs;
+    cbs.on_record = [&](const TlsRecord&) { ++received; };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpConnection& cc =
+      w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  w.sim.after(sim::seconds(1), [&] {
+    cc.close();
+    cc.send_record(rec(10, 0));  // write after FIN: dropped
+  });
+  w.sim.run_all();
+  EXPECT_EQ(received, 0u);
+}
+
+TEST(Tcp, KeepaliveKeepsIdleConnectionAlive) {
+  TcpWorld w;
+  bool closed = false;
+  w.b.tcp().listen(443, [&](TcpConnection& c) {
+    TcpCallbacks cbs;
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpOptions opts;
+  opts.keepalive_enabled = true;
+  opts.keepalive_idle = sim::seconds(10);
+  opts.keepalive_interval = sim::seconds(5);
+  TcpCallbacks cbs;
+  cbs.on_closed = [&](TcpCloseReason) { closed = true; };
+  TcpConnection& cc =
+      w.a.tcp().connect(Endpoint{w.b.ip(), 443}, std::move(cbs), opts);
+  // Idle for two minutes; probes are answered, so the connection survives.
+  w.sim.run_until(sim::TimePoint{} + sim::minutes(2));
+  EXPECT_FALSE(closed);
+  EXPECT_EQ(cc.state(), TcpState::kEstablished);
+}
+
+/// A middlebox-ish node that can blackhole traffic in one direction.
+struct Blackhole : NetNode {
+  Link* lan{nullptr};
+  Link* wan{nullptr};
+  bool drop_from_lan{false};
+  void receive(Packet p, Link& from) override {
+    if (&from == lan) {
+      if (drop_from_lan) return;
+      wan->send_from(*this, std::move(p));
+    } else {
+      lan->send_from(*this, std::move(p));
+    }
+  }
+  [[nodiscard]] std::string name() const override { return "blackhole"; }
+};
+
+TEST(Tcp, RetransmitsThroughLossAndGivesUpEventually) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+  Blackhole mb;
+  Link& l1 = net.add_link(a, mb, sim::milliseconds(2));
+  Link& l2 = net.add_link(mb, b, sim::milliseconds(2));
+  a.attach(l1);
+  b.attach(l2);
+  mb.lan = &l1;
+  mb.wan = &l2;
+
+  std::size_t received = 0;
+  b.tcp().listen(443, [&](TcpConnection& c) {
+    TcpCallbacks cbs;
+    cbs.on_record = [&](const TlsRecord&) { ++received; };
+    c.set_callbacks(std::move(cbs));
+  });
+  bool closed = false;
+  TcpCloseReason reason{};
+  int retransmits_at_close = 0;
+  TcpCallbacks cbs;
+  TcpConnection* ccp = nullptr;
+  cbs.on_closed = [&](TcpCloseReason r) {
+    closed = true;
+    reason = r;
+    retransmits_at_close = ccp->retransmit_count();
+  };
+  TcpConnection& cc = a.tcp().connect(Endpoint{b.ip(), 443}, std::move(cbs));
+  ccp = &cc;
+  sim.run_until(sim::TimePoint{} + sim::seconds(1));
+  ASSERT_TRUE(cc.established());
+
+  // Blackhole the client->server direction and send one record: the segment
+  // is retransmitted with backoff until the sender gives up. (cc is freed
+  // once closed, so stats are captured inside on_closed.)
+  mb.drop_from_lan = true;
+  cc.send_record(rec(99, 0));
+  sim.run_all();
+  EXPECT_EQ(received, 0u);
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(reason, TcpCloseReason::kRetransmitTimeout);
+  EXPECT_GE(retransmits_at_close, 5);
+}
+
+TEST(Tcp, RetransmissionRecoversFromTransientLoss) {
+  sim::Simulation sim{1};
+  Network net{sim};
+  Host a{net, "a", IpAddress(10, 0, 0, 1)};
+  Host b{net, "b", IpAddress(10, 0, 0, 2)};
+  Blackhole mb;
+  Link& l1 = net.add_link(a, mb, sim::milliseconds(2));
+  Link& l2 = net.add_link(mb, b, sim::milliseconds(2));
+  a.attach(l1);
+  b.attach(l2);
+  mb.lan = &l1;
+  mb.wan = &l2;
+
+  std::vector<std::uint64_t> seqs;
+  b.tcp().listen(443, [&](TcpConnection& c) {
+    TcpCallbacks cbs;
+    cbs.on_record = [&](const TlsRecord& r) { seqs.push_back(r.tls_seq); };
+    c.set_callbacks(std::move(cbs));
+  });
+  TcpConnection& cc = a.tcp().connect(Endpoint{b.ip(), 443}, TcpCallbacks{});
+  sim.run_until(sim::TimePoint{} + sim::seconds(1));
+  ASSERT_TRUE(cc.established());
+
+  mb.drop_from_lan = true;
+  cc.send_record(rec(99, 0));
+  // Heal the path before the retransmission limit.
+  sim.after(sim::milliseconds(2500), [&] { mb.drop_from_lan = false; });
+  sim.run_until(sim::TimePoint{} + sim::seconds(30));
+  ASSERT_EQ(seqs.size(), 1u);
+  EXPECT_EQ(seqs[0], 0u);
+  EXPECT_TRUE(cc.established());
+  EXPECT_GE(cc.retransmit_count(), 1);
+}
+
+TEST(Tcp, TransparentListenAcceptsAnyDestination) {
+  TcpWorld w;
+  Endpoint seen_local;
+  w.b.tcp().listen_transparent([&](TcpConnection& c) {
+    seen_local = c.local();
+  });
+  // Client connects to an IP that is NOT b's, but b sits at the end of the
+  // wire and transparently accepts. (Routing quirk of the two-node world:
+  // b receives everything on the link.)
+  sim::Simulation& sim = w.sim;
+  (void)sim;
+  // Host::receive filters dst!=own ip, so target b's IP but a foreign port.
+  TcpConnection& cc =
+      w.a.tcp().connect(Endpoint{w.b.ip(), 12345}, TcpCallbacks{});
+  w.sim.run_all();
+  EXPECT_EQ(cc.state(), TcpState::kEstablished);
+  EXPECT_EQ(seen_local.port, 12345);
+}
+
+TEST(Tcp, ConnectFromUsesSpoofedSource) {
+  TcpWorld w;
+  Endpoint seen_remote;
+  w.b.tcp().listen(443, [&](TcpConnection& c) { seen_remote = c.remote(); });
+  const Endpoint spoofed{IpAddress(10, 0, 0, 1), 55555};
+  w.a.tcp().connect_from(spoofed, Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  w.sim.run_all();
+  EXPECT_EQ(seen_remote, spoofed);
+}
+
+TEST(Tcp, DuplicateConnectFromThrows) {
+  TcpWorld w;
+  w.b.tcp().listen(443, [](TcpConnection&) {});
+  const Endpoint local{IpAddress(10, 0, 0, 1), 55555};
+  w.a.tcp().connect_from(local, Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  EXPECT_THROW(
+      w.a.tcp().connect_from(local, Endpoint{w.b.ip(), 443}, TcpCallbacks{}),
+      std::logic_error);
+}
+
+TEST(Tcp, ConnectionsRemovedAfterClose) {
+  TcpWorld w;
+  w.b.tcp().listen(443, [](TcpConnection&) {});
+  TcpConnection& cc =
+      w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(1));
+  EXPECT_EQ(w.a.tcp().connection_count(), 1u);
+  cc.close();
+  w.sim.run_all();
+  EXPECT_EQ(w.a.tcp().connection_count(), 0u);
+  EXPECT_EQ(w.b.tcp().connection_count(), 0u);
+}
+
+}  // namespace
+}  // namespace vg::net

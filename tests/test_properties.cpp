@@ -1,0 +1,385 @@
+/// Property-based tests: invariants that must hold across randomized inputs,
+/// swept with parameterized gtest suites.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "analysis/Stats.h"
+#include "home/Testbed.h"
+#include "netsim/Host.h"
+#include "radio/Propagation.h"
+#include "simcore/EventQueue.h"
+#include "simcore/Simulation.h"
+#include "speaker/TrafficPatterns.h"
+#include "voiceguard/Recognizer.h"
+#include "workload/Corpus.h"
+
+namespace vg {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Event queue vs a reference model, under random schedule/cancel interleaving.
+// ---------------------------------------------------------------------------
+
+class EventQueueProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueProperty, MatchesReferenceModel) {
+  sim::RngRegistry reg{GetParam()};
+  auto& rng = reg.stream("p");
+  sim::EventQueue q;
+  // Reference: multimap time -> id, plus fired order check.
+  std::multimap<std::int64_t, std::uint64_t> model;
+  std::map<std::uint64_t, sim::EventId> handles;
+  std::uint64_t next_tag = 1;
+  std::vector<std::uint64_t> fired;
+
+  for (int step = 0; step < 600; ++step) {
+    const double x = rng.uniform();
+    if (x < 0.55) {
+      const std::int64_t t = rng.uniform_int(0, 10'000);
+      const std::uint64_t tag = next_tag++;
+      handles[tag] = q.schedule(sim::TimePoint{t},
+                                [tag, &fired] { fired.push_back(tag); });
+      model.emplace(t, tag);
+    } else if (x < 0.75 && !model.empty()) {
+      // Cancel a random pending event.
+      auto it = model.begin();
+      std::advance(it, rng.uniform_int(0, static_cast<std::int64_t>(model.size()) - 1));
+      q.cancel(handles[it->second]);
+      model.erase(it);
+    } else if (!q.empty()) {
+      ASSERT_FALSE(model.empty());
+      // Reference: among the earliest time, FIFO by tag (insertion order is
+      // monotone in tag for equal times only if inserted in order — the
+      // multimap preserves insertion order for equal keys).
+      const auto fired_before = fired.size();
+      const sim::TimePoint expect_t = sim::TimePoint{model.begin()->first};
+      ASSERT_EQ(q.next_time(), expect_t);
+      q.pop().cb();
+      ASSERT_EQ(fired.size(), fired_before + 1);
+      ASSERT_EQ(fired.back(), model.begin()->second);
+      model.erase(model.begin());
+    }
+  }
+  EXPECT_EQ(q.size(), model.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// TCP byte-stream conservation under random record batches.
+// ---------------------------------------------------------------------------
+
+class TcpProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TcpProperty, AllRecordsArriveInOrderAndCounted) {
+  sim::Simulation sim{GetParam()};
+  net::Network net{sim};
+  net::Host a{net, "a", net::IpAddress(10, 0, 0, 1)};
+  net::Host b{net, "b", net::IpAddress(10, 0, 0, 2)};
+  net::Link& l = net.add_link(a, b, sim::milliseconds(4), sim::milliseconds(2));
+  a.attach(l);
+  b.attach(l);
+
+  std::vector<std::uint64_t> received;
+  std::uint64_t received_bytes = 0;
+  b.tcp().listen(443, [&](net::TcpConnection& c) {
+    net::TcpCallbacks cbs;
+    cbs.on_record = [&](const net::TlsRecord& r) {
+      received.push_back(r.tls_seq);
+      received_bytes += r.length;
+    };
+    c.set_callbacks(std::move(cbs));
+  });
+
+  net::TcpConnection& cc =
+      a.tcp().connect(net::Endpoint{b.ip(), 443}, net::TcpCallbacks{});
+  auto& rng = sim.rng("prop");
+  std::uint64_t seq = 0;
+  std::uint64_t sent_bytes = 0;
+  // Random batches at jittered but monotone send times (stream order is the
+  // application's responsibility), including writes before establishment.
+  sim::Duration when{0};
+  for (int batch = 0; batch < 30; ++batch) {
+    const int n = static_cast<int>(rng.uniform_int(1, 5));
+    std::vector<net::TlsRecord> rs;
+    for (int i = 0; i < n; ++i) {
+      net::TlsRecord r;
+      r.length = static_cast<std::uint32_t>(rng.uniform_int(1, 1500));
+      r.tls_seq = seq++;
+      sent_bytes += r.length;
+      rs.push_back(r);
+    }
+    when += sim::milliseconds(rng.uniform_int(0, 40));
+    sim.after(when, [&cc, rs = std::move(rs)]() mutable {
+      cc.send_records(std::move(rs));
+    });
+  }
+  sim.run_until(sim::TimePoint{} + sim::seconds(30));
+
+  ASSERT_EQ(received.size(), static_cast<std::size_t>(seq));
+  for (std::uint64_t i = 0; i < seq; ++i) EXPECT_EQ(received[i], i);
+  EXPECT_EQ(received_bytes, sent_bytes);
+  EXPECT_EQ(cc.bytes_sent(), sent_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TcpProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------------------------------------------------------------------------
+// Recognizer/generator agreement across many seeds (the Table I property).
+// ---------------------------------------------------------------------------
+
+class PatternProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PatternProperty, RegularPhase1AlwaysCommand) {
+  sim::RngRegistry reg{GetParam()};
+  auto& rng = reg.stream("p1");
+  speaker::Phase1Options opts;
+  opts.irregular_prob = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    const auto p = speaker::gen_phase1_prefix(rng, opts);
+    ASSERT_GE(p.size(), 5u);
+    EXPECT_EQ(guard::classify_spike(p), guard::SpikeClass::kCommand);
+  }
+}
+
+TEST_P(PatternProperty, Phase2AlwaysResponseNeverCommand) {
+  sim::RngRegistry reg{GetParam()};
+  auto& rng = reg.stream("p2");
+  for (int i = 0; i < 500; ++i) {
+    const auto p = speaker::gen_phase2_prefix(rng);
+    EXPECT_EQ(guard::classify_spike(p), guard::SpikeClass::kResponse);
+  }
+}
+
+TEST_P(PatternProperty, PrefixLengthsArePlausiblePacketSizes) {
+  sim::RngRegistry reg{GetParam()};
+  auto& rng = reg.stream("p3");
+  for (int i = 0; i < 200; ++i) {
+    for (const auto& p :
+         {speaker::gen_phase1_prefix(rng), speaker::gen_phase2_prefix(rng)}) {
+      for (std::uint32_t len : p) {
+        EXPECT_GE(len, 20u);
+        EXPECT_LE(len, 1500u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PatternProperty,
+                         ::testing::Values(7, 17, 27, 37, 47, 57, 67, 77));
+
+// ---------------------------------------------------------------------------
+// Radio propagation invariants over all three testbeds.
+// ---------------------------------------------------------------------------
+
+struct TestbedCase {
+  const char* name;
+  home::Testbed (*make)();
+};
+
+class RadioProperty : public ::testing::TestWithParam<TestbedCase> {};
+
+TEST_P(RadioProperty, MeanRssiIsSymmetric) {
+  const home::Testbed tb = GetParam().make();
+  const radio::PathLossParams p{};
+  const auto& locs = tb.locations();
+  for (std::size_t i = 0; i < locs.size(); i += 7) {
+    for (std::size_t j = i + 3; j < locs.size(); j += 11) {
+      EXPECT_NEAR(radio::mean_rssi(tb.plan(), p, locs[i].pos, locs[j].pos),
+                  radio::mean_rssi(tb.plan(), p, locs[j].pos, locs[i].pos),
+                  1e-9);
+    }
+  }
+}
+
+TEST_P(RadioProperty, LegitimateAreaBeatsWalledOffLocations) {
+  // The property the whole scheme rests on: the minimum RSSI inside the
+  // legitimate command area exceeds the maximum RSSI at any heavily
+  // walled-off (2+ wall crossings) location. The area is the speaker's room
+  // in the homes and the cubicle-bay box around the speaker in the office.
+  const home::Testbed tb = GetParam().make();
+  const radio::PathLossParams& p = tb.radio_params();
+  const bool office = tb.name() == "office";
+  for (int dep = 1; dep <= 2; ++dep) {
+    const radio::Vec3 spk = tb.speaker_position(dep);
+    const std::string& room = tb.speaker_room(dep);
+    double worst_in = 1e9, best_far = -1e9;
+    for (const auto& loc : tb.locations()) {
+      const double r = radio::mean_rssi(tb.plan(), p, spk, loc.pos);
+      const bool in_area =
+          office ? (std::abs(loc.pos.x - spk.x) <= 2.3 &&
+                    std::abs(loc.pos.y - spk.y) <= 2.3)
+                 : loc.room == room;
+      if (in_area) {
+        worst_in = std::min(worst_in, r);
+      } else if (tb.plan().wall_attenuation(spk, loc.pos) >= 5.5) {
+        best_far = std::max(best_far, r);
+      }
+    }
+    EXPECT_GT(worst_in, best_far + 1.0)
+        << GetParam().name << " deployment " << dep;
+  }
+}
+
+TEST_P(RadioProperty, EveryLocationHasFiniteSaneRssi) {
+  const home::Testbed tb = GetParam().make();
+  const radio::PathLossParams p{};
+  for (int dep = 1; dep <= 2; ++dep) {
+    const radio::Vec3 spk = tb.speaker_position(dep);
+    for (const auto& loc : tb.locations()) {
+      const double r = radio::mean_rssi(tb.plan(), p, spk, loc.pos);
+      EXPECT_GT(r, -60.0) << loc.number;
+      EXPECT_LT(r, 10.0) << loc.number;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Testbeds, RadioProperty,
+    ::testing::Values(TestbedCase{"house", &home::Testbed::two_floor_house},
+                      TestbedCase{"apartment", &home::Testbed::apartment},
+                      TestbedCase{"office", &home::Testbed::office}),
+    [](const ::testing::TestParamInfo<TestbedCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Rng distribution sanity across seeds.
+// ---------------------------------------------------------------------------
+
+class RngProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngProperty, ExponentialMeanConverges) {
+  sim::RngRegistry reg{GetParam()};
+  auto& rng = reg.stream("e");
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.exponential_mean(7.5);
+    ASSERT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 7.5, 0.4);
+}
+
+TEST_P(RngProperty, LognormalIsPositiveWithMedianExpMu) {
+  sim::RngRegistry reg{GetParam()};
+  auto& rng = reg.stream("l");
+  std::vector<double> vs;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.lognormal(-0.43, 0.38);
+    ASSERT_GT(v, 0.0);
+    vs.push_back(v);
+  }
+  EXPECT_NEAR(analysis::percentile(vs, 50), std::exp(-0.43), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngProperty, ::testing::Values(3, 14, 159, 265));
+
+// ---------------------------------------------------------------------------
+// Regression round-trip: fit recovers arbitrary lines under permutations.
+// ---------------------------------------------------------------------------
+
+class RegressionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegressionProperty, RecoversRandomLinesExactly) {
+  sim::RngRegistry reg{GetParam()};
+  auto& rng = reg.stream("r");
+  for (int k = 0; k < 50; ++k) {
+    const double slope = rng.uniform(-3, 3);
+    const double icpt = rng.uniform(-30, 5);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 40; ++i) {
+      const double x = rng.uniform(0, 8);
+      xs.push_back(x);
+      ys.push_back(slope * x + icpt);
+    }
+    const auto f = analysis::linear_regression(xs, ys);
+    EXPECT_NEAR(f.slope, slope, 1e-7);
+    EXPECT_NEAR(f.intercept, icpt, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegressionProperty, ::testing::Values(1, 9, 81));
+
+// ---------------------------------------------------------------------------
+// Corpus invariants.
+// ---------------------------------------------------------------------------
+
+TEST(CorpusProperty, CommandsAreNonEmptyAndDistinctish) {
+  for (const auto* c :
+       {&workload::CommandCorpus::alexa(), &workload::CommandCorpus::google()}) {
+    std::set<std::string> uniq;
+    for (const auto& s : c->commands()) {
+      ASSERT_FALSE(s.empty());
+      uniq.insert(s);
+    }
+    // Padding reuses suffixes, so not all 320/443 are unique, but the corpus
+    // must not be one command repeated.
+    EXPECT_GT(uniq.size(), c->size() / 3);
+  }
+}
+
+}  // namespace
+}  // namespace vg
+
+namespace vg {
+namespace {
+
+/// Random-position leak sweep: no occupiable spot outside the speaker's room
+/// (homes) may out-measure the in-room minimum — the property the RSSI
+/// threshold depends on, checked beyond the numbered grid locations.
+class LeakProperty
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(LeakProperty, NoRandomSpotOutsideRoomBeatsInRoomMinimum) {
+  const auto [deployment, seed] = GetParam();
+  for (auto make : {&home::Testbed::two_floor_house, &home::Testbed::apartment}) {
+    const home::Testbed tb = make();
+    const radio::PathLossParams& p = tb.radio_params();
+    const radio::Vec3 spk = tb.speaker_position(deployment);
+    const std::string& room_name = tb.speaker_room(deployment);
+    const auto* room = tb.plan().room_by_name(room_name);
+
+    double worst_in = 1e9;
+    for (const auto& loc : tb.locations()) {
+      if (loc.room == room_name) {
+        worst_in =
+            std::min(worst_in, radio::mean_rssi(tb.plan(), p, spk, loc.pos));
+      }
+    }
+
+    sim::RngRegistry reg{seed};
+    auto& rng = reg.stream("leak");
+    int leaks = 0;
+    for (const auto& r : tb.plan().rooms()) {
+      if (r.name == room_name) continue;
+      // The house's known intentional holes: the hallway LoS fan and the
+      // rooms directly above the speaker (handled by the floor tracker).
+      const bool house = tb.name() == "two-floor house";
+      if (house && r.floor != tb.plan().floor_of(spk.z)) continue;
+      if (house && r.name == "hallway") continue;
+      for (int k = 0; k < 150; ++k) {
+        const radio::Vec3 pos{rng.uniform(r.bounds.x0 + 0.4, r.bounds.x1 - 0.4),
+                              rng.uniform(r.bounds.y0 + 0.4, r.bounds.y1 - 0.4),
+                              tb.plan().device_height(r.floor)};
+        if (radio::mean_rssi(tb.plan(), p, spk, pos) >= worst_in) ++leaks;
+      }
+    }
+    EXPECT_EQ(leaks, 0) << tb.name() << " deployment " << deployment
+                        << " (in-room min " << worst_in << ", room "
+                        << room->name << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LeakProperty,
+                         ::testing::Combine(::testing::Values(1, 2),
+                                            ::testing::Values(5ull, 6ull)));
+
+}  // namespace
+}  // namespace vg

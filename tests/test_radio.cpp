@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "home/Testbed.h"
+#include "radio/Bluetooth.h"
+#include "radio/FloorPlan.h"
+#include "radio/Geometry.h"
+#include "radio/Propagation.h"
+#include "simcore/Simulation.h"
+
+namespace vg::radio {
+namespace {
+
+TEST(Geometry, SegmentIntersection) {
+  EXPECT_TRUE(segments_intersect({{0, 0}, {2, 2}}, {{0, 2}, {2, 0}}));
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{0, 1}, {1, 1}}));
+  // Touching endpoints count as intersecting.
+  EXPECT_TRUE(segments_intersect({{0, 0}, {1, 1}}, {{1, 1}, {2, 0}}));
+  // Collinear overlap.
+  EXPECT_TRUE(segments_intersect({{0, 0}, {3, 0}}, {{1, 0}, {2, 0}}));
+  // Collinear, disjoint.
+  EXPECT_FALSE(segments_intersect({{0, 0}, {1, 0}}, {{2, 0}, {3, 0}}));
+}
+
+TEST(Geometry, DistanceAndLerp) {
+  EXPECT_DOUBLE_EQ(distance({0, 0, 0}, {3, 4, 0}), 5.0);
+  const Vec3 mid = lerp({0, 0, 0}, {2, 4, 6}, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 1.0);
+  EXPECT_DOUBLE_EQ(mid.y, 2.0);
+  EXPECT_DOUBLE_EQ(mid.z, 3.0);
+}
+
+TEST(Geometry, RectContains) {
+  const Rect r{0, 0, 2, 3};
+  EXPECT_TRUE(r.contains({1, 1}));
+  EXPECT_TRUE(r.contains({0, 0}));  // boundary included
+  EXPECT_FALSE(r.contains({2.1, 1}));
+}
+
+FloorPlan simple_plan() {
+  FloorPlan plan;
+  plan.add_room(Room{"left", Rect{0, 0, 5, 5}, 0});
+  plan.add_room(Room{"right", Rect{5, 0, 10, 5}, 0});
+  plan.add_room(Room{"up", Rect{0, 0, 10, 5}, 1});
+  // Dividing wall with a door gap at y in (3.5, 5).
+  plan.add_wall(Wall{Segment{{5, 0}, {5, 3.5}}, 0, 6.0});
+  return plan;
+}
+
+TEST(FloorPlan, RoomLookup) {
+  const FloorPlan plan = simple_plan();
+  ASSERT_NE(plan.room_at({1, 1}, 0), nullptr);
+  EXPECT_EQ(plan.room_at({1, 1}, 0)->name, "left");
+  EXPECT_EQ(plan.room_at({7, 1}, 0)->name, "right");
+  EXPECT_EQ(plan.room_at({1, 1}, 1)->name, "up");
+  EXPECT_EQ(plan.room_at({20, 20}, 0), nullptr);
+  ASSERT_NE(plan.room_by_name("right"), nullptr);
+  EXPECT_EQ(plan.room_by_name("nope"), nullptr);
+}
+
+TEST(FloorPlan, WallCrossingRespectsDoors) {
+  const FloorPlan plan = simple_plan();
+  // Path through the wall: attenuated.
+  EXPECT_EQ(plan.walls_crossed({2, 2}, {8, 2}, 0), 1);
+  // Path through the door gap: free.
+  EXPECT_EQ(plan.walls_crossed({2, 4.5}, {8, 4.5}, 0), 0);
+  EXPECT_TRUE(plan.line_of_sight({2, 4.5, 1.0}, {8, 4.5, 1.0}));
+  EXPECT_FALSE(plan.line_of_sight({2, 2, 1.0}, {8, 2, 1.0}));
+}
+
+TEST(FloorPlan, CrossFloorIsNeverLineOfSight) {
+  const FloorPlan plan = simple_plan();
+  EXPECT_FALSE(plan.line_of_sight({2, 2, 1.0}, {2, 2, 4.0}));
+}
+
+TEST(FloorPlan, FloorOfHeights) {
+  FloorPlan plan;
+  plan.set_floor_height(2.8);
+  EXPECT_EQ(plan.floor_of(1.1), 0);
+  EXPECT_EQ(plan.floor_of(3.9), 1);
+  EXPECT_DOUBLE_EQ(plan.device_height(0), 1.1);
+  EXPECT_DOUBLE_EQ(plan.device_height(1), 3.9);
+}
+
+TEST(Propagation, MonotoneInDistance) {
+  const FloorPlan plan = simple_plan();
+  const PathLossParams p{};
+  const Vec3 tx{1, 1, 0.8};
+  double prev = 1e9;
+  for (double d = 0.5; d < 9; d += 0.5) {
+    const double r = mean_rssi(plan, p, tx, Vec3{1 + d, 1, 1.1});
+    EXPECT_LT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Propagation, WallsAttenuate) {
+  const FloorPlan plan = simple_plan();
+  const PathLossParams p{};
+  const Vec3 tx{4, 2, 1.0};
+  const double through_wall = mean_rssi(plan, p, tx, {6, 2, 1.0});
+  // Crosses x=5 at y ≈ 4.2, inside the door gap (3.5, 5).
+  const double through_door = mean_rssi(plan, p, tx, {5.2, 4.6, 1.0});
+  // Same-ish distance, ~6 dB difference from the wall.
+  EXPECT_LT(through_wall, through_door - 3.0);
+}
+
+TEST(Propagation, FloorsAttenuateContinuously) {
+  const FloorPlan plan = simple_plan();
+  const PathLossParams p{};
+  const Vec3 tx{1, 1, 0.8};
+  const double same = mean_rssi(plan, p, tx, {1, 1, 1.1});
+  const double above = mean_rssi(plan, p, tx, {1, 1, 3.9});
+  EXPECT_NEAR(same - above,
+              p.floor_attenuation_db_per_m * (3.9 - 1.1) +
+                  10 * p.exponent * (std::log10(3.1) - std::log10(0.3)),
+              0.2);
+}
+
+TEST(Propagation, NearFieldClamped) {
+  const FloorPlan plan = simple_plan();
+  const PathLossParams p{};
+  const Vec3 tx{1, 1, 1.0};
+  EXPECT_DOUBLE_EQ(mean_rssi(plan, p, tx, {1, 1, 1.0}),
+                   mean_rssi(plan, p, tx, {1.0 + p.min_distance_m / 2, 1, 1.0}));
+}
+
+TEST(Propagation, AveragingReducesSpread) {
+  const FloorPlan plan = simple_plan();
+  const PathLossParams p{};
+  sim::Simulation sim{11};
+  auto& rng = sim.rng("t");
+  const Vec3 tx{1, 1, 0.8};
+  const Vec3 rx{4, 4, 1.1};
+  const double mean = mean_rssi(plan, p, tx, rx);
+
+  double max_dev1 = 0, max_dev16 = 0;
+  for (int i = 0; i < 200; ++i) {
+    max_dev1 = std::max(max_dev1, std::abs(sample_rssi(plan, p, tx, rx, rng) - mean));
+    max_dev16 =
+        std::max(max_dev16, std::abs(averaged_rssi(plan, p, tx, rx, rng) - mean));
+  }
+  EXPECT_LT(max_dev16, max_dev1);
+}
+
+TEST(Bluetooth, ScannerQuantizesToIntegers) {
+  const FloorPlan plan = simple_plan();
+  sim::Simulation sim{5};
+  BluetoothBeacon beacon{"spk", {1, 1, 0.8}};
+  BluetoothScanner scanner{sim, plan, PathLossParams{}, "phone",
+                           [] { return Vec3{3, 3, 1.1}; }};
+  for (int i = 0; i < 20; ++i) {
+    const double v = scanner.measure_now(beacon);
+    EXPECT_DOUBLE_EQ(v, std::round(v));
+  }
+}
+
+TEST(Bluetooth, AsyncMeasureHasScanLatency) {
+  const FloorPlan plan = simple_plan();
+  sim::Simulation sim{5};
+  BluetoothBeacon beacon{"spk", {1, 1, 0.8}};
+  ScanParams sp;
+  sp.min_latency = sim::milliseconds(200);
+  sp.max_latency = sim::milliseconds(900);
+  BluetoothScanner scanner{sim, plan, PathLossParams{}, "phone",
+                           [] { return Vec3{3, 3, 1.1}; }, sp};
+  sim::TimePoint done;
+  scanner.measure(beacon, [&](double) { done = sim.now(); });
+  sim.run_all();
+  EXPECT_GE(done - sim::TimePoint{}, sim::milliseconds(200));
+  EXPECT_LE(done - sim::TimePoint{}, sim::milliseconds(900));
+}
+
+TEST(Bluetooth, MeasurementTracksMovingCarrier) {
+  const FloorPlan plan = simple_plan();
+  sim::Simulation sim{5};
+  BluetoothBeacon beacon{"spk", {1, 1, 0.8}};
+  Vec3 pos{1.5, 1, 1.1};
+  ScanParams quiet;
+  quiet.quantize = false;
+  PathLossParams noiseless{};
+  noiseless.shadowing_sigma_db = 0;
+  noiseless.orientation_spread_db = 0;
+  BluetoothScanner scanner{sim, plan, noiseless, "phone",
+                           [&pos]() { return pos; }, quiet};
+  const double near = scanner.measure_now(beacon);
+  pos = Vec3{8, 4, 1.1};
+  const double far = scanner.measure_now(beacon);
+  EXPECT_GT(near, far + 5);
+}
+
+}  // namespace
+}  // namespace vg::radio

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "simcore/Rng.h"
+#include "speaker/TrafficPatterns.h"
+#include "voiceguard/GuardBox.h"
+#include "voiceguard/Recognizer.h"
+
+namespace vg::guard {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SignatureMatcher
+// ---------------------------------------------------------------------------
+
+TEST(SignatureMatcher, MatchesExactPrefix) {
+  SignatureMatcher m{{63, 33, 653}};
+  EXPECT_EQ(m.feed(63), SignatureMatcher::State::kMatching);
+  EXPECT_EQ(m.feed(33), SignatureMatcher::State::kMatching);
+  EXPECT_EQ(m.feed(653), SignatureMatcher::State::kMatched);
+  // Extra packets don't un-match.
+  EXPECT_EQ(m.feed(1), SignatureMatcher::State::kMatched);
+}
+
+TEST(SignatureMatcher, FailsOnFirstMismatch) {
+  SignatureMatcher m{{63, 33, 653}};
+  EXPECT_EQ(m.feed(63), SignatureMatcher::State::kMatching);
+  EXPECT_EQ(m.feed(99), SignatureMatcher::State::kFailed);
+  EXPECT_EQ(m.feed(653), SignatureMatcher::State::kFailed);
+}
+
+TEST(SignatureMatcher, ResetRestartsMatching) {
+  SignatureMatcher m{{1, 2}};
+  m.feed(9);
+  ASSERT_EQ(m.state(), SignatureMatcher::State::kFailed);
+  m.reset();
+  EXPECT_EQ(m.feed(1), SignatureMatcher::State::kMatching);
+  EXPECT_EQ(m.feed(2), SignatureMatcher::State::kMatched);
+}
+
+TEST(SignatureMatcher, GuardAndSpeakerAgreeOnTheAvsSignature) {
+  // The guard's defender-side copy must equal the measured speaker behaviour.
+  EXPECT_EQ(GuardBox::avs_signature(), speaker::kAvsConnectionSignature);
+}
+
+TEST(SignatureMatcher, RejectsAllOtherAmazonServerSignatures) {
+  // §IV-B1: the AVS sequence differs from the six other servers' sequences.
+  for (int i = 0; i < 6; ++i) {
+    SignatureMatcher m{GuardBox::avs_signature()};
+    for (std::uint32_t len : speaker::other_server_signature(i)) {
+      m.feed(len);
+    }
+    EXPECT_NE(m.state(), SignatureMatcher::State::kMatched) << "server " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpikeClassifier — rules from §IV-B1
+// ---------------------------------------------------------------------------
+
+TEST(SpikeClassifier, P138InFirstFiveIsCommand) {
+  EXPECT_EQ(classify_spike({300, 138, 200, 200, 200}), SpikeClass::kCommand);
+  EXPECT_EQ(classify_spike({138}), SpikeClass::kCommand);
+}
+
+TEST(SpikeClassifier, P75InFirstFiveIsCommand) {
+  EXPECT_EQ(classify_spike({300, 200, 200, 200, 75}), SpikeClass::kCommand);
+}
+
+TEST(SpikeClassifier, P138AtSixthPositionDoesNotCount) {
+  // The frequent-length rule is defined on the first 5 packets only.
+  EXPECT_EQ(classify_spike({300, 200, 200, 200, 200, 138, 900}),
+            SpikeClass::kUnknown);
+}
+
+TEST(SpikeClassifier, FixedPatternsAreCommands) {
+  EXPECT_EQ(classify_spike({277, 131, 277, 131, 113}), SpikeClass::kCommand);
+  EXPECT_EQ(classify_spike({250, 131, 113, 113, 113}), SpikeClass::kCommand);
+  EXPECT_EQ(classify_spike({650, 131, 121, 277, 131}), SpikeClass::kCommand);
+}
+
+TEST(SpikeClassifier, FixedPatternFirstLengthMustBeInRange) {
+  EXPECT_EQ(classify_spike({249, 131, 277, 131, 113}), SpikeClass::kUnknown);
+  EXPECT_EQ(classify_spike({651, 131, 277, 131, 113}), SpikeClass::kUnknown);
+}
+
+TEST(SpikeClassifier, SequentialPair77_33IsResponse) {
+  EXPECT_EQ(classify_spike({500, 77, 33, 100, 100}), SpikeClass::kResponse);
+  // As late as packets 6 and 7.
+  EXPECT_EQ(classify_spike({500, 100, 100, 100, 100, 77, 33}),
+            SpikeClass::kResponse);
+}
+
+TEST(SpikeClassifier, NonSequential77And33IsNotResponse) {
+  EXPECT_EQ(classify_spike({77, 100, 33, 100, 100, 100, 100}),
+            SpikeClass::kUnknown);
+}
+
+TEST(SpikeClassifier, PairAfterSeventhPacketDoesNotCount) {
+  EXPECT_EQ(classify_spike({500, 100, 100, 100, 100, 100, 100, 77, 33}),
+            SpikeClass::kUnknown);
+}
+
+TEST(SpikeClassifier, ResponseRuleWinsOverLatePhase1Lengths) {
+  // 77,33 up front; a 138 later must not flip it to command (100% precision
+  // depends on rule order).
+  EXPECT_EQ(classify_spike({77, 33, 138, 100, 100}), SpikeClass::kResponse);
+}
+
+TEST(SpikeClassifier, IncrementalDecidesEarly) {
+  SpikeClassifier c;
+  EXPECT_FALSE(c.feed(300).has_value());
+  auto v = c.feed(138);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, SpikeClass::kCommand);
+  // Later packets can't change a final verdict.
+  EXPECT_EQ(*c.feed(77), SpikeClass::kCommand);
+  EXPECT_EQ(*c.feed(33), SpikeClass::kCommand);
+}
+
+TEST(SpikeClassifier, FinalizeOnShortSpike) {
+  SpikeClassifier c;
+  c.feed(400);
+  c.feed(200);
+  EXPECT_EQ(c.finalize(), SpikeClass::kUnknown);
+}
+
+TEST(SpikeClassifier, FinalizeAfterDecisionReturnsDecision) {
+  SpikeClassifier c;
+  c.feed(77);
+  c.feed(33);
+  EXPECT_EQ(c.finalize(), SpikeClass::kResponse);
+}
+
+// ---------------------------------------------------------------------------
+// Generator/classifier agreement — the property behind Table I.
+// ---------------------------------------------------------------------------
+
+TEST(TrafficPatterns, RegularPhase1PrefixesClassifyAsCommand) {
+  sim::RngRegistry reg{123};
+  auto& rng = reg.stream("t");
+  speaker::Phase1Options opts;
+  opts.irregular_prob = 0.0;  // only regular spikes
+  for (int i = 0; i < 2000; ++i) {
+    const auto prefix = speaker::gen_phase1_prefix(rng, opts);
+    EXPECT_EQ(classify_spike(prefix), SpikeClass::kCommand)
+        << "iteration " << i;
+  }
+}
+
+TEST(TrafficPatterns, Phase2PrefixesNeverClassifyAsCommand) {
+  // 100% precision: no response spike may be classified as a command.
+  sim::RngRegistry reg{321};
+  auto& rng = reg.stream("t");
+  for (int i = 0; i < 2000; ++i) {
+    const auto prefix = speaker::gen_phase2_prefix(rng);
+    EXPECT_EQ(classify_spike(prefix), SpikeClass::kResponse)
+        << "iteration " << i;
+  }
+}
+
+TEST(TrafficPatterns, IrregularRateMatchesTableOne) {
+  // With the default irregular probability, the miss rate over many spikes
+  // sits near Table I's 2/134 ≈ 1.5%.
+  sim::RngRegistry reg{77};
+  auto& rng = reg.stream("t");
+  int misses = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (classify_spike(speaker::gen_phase1_prefix(rng)) != SpikeClass::kCommand) {
+      ++misses;
+    }
+  }
+  const double rate = static_cast<double>(misses) / n;
+  EXPECT_GT(rate, 0.005);
+  EXPECT_LT(rate, 0.03);
+}
+
+TEST(TrafficPatterns, AvsSignatureIsExactlyThePaper) {
+  const std::vector<std::uint32_t> expected = {63, 33, 653, 131, 73, 131, 188,
+                                               73, 131, 73, 131, 73, 131, 77,
+                                               33, 33};
+  EXPECT_EQ(speaker::kAvsConnectionSignature, expected);
+}
+
+}  // namespace
+}  // namespace vg::guard

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "cloud/CloudFarm.h"
+#include "speaker/EchoDot.h"
+#include "speaker/GoogleHomeMini.h"
+
+namespace vg {
+namespace {
+
+using net::IpAddress;
+
+cloud::CloudFarm::Options no_migration() {
+  cloud::CloudFarm::Options o;
+  o.avs_migration_mean = sim::Duration{0};
+  return o;
+}
+
+/// Speaker connected straight to the router (no guard box).
+struct CloudWorld {
+  sim::Simulation sim{7};
+  net::Network net{sim};
+  net::Router router{"router"};
+  cloud::CloudFarm farm{net, router, no_migration()};
+  net::Host speaker_host{net, "speaker", IpAddress(192, 168, 1, 200)};
+
+  CloudWorld() {
+    net::Link& l = net.add_link(speaker_host, router, sim::milliseconds(3));
+    speaker_host.attach(l);
+    router.add_route(speaker_host.ip(), l);
+  }
+
+  speaker::CommandSpec cmd(std::uint64_t id, int words = 6) {
+    speaker::CommandSpec c;
+    c.id = id;
+    c.text = "test command";
+    c.words = words;
+    return c;
+  }
+};
+
+TEST(EchoDot, BootsAndHeartbeats) {
+  CloudWorld w;
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); }};
+  echo.power_on();
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(95));
+  EXPECT_TRUE(echo.connected());
+  EXPECT_EQ(echo.current_avs_ip(), w.farm.current_avs_ip());
+  // ~3 heartbeat intervals passed.
+  EXPECT_GE(w.farm.avs_app(0).heartbeats_received(), 2u);
+  EXPECT_EQ(w.farm.avs_app(0).sessions_opened(), 1u);
+  EXPECT_EQ(w.farm.total_sequence_violations(), 0u);
+}
+
+TEST(EchoDot, CommandExecutesAndGetsResponse) {
+  CloudWorld w;
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); }};
+  echo.power_on();
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(10));
+
+  echo.hear_command(w.cmd(1, 6));
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(60));
+
+  const auto executed = w.farm.all_executed();
+  ASSERT_EQ(executed.size(), 1u);
+  EXPECT_EQ(executed[0].command_tag, "voice-cmd-end:1");
+
+  ASSERT_EQ(echo.interactions().size(), 1u);
+  const auto& res = echo.interactions()[0];
+  EXPECT_TRUE(res.response_received);
+  EXPECT_FALSE(res.connection_error);
+  EXPECT_FALSE(res.timed_out);
+  // The response started shortly after the command upload finished.
+  EXPECT_GT(res.response_start, res.command_end);
+  EXPECT_LT((res.response_start - res.command_end).seconds(), 2.0);
+}
+
+TEST(EchoDot, OverlappingCommandIgnored) {
+  CloudWorld w;
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); }};
+  echo.power_on();
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(10));
+  echo.hear_command(w.cmd(1));
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(12));
+  echo.hear_command(w.cmd(2));  // mid-interaction: ignored
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(80));
+  EXPECT_EQ(w.farm.all_executed().size(), 1u);
+}
+
+TEST(EchoDot, ReconnectsAfterAvsMigration) {
+  CloudWorld w;
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); }};
+  echo.power_on();
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(10));
+  const net::IpAddress before = echo.current_avs_ip();
+  w.farm.migrate_avs_now();
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(30));
+  EXPECT_TRUE(echo.connected());
+  EXPECT_NE(echo.current_avs_ip(), before);
+  EXPECT_EQ(echo.current_avs_ip(), w.farm.current_avs_ip());
+  EXPECT_GE(echo.reconnects(), 1u);
+
+  // Commands still work on the new session.
+  echo.hear_command(w.cmd(5));
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(90));
+  EXPECT_EQ(w.farm.all_executed().size(), 1u);
+}
+
+TEST(EchoDot, SomeReconnectsSkipDns) {
+  CloudWorld w;
+  speaker::EchoDotModel::Options opts;
+  opts.dns_on_reconnect_prob = 0.0;  // always the DNS-less path
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); }, opts};
+  echo.power_on();
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(10));
+  w.farm.migrate_avs_now();
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(30));
+  EXPECT_TRUE(echo.connected());
+  EXPECT_GE(echo.dnsless_reconnects(), 1u);
+}
+
+TEST(AvsServer, KillsSessionOnRecordSequenceGap) {
+  CloudWorld w;
+  // A raw client that skips a TLS sequence number mid-stream.
+  bool closed = false;
+  net::TcpCallbacks cbs;
+  cbs.on_closed = [&](net::TcpCloseReason) { closed = true; };
+  net::TcpConnection& c = w.speaker_host.tcp().connect(
+      net::Endpoint{w.farm.current_avs_ip(), 443}, std::move(cbs));
+  auto send = [&c](std::uint64_t seq) {
+    net::TlsRecord r;
+    r.length = 100;
+    r.tls_seq = seq;
+    r.tag = "data";
+    c.send_record(r);
+  };
+  send(0);
+  send(1);
+  send(3);  // gap: 2 was "dropped"
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(10));
+  EXPECT_EQ(w.farm.avs_app(0).sequence_violations(), 1u);
+  EXPECT_EQ(w.farm.avs_app(0).sessions_killed(), 1u);
+  EXPECT_TRUE(closed);
+}
+
+TEST(AvsServer, NoCommandExecutionAfterGap) {
+  CloudWorld w;
+  net::TcpConnection& c = w.speaker_host.tcp().connect(
+      net::Endpoint{w.farm.current_avs_ip(), 443}, net::TcpCallbacks{});
+  auto send = [&c](std::uint64_t seq, std::string tag) {
+    net::TlsRecord r;
+    r.length = 100;
+    r.tls_seq = seq;
+    r.tag = std::move(tag);
+    c.send_record(r);
+  };
+  send(0, "data");
+  send(2, "voice-cmd-end:99");  // arrives after a gap: must not execute
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(10));
+  EXPECT_TRUE(w.farm.all_executed().empty());
+}
+
+TEST(GoogleHomeMini, TcpInteractionExecutes) {
+  CloudWorld w;
+  speaker::GoogleHomeMiniModel::Options opts;
+  opts.quic_probability = 0.0;
+  speaker::GoogleHomeMiniModel ghm{w.speaker_host, w.farm.dns_endpoint(), opts};
+  ghm.power_on();
+  ghm.hear_command(w.cmd(1, 7));
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(60));
+  EXPECT_EQ(w.farm.all_executed().size(), 1u);
+  EXPECT_EQ(ghm.tcp_interactions(), 1u);
+  ASSERT_EQ(ghm.interactions().size(), 1u);
+  EXPECT_TRUE(ghm.interactions()[0].response_received);
+  EXPECT_EQ(w.farm.google_app().tcp_sessions(), 1u);
+}
+
+TEST(GoogleHomeMini, QuicInteractionExecutes) {
+  CloudWorld w;
+  speaker::GoogleHomeMiniModel::Options opts;
+  opts.quic_probability = 1.0;
+  speaker::GoogleHomeMiniModel ghm{w.speaker_host, w.farm.dns_endpoint(), opts};
+  ghm.power_on();
+  ghm.hear_command(w.cmd(1, 7));
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(60));
+  EXPECT_EQ(w.farm.all_executed().size(), 1u);
+  EXPECT_EQ(ghm.quic_interactions(), 1u);
+  ASSERT_EQ(ghm.interactions().size(), 1u);
+  EXPECT_TRUE(ghm.interactions()[0].response_received);
+  EXPECT_EQ(w.farm.google_app().quic_sessions(), 1u);
+}
+
+TEST(GoogleCloud, QuicGapClosesConnection) {
+  CloudWorld w;
+  const net::Endpoint local{w.speaker_host.ip(), 50000};
+  const net::Endpoint google{w.farm.google_ip(), 443};
+  bool got_close = false;
+  w.speaker_host.udp().bind(50000, [&](const net::Packet& p) {
+    for (const auto& r : p.records) {
+      if (r.tag == "quic-connection-close") got_close = true;
+    }
+  });
+  auto send = [&](std::uint64_t seq, std::string tag) {
+    net::TlsRecord r;
+    r.length = 500;
+    r.tls_seq = seq;
+    r.tag = std::move(tag);
+    w.speaker_host.udp().send_quic(local, google, {std::move(r)});
+  };
+  send(0, "quic-setup");
+  send(2, "voice-cmd-end:1");  // gap
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(5));
+  EXPECT_TRUE(got_close);
+  EXPECT_EQ(w.farm.google_app().sequence_violations(), 1u);
+  EXPECT_TRUE(w.farm.all_executed().empty());
+}
+
+TEST(EchoDot, ResponseSegmentsProducePhase2Traffic) {
+  // The response phase emits upstream telemetry spikes whose prefixes match
+  // the p-77/p-33 rule — verified at the packet level via an observer host.
+  CloudWorld w;
+  speaker::EchoDotModel echo{w.speaker_host, w.farm.dns_endpoint(),
+                             [&w] { return w.farm.current_avs_ip(); }};
+  echo.power_on();
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(10));
+  echo.hear_command(w.cmd(1, 8));
+  w.sim.run_until(sim::TimePoint{} + sim::seconds(90));
+  ASSERT_FALSE(echo.interactions().empty());
+  EXPECT_TRUE(echo.interactions()[0].response_received);
+}
+
+}  // namespace
+}  // namespace vg

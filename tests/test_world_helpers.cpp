@@ -1,0 +1,145 @@
+/// Tests for SmartHomeWorld's geometry/protocol helpers.
+
+#include <gtest/gtest.h>
+
+#include "workload/World.h"
+
+namespace vg::workload {
+namespace {
+
+TEST(WorldHelpers, LegitimateAreaIsRoomForHomes) {
+  for (auto kind : {WorldConfig::TestbedKind::kHouse,
+                    WorldConfig::TestbedKind::kApartment}) {
+    WorldConfig cfg;
+    cfg.testbed = kind;
+    cfg.owner_count = 1;
+    SmartHomeWorld w{cfg};
+    const auto area = w.legitimate_area();
+    const auto* room = w.testbed().plan().room_by_name(
+        w.testbed().speaker_room(cfg.deployment));
+    EXPECT_DOUBLE_EQ(area.x0, room->bounds.x0);
+    EXPECT_DOUBLE_EQ(area.y1, room->bounds.y1);
+  }
+}
+
+TEST(WorldHelpers, LegitimateAreaIsBoxForOffice) {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kOffice;
+  cfg.owner_count = 1;
+  cfg.use_watch = true;
+  SmartHomeWorld w{cfg};
+  const auto area = w.legitimate_area();
+  const auto spk = w.testbed().speaker_position(1);
+  EXPECT_LE(area.x1 - area.x0, 4.7);
+  EXPECT_TRUE(area.contains(spk.xy()));
+  // The box is a strict subset of the open office.
+  const auto* room = w.testbed().plan().room_by_name("open-office");
+  EXPECT_GT(area.x0, room->bounds.x0 - 1e-9);
+  EXPECT_LT(area.x1, room->bounds.x1 + 1e-9);
+}
+
+TEST(WorldHelpers, InLegitimateAreaChecksFloorToo) {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kHouse;
+  cfg.owner_count = 1;
+  SmartHomeWorld w{cfg};
+  const auto spk = w.testbed().speaker_position(1);
+  EXPECT_TRUE(w.in_legitimate_area({spk.x - 1, spk.y + 1, 1.1}));
+  // Same (x, y), one floor up: the study is NOT legitimate.
+  EXPECT_FALSE(w.in_legitimate_area({spk.x - 1, spk.y + 1, 3.9}));
+}
+
+TEST(WorldHelpers, RandomLegitSpotsAreAlwaysLegitimate) {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kOffice;
+  cfg.owner_count = 1;
+  cfg.use_watch = true;
+  SmartHomeWorld w{cfg};
+  auto& rng = w.sim().rng("t");
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(w.in_legitimate_area(w.random_legit_spot(rng)));
+  }
+}
+
+TEST(WorldHelpers, MovePersonRoutesThroughStairsAcrossFloors) {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kHouse;
+  cfg.owner_count = 1;
+  SmartHomeWorld w{cfg};
+  auto& person = w.owner(0);
+  person.teleport(w.location_pos(10));  // living room, floor 0
+
+  // Track whether the walk passes the stair region.
+  const auto region = *w.stair_sensor_region();
+  bool crossed = false;
+  bool arrived = false;
+  w.move_person(person, w.location_pos(64), [&arrived] { arrived = true; });
+  while (!arrived && w.sim().pending_events() > 0) {
+    w.sim().step(1);
+    if (region.contains(person.position().xy())) crossed = true;
+  }
+  EXPECT_TRUE(arrived);
+  EXPECT_TRUE(crossed);
+  EXPECT_NEAR(person.position().z, w.location_pos(64).z, 1e-9);
+}
+
+TEST(WorldHelpers, MovePersonDirectOnSameFloor) {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kApartment;
+  cfg.owner_count = 1;
+  SmartHomeWorld w{cfg};
+  auto& person = w.owner(0);
+  person.teleport(w.location_pos(1));
+  bool arrived = false;
+  const sim::TimePoint start = w.sim().now();
+  w.move_person(person, w.location_pos(30), [&arrived] { arrived = true; });
+  w.run_until([&arrived] { return arrived; }, sim::minutes(2));
+  ASSERT_TRUE(arrived);
+  const double dist =
+      radio::distance(w.location_pos(1), w.location_pos(30));
+  EXPECT_NEAR((w.sim().now() - start).seconds(),
+              dist / home::Person::kDefaultSpeed, 0.5);
+}
+
+TEST(WorldHelpers, ThresholdWalkPathStaysInLegitArea) {
+  for (auto kind : {WorldConfig::TestbedKind::kHouse,
+                    WorldConfig::TestbedKind::kApartment,
+                    WorldConfig::TestbedKind::kOffice}) {
+    WorldConfig cfg;
+    cfg.testbed = kind;
+    cfg.owner_count = 1;
+    cfg.use_watch = kind == WorldConfig::TestbedKind::kOffice;
+    SmartHomeWorld w{cfg};
+    for (const auto& p : w.threshold_walk_path()) {
+      EXPECT_TRUE(w.legitimate_area().contains(p.xy()));
+    }
+  }
+}
+
+TEST(WorldHelpers, SpeakerHostIsReachableThroughGuard) {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kApartment;
+  cfg.owner_count = 1;
+  SmartHomeWorld w{cfg};
+  w.run_for(sim::seconds(10));
+  ASSERT_NE(w.echo(), nullptr);
+  EXPECT_TRUE(w.echo()->connected());
+  EXPECT_EQ(w.guard().tracked_avs_ip(), w.cloud().current_avs_ip());
+}
+
+TEST(WorldHelpers, RadioParamsComeFromTestbedUnlessOverridden) {
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kOffice;
+  cfg.owner_count = 1;
+  cfg.use_watch = true;
+  SmartHomeWorld office{cfg};
+  EXPECT_NEAR(office.radio_params().exponent, 1.5, 1e-9);
+
+  cfg.radio = radio::PathLossParams{};
+  cfg.radio->exponent = 2.2;
+  SmartHomeWorld overridden{cfg};
+  EXPECT_NEAR(overridden.radio_params().exponent, 2.2, 1e-9);
+}
+
+}  // namespace
+}  // namespace vg::workload
