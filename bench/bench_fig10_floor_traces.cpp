@@ -7,8 +7,14 @@
 /// separates Route 1 by |slope| <= 1 and Routes 2/3 from Up/Down by
 /// intercept; our classifier additionally uses the fitted line's endpoints
 /// (see EXPERIMENTS.md for the scale discussion).
+///
+/// The four (speaker, deployment) cases are independent simulations; they run
+/// in parallel through sim::BatchRunner, each rendering its report into a
+/// string that main() prints in the fixed case order.
 
+#include <cstdarg>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "analysis/Stats.h"
@@ -16,6 +22,7 @@
 #include "home/MobileDevice.h"
 #include "home/Person.h"
 #include "home/Testbed.h"
+#include "simcore/BatchRunner.h"
 #include "voiceguard/FloorTracker.h"
 
 using namespace vg;
@@ -28,8 +35,17 @@ struct TraceSet {
   std::vector<analysis::LineFit> fits;
 };
 
-void run_case(int deployment, const char* speaker_name, double radio_offset,
-              std::uint64_t seed) {
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+}
+
+std::string run_case(int deployment, const char* speaker_name,
+                     double radio_offset, std::uint64_t seed) {
   sim::Simulation sim{seed};
   home::Testbed tb = home::Testbed::two_floor_house();
   radio::PathLossParams params{};
@@ -94,10 +110,11 @@ void run_case(int deployment, const char* speaker_name, double radio_offset,
         capture([&] { owner.walk_to(tb.location(59).pos, 1.0); }));
   }
 
-  std::printf("\n--- %s, deployment location %d ---\n", speaker_name,
-              deployment);
-  std::printf("%-8s %7s %9s %9s %9s  counts per slope band\n", "class",
-              "slope", "icpt", "start", "end");
+  std::string out;
+  appendf(out, "\n--- %s, deployment location %d ---\n", speaker_name,
+          deployment);
+  appendf(out, "%-8s %7s %9s %9s %9s  counts per slope band\n", "class",
+          "slope", "icpt", "start", "end");
   for (const auto& [name, set] : sets) {
     std::vector<double> slopes, icpts, starts, ends;
     int flat = 0, steep_neg = 0, steep_pos = 0;
@@ -114,25 +131,25 @@ void run_case(int deployment, const char* speaker_name, double radio_offset,
         ++steep_pos;
       }
     }
-    std::printf("%-8s %7.2f %9.2f %9.2f %9.2f  flat=%d neg=%d pos=%d (n=%zu)\n",
-                name.c_str(), analysis::summarize(slopes).mean,
-                analysis::summarize(icpts).mean,
-                analysis::summarize(starts).mean,
-                analysis::summarize(ends).mean, flat, steep_neg, steep_pos,
-                set.fits.size());
+    appendf(out, "%-8s %7.2f %9.2f %9.2f %9.2f  flat=%d neg=%d pos=%d (n=%zu)\n",
+            name.c_str(), analysis::summarize(slopes).mean,
+            analysis::summarize(icpts).mean, analysis::summarize(starts).mean,
+            analysis::summarize(ends).mean, flat, steep_neg, steep_pos,
+            set.fits.size());
   }
 
   // Scatter, paper-style: slope vs intercept per class.
-  std::printf("\nscatter (slope, intercept):\n");
+  appendf(out, "\nscatter (slope, intercept):\n");
   for (const auto& [name, set] : sets) {
-    std::printf("  %-7s:", name.c_str());
+    appendf(out, "  %-7s:", name.c_str());
     int col = 0;
     for (const auto& f : set.fits) {
-      if (col++ % 5 == 0 && col > 1) std::printf("\n          ");
-      std::printf(" (%5.2f,%7.2f)", f.slope, f.intercept);
+      if (col++ % 5 == 0 && col > 1) appendf(out, "\n          ");
+      appendf(out, " (%5.2f,%7.2f)", f.slope, f.intercept);
     }
-    std::printf("\n");
+    appendf(out, "\n");
   }
+  return out;
 }
 
 }  // namespace
@@ -144,9 +161,22 @@ int main() {
       "\nPaper shape to verify: Route-1 slopes cluster inside the flat band;\n"
       "Up slopes are steeply negative, Down steeply positive; Routes 2/3\n"
       "overlap Up/Down in slope but separate on the second feature.\n");
-  run_case(1, "Echo Dot", 0.0, 90);
-  run_case(1, "Google Home Mini", -0.6, 91);
-  run_case(2, "Echo Dot", 0.0, 92);
-  run_case(2, "Google Home Mini", -0.6, 93);
+
+  struct Case {
+    int deployment;
+    const char* speaker;
+    double radio_offset;
+    std::uint64_t seed;
+  };
+  const std::vector<Case> cases = {{1, "Echo Dot", 0.0, 90},
+                                   {1, "Google Home Mini", -0.6, 91},
+                                   {2, "Echo Dot", 0.0, 92},
+                                   {2, "Google Home Mini", -0.6, 93}};
+  sim::BatchRunner pool;
+  const auto reports = pool.map<std::string>(cases.size(), [&](std::size_t i) {
+    const Case& c = cases[i];
+    return run_case(c.deployment, c.speaker, c.radio_offset, c.seed);
+  });
+  for (const auto& r : reports) std::fputs(r.c_str(), stdout);
   return 0;
 }

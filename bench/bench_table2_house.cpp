@@ -4,6 +4,9 @@
 /// issuing pre-recorded commands whenever no owner is in the speaker's room.
 /// Results to compare: accuracy 97.32-98.75%, precision 94.03-97.18%, recall
 /// 100% except Echo/loc-2 (98.46% in a sibling row of Table III).
+///
+/// The four (speaker x location) trials run in parallel via sim::BatchRunner;
+/// rows and numbers are identical to the former serial enumeration.
 
 #include "table_common.h"
 
@@ -13,17 +16,9 @@ using workload::WorldConfig;
 int main() {
   bench::header("Table II: 7-day results, two-floor house (2 owners, phones)",
                 "Table II / §V-B3");
-  std::vector<bench::TableRow> rows;
-  std::uint64_t seed = 200;
-  for (auto speaker : {WorldConfig::SpeakerType::kEchoDot,
-                       WorldConfig::SpeakerType::kGoogleHomeMini}) {
-    for (int dep : {1, 2}) {
-      rows.push_back(bench::run_table_case(WorldConfig::TestbedKind::kHouse,
-                                           speaker, dep, /*owners=*/2,
-                                           /*watch=*/false, seed++,
-                                           sim::days(7)));
-    }
-  }
+  const auto rows =
+      bench::run_table(WorldConfig::TestbedKind::kHouse, /*owners=*/2,
+                       /*watch=*/false, /*seed0=*/200, sim::days(7));
   bench::print_table(rows);
   std::printf("\nPaper Table II:    Echo loc1 89/91 & 69/69 (98.75%%), loc2 "
               "100/103 & 78/78 (98.34%%);\n"

@@ -1,6 +1,8 @@
 /// Table III — 7-day detection results in the two-bedroom apartment
 /// (single floor, two owners with phones). Paper: accuracy 97.08-98.62%,
 /// precision 93.44-96.97%, recall 100% except Echo/loc-2 (98.46%).
+///
+/// The four (speaker x location) trials run in parallel via sim::BatchRunner.
 
 #include "table_common.h"
 
@@ -11,16 +13,9 @@ int main() {
   bench::header(
       "Table III: 7-day results, two-bedroom apartment (2 owners, phones)",
       "Table III / §V-B3");
-  std::vector<bench::TableRow> rows;
-  std::uint64_t seed = 300;
-  for (auto speaker : {WorldConfig::SpeakerType::kEchoDot,
-                       WorldConfig::SpeakerType::kGoogleHomeMini}) {
-    for (int dep : {1, 2}) {
-      rows.push_back(bench::run_table_case(
-          WorldConfig::TestbedKind::kApartment, speaker, dep, /*owners=*/2,
-          /*watch=*/false, seed++, sim::days(7)));
-    }
-  }
+  const auto rows =
+      bench::run_table(WorldConfig::TestbedKind::kApartment, /*owners=*/2,
+                       /*watch=*/false, /*seed0=*/300, sim::days(7));
   bench::print_table(rows);
   std::printf("\nPaper Table III:   Echo loc1 75/78 & 59/59 (97.81%%), loc2 "
               "86/88 & 64/65 (98.04%%);\n"

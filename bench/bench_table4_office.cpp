@@ -1,6 +1,8 @@
 /// Table IV — 7-day detection results in the office, one legitimate user
 /// wearing a Galaxy Watch4. Paper: accuracy 97.73-99.29%, precision
 /// 94-98.04%, recall 100%.
+///
+/// The four (speaker x location) trials run in parallel via sim::BatchRunner.
 
 #include "table_common.h"
 
@@ -10,17 +12,9 @@ using workload::WorldConfig;
 int main() {
   bench::header("Table IV: 7-day results, office (1 owner, smartwatch)",
                 "Table IV / §V-B3");
-  std::vector<bench::TableRow> rows;
-  std::uint64_t seed = 400;
-  for (auto speaker : {WorldConfig::SpeakerType::kEchoDot,
-                       WorldConfig::SpeakerType::kGoogleHomeMini}) {
-    for (int dep : {1, 2}) {
-      rows.push_back(bench::run_table_case(WorldConfig::TestbedKind::kOffice,
-                                           speaker, dep, /*owners=*/1,
-                                           /*watch=*/true, seed++,
-                                           sim::days(7)));
-    }
-  }
+  const auto rows =
+      bench::run_table(WorldConfig::TestbedKind::kOffice, /*owners=*/1,
+                       /*watch=*/true, /*seed0=*/400, sim::days(7));
   bench::print_table(rows);
   std::printf("\nPaper Table IV:    Echo loc1 82/85 & 47/47 (97.73%%), loc2 "
               "91/94 & 52/52 (97.95%%);\n"

@@ -2,13 +2,16 @@
 
 /// Shared runner for the Tables II-IV benches: the 7-day real-world protocol
 /// of §V-B3 for one testbed, over {Echo Dot, Google Home Mini} x
-/// {deployment 1, deployment 2}.
+/// {deployment 1, deployment 2}. The four trials are independent, so they fan
+/// across cores through sim::BatchRunner; results come back in enumeration
+/// order and are bit-identical to a serial run.
 
 #include <cstdio>
 
 #include "analysis/Stats.h"
 #include "common.h"
-#include "workload/Experiment.h"
+#include "simcore/BatchRunner.h"
+#include "workload/TrialRunner.h"
 
 namespace vg::bench {
 
@@ -19,36 +22,29 @@ struct TableRow {
   analysis::ConfusionMatrix m;
 };
 
-inline TableRow run_table_case(workload::WorldConfig::TestbedKind kind,
-                               workload::WorldConfig::SpeakerType speaker,
-                               int deployment, int owners, bool watch,
-                               std::uint64_t seed, sim::Duration duration) {
-  workload::WorldConfig cfg;
-  cfg.testbed = kind;
-  cfg.speaker = speaker;
-  cfg.deployment = deployment;
-  cfg.owner_count = owners;
-  cfg.use_watch = watch;
-  cfg.seed = seed;
-  workload::SmartHomeWorld world{cfg};
-  world.calibrate();
-
-  workload::ExperimentConfig ecfg;
-  ecfg.duration = duration;
-  workload::ExperimentDriver driver{world, ecfg};
-  driver.run();
-
+inline TableRow to_table_row(const workload::TrialResult& r) {
   TableRow row;
-  row.label =
-      (speaker == workload::WorldConfig::SpeakerType::kEchoDot ? "Echo Dot"
-                                                               : "GH Mini");
-  row.label += ", location " + std::to_string(deployment);
-  row.m = driver.confusion();
+  row.label = r.label;
+  row.m = r.confusion;
   row.legit_total = row.m.tn + row.m.fp;
   row.legit_correct = row.m.tn;
   row.mal_total = row.m.tp + row.m.fn;
   row.mal_correct = row.m.tp;
   return row;
+}
+
+/// Runs the 4-case (speaker x deployment) matrix of one testbed in parallel.
+inline std::vector<TableRow> run_table(workload::WorldConfig::TestbedKind kind,
+                                       int owners, bool watch,
+                                       std::uint64_t seed0,
+                                       sim::Duration duration) {
+  const auto specs = workload::table_matrix(kind, owners, watch, seed0, duration);
+  sim::BatchRunner pool;
+  const auto results = workload::run_trials(specs, pool);
+  std::vector<TableRow> rows;
+  rows.reserve(results.size());
+  for (const auto& r : results) rows.push_back(to_table_row(r));
+  return rows;
 }
 
 inline void print_table(const std::vector<TableRow>& rows) {

@@ -22,7 +22,7 @@ void Host::receive(Packet p, Link& /*from*/) {
   if (p.dst.ip != ip_) return;  // not ours; end hosts don't forward
   switch (p.protocol) {
     case Protocol::kTcp:
-      tcp_->on_packet(p);
+      tcp_->on_packet(std::move(p));  // terminal: records move to the conn
       break;
     case Protocol::kUdp:
       udp_->on_packet(p);

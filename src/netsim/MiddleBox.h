@@ -44,6 +44,8 @@ class MiddleBox : public NetNode {
  protected:
   /// Per-direction hooks. Return true if the packet was consumed (terminated
   /// or queued); false to passthrough-forward. Defaults: passthrough.
+  /// A consuming hook may move from \p p — the caller never touches the
+  /// packet again once the hook returns true.
   virtual bool on_lan_packet(Packet& p) {
     (void)p;
     return false;

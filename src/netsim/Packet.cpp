@@ -30,12 +30,6 @@ std::string TcpFlags::to_string() const {
   return s.empty() ? "-" : s;
 }
 
-std::uint32_t Packet::payload_length() const {
-  std::uint32_t n = plain_payload;
-  for (const auto& r : records) n += r.length;
-  return n;
-}
-
 std::string Packet::summary() const {
   char buf[256];
   if (protocol == Protocol::kTcp) {

@@ -115,8 +115,15 @@ struct Packet {
   std::string tag;
 
   /// Total L4 payload length — the value Wireshark would report and the one
-  /// packet-level signatures are computed over.
-  [[nodiscard]] std::uint32_t payload_length() const;
+  /// packet-level signatures are computed over. Single pass over the records;
+  /// inline so forwarding-path callers pay no call overhead. Hot loops that
+  /// need it more than once per segment should compute it once and pass the
+  /// value down (see TcpConnection::handle).
+  [[nodiscard]] std::uint32_t payload_length() const {
+    std::uint32_t n = plain_payload;
+    for (const auto& r : records) n += r.length;
+    return n;
+  }
 
   /// True if this is a TCP keep-alive probe (zero-length, seq one below the
   /// sender's next sequence number — mirrors the common stack behaviour).

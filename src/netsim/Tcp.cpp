@@ -163,22 +163,29 @@ void TcpConnection::abort() {
   finish(TcpCloseReason::kLocalAbort);
 }
 
-void TcpConnection::handle(const Packet& p) {
+void TcpConnection::handle(Packet p) {
   touch_activity();
   keepalive_probes_sent_ = 0;
 
-  if (p.tcp.flags.has(TcpFlag::kRst)) {
+  // Header fields and the payload length are captured up front: the segment
+  // itself may be moved into the reassembly buffer by handle_payload.
+  const TcpFlags flags = p.tcp.flags;
+  const std::uint32_t seq = p.tcp.seq;
+  const std::uint32_t ack = p.tcp.ack;
+  const std::uint32_t len = p.payload_length();
+
+  if (flags.has(TcpFlag::kRst)) {
     finish(TcpCloseReason::kReset);
     return;
   }
 
   switch (state_) {
     case TcpState::kSynSent:
-      if (p.tcp.flags.has(TcpFlag::kSyn) && p.tcp.flags.has(TcpFlag::kAck) &&
-          p.tcp.ack == iss_ + 1) {
-        irs_ = p.tcp.seq;
+      if (flags.has(TcpFlag::kSyn) && flags.has(TcpFlag::kAck) &&
+          ack == iss_ + 1) {
+        irs_ = seq;
         rcv_nxt_ = irs_ + 1;
-        snd_una_ = p.tcp.ack;
+        snd_una_ = ack;
         unacked_.clear();
         retransmit_armed_ = false;
         stack_.sim().cancel(retransmit_timer_);
@@ -188,15 +195,15 @@ void TcpConnection::handle(const Packet& p) {
       return;
 
     case TcpState::kSynRcvd:
-      if (p.tcp.flags.has(TcpFlag::kAck) && seq_le(iss_ + 1, p.tcp.ack)) {
-        snd_una_ = p.tcp.ack;
+      if (flags.has(TcpFlag::kAck) && seq_le(iss_ + 1, ack)) {
+        snd_una_ = ack;
         unacked_.clear();
         retransmit_armed_ = false;
         stack_.sim().cancel(retransmit_timer_);
         enter_established();
         // Fall through to process any piggybacked payload.
-        if (p.payload_length() > 0) handle_payload(p);
-        if (p.tcp.flags.has(TcpFlag::kFin)) handle_fin(p);
+        if (len > 0) handle_payload(std::move(p), len);
+        if (flags.has(TcpFlag::kFin)) handle_fin(seq, len);
       }
       return;
 
@@ -207,14 +214,14 @@ void TcpConnection::handle(const Packet& p) {
     case TcpState::kLastAck:
     case TcpState::kClosing:
     case TcpState::kTimeWait:
-      if (p.tcp.flags.has(TcpFlag::kAck)) handle_ack(p);
+      if (flags.has(TcpFlag::kAck)) handle_ack(ack);
       if (state_ == TcpState::kClosed) return;  // handle_ack may finish()
       if (p.keepalive_probe) {
         send_ack();
         return;
       }
-      if (p.payload_length() > 0) handle_payload(p);
-      if (p.tcp.flags.has(TcpFlag::kFin)) handle_fin(p);
+      if (len > 0) handle_payload(std::move(p), len);
+      if (flags.has(TcpFlag::kFin)) handle_fin(seq, len);
       return;
 
     case TcpState::kClosed:
@@ -222,8 +229,7 @@ void TcpConnection::handle(const Packet& p) {
   }
 }
 
-void TcpConnection::handle_ack(const Packet& p) {
-  const std::uint32_t ack = p.tcp.ack;
+void TcpConnection::handle_ack(std::uint32_t ack) {
   if (!(seq_lt(snd_una_, ack) && seq_le(ack, snd_nxt_))) return;  // stale/dup
   snd_una_ = ack;
 
@@ -263,8 +269,7 @@ void TcpConnection::handle_ack(const Packet& p) {
   }
 }
 
-void TcpConnection::handle_payload(const Packet& p) {
-  const std::uint32_t len = p.payload_length();
+void TcpConnection::handle_payload(Packet p, std::uint32_t len) {
   if (len == 0) return;
   if (p.tcp.seq == rcv_nxt_) {
     rcv_nxt_ += len;
@@ -277,7 +282,8 @@ void TcpConnection::handle_payload(const Packet& p) {
     deliver_in_order();
     send_ack();
   } else if (seq_lt(rcv_nxt_, p.tcp.seq)) {
-    out_of_order_.emplace(p.tcp.seq, p);
+    const std::uint32_t seq = p.tcp.seq;
+    out_of_order_.emplace(seq, std::move(p));
     send_ack();  // duplicate ACK signalling the gap
   } else {
     send_ack();  // old retransmission
@@ -301,8 +307,8 @@ void TcpConnection::deliver_in_order() {
   }
 }
 
-void TcpConnection::handle_fin(const Packet& p) {
-  const std::uint32_t fin_seq = p.tcp.seq + p.payload_length();
+void TcpConnection::handle_fin(std::uint32_t seq, std::uint32_t len) {
+  const std::uint32_t fin_seq = seq + len;
   if (fin_seq != rcv_nxt_) return;  // FIN not yet in order
   rcv_nxt_ += 1;
   send_ack();
@@ -472,11 +478,11 @@ bool TcpStack::owns_flow(const Packet& p) const {
   return conns_.contains(ConnKey{p.dst, p.src});
 }
 
-void TcpStack::on_packet(const Packet& p) {
+void TcpStack::on_packet(Packet p) {
   ConnKey key{p.dst, p.src};
   auto it = conns_.find(key);
   if (it != conns_.end()) {
-    it->second->handle(p);
+    it->second->handle(std::move(p));
     return;
   }
 

@@ -108,10 +108,13 @@ class TcpConnection {
   // --- segment handling -----------------------------------------------------
   void start_connect();
   void start_accept(const Packet& syn);
-  void handle(const Packet& p);
-  void handle_ack(const Packet& p);
-  void handle_payload(const Packet& p);
-  void handle_fin(const Packet& p);
+  /// Takes the segment by value: an in-order payload's records are delivered
+  /// from it in place, and an out-of-order segment is moved (not copied) into
+  /// the reassembly buffer.
+  void handle(Packet p);
+  void handle_ack(std::uint32_t ack);
+  void handle_payload(Packet p, std::uint32_t len);
+  void handle_fin(std::uint32_t seq, std::uint32_t len);
   void deliver_in_order();
 
   // --- sending --------------------------------------------------------------
@@ -203,8 +206,9 @@ class TcpStack {
   TcpConnection& connect_from(Endpoint local, Endpoint remote, TcpCallbacks cbs,
                               const TcpOptions& opts = {});
 
-  /// Entry point for packets addressed to this stack.
-  void on_packet(const Packet& p);
+  /// Entry point for packets addressed to this stack. Takes ownership so the
+  /// segment's records/tag move down to the owning connection without copies.
+  void on_packet(Packet p);
 
   /// True if a connection keyed by (local=p.dst, remote=p.src) exists — used
   /// by middleboxes to decide "mine vs forward".

@@ -1,11 +1,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "simcore/Callback.h"
 #include "simcore/Time.h"
 
 /// \file EventQueue.h
@@ -14,6 +12,17 @@
 /// Events at equal timestamps fire in insertion order (FIFO tie-break), which
 /// keeps causally ordered same-tick interactions — e.g. "packet arrives" then
 /// "proxy inspects packet" — deterministic.
+///
+/// Storage layout (the simulator's hottest data structure):
+///  - Callbacks live in a slot table indexed by a reusable slot id; each slot
+///    carries a generation counter bumped on release, so an EventId from a
+///    fired/cancelled event can never alias a later event in the same slot.
+///  - The time-ordered heap holds only POD entries (when, seq, slot, gen);
+///    sift operations never move callbacks.
+///  - cancel() is O(1): it releases the slot and leaves a stale heap entry
+///    behind, which pop()/next_time() skip and a lazy compaction purges when
+///    stale entries outnumber live ones — internal memory stays bounded by
+///    the peak number of concurrently pending events, not by total churn.
 
 namespace vg::sim {
 
@@ -25,17 +34,20 @@ struct EventId {
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction<void()>;
 
   /// Schedules \p cb to run at \p when. Returns a handle usable with cancel().
+  /// Does not allocate when \p cb fits UniqueFunction's inline buffer and the
+  /// slot table / heap are at capacity (the steady state of a long run).
   EventId schedule(TimePoint when, Callback cb);
 
-  /// Cancels a pending event. Cancelling an already-fired or already-cancelled
-  /// event is a no-op (the common pattern for one-of-many timers).
+  /// Cancels a pending event in O(1). Cancelling an already-fired or
+  /// already-cancelled event is a no-op (the common pattern for one-of-many
+  /// timers).
   void cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return live_.empty(); }
-  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  [[nodiscard]] bool empty() const { return live_count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_count_; }
 
   /// Time of the earliest live event. Requires !empty().
   [[nodiscard]] TimePoint next_time() const;
@@ -47,29 +59,45 @@ class EventQueue {
   };
   Fired pop();
 
+  // --- introspection (bounded-memory regression tests) ----------------------
+  /// Number of slots ever allocated; bounded by peak concurrent events.
+  [[nodiscard]] std::size_t slot_count() const { return slots_.size(); }
+  /// Heap entries including not-yet-purged stale ones.
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+
  private:
-  struct Entry {
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen{1};
+  };
+  struct HeapEntry {
     TimePoint when;
     std::uint64_t seq;  // insertion order; breaks timestamp ties FIFO
-    EventId id;
-    // Callback stored out of the heap comparisons via shared ownership would
-    // be overkill; we keep it in the entry and move it out on pop.
-    mutable Callback cb;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.when != b.when) return a.when > b.when;
       return a.seq > b.seq;
     }
   };
 
-  void skip_cancelled() const;
+  [[nodiscard]] bool stale(const HeapEntry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
+  void release_slot(std::uint32_t idx);
+  /// Pops stale entries off the heap top until a live one (or empty).
+  void skip_stale();
+  /// Purges stale entries wholesale once they dominate the heap.
+  void maybe_compact();
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet fired/cancelled
-  std::unordered_set<std::uint64_t> cancelled_;  // cancelled, entry still in heap_
+  std::vector<HeapEntry> heap_;  // std::push_heap/pop_heap with Later
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_{0};
+  std::size_t stale_in_heap_{0};
   std::uint64_t next_seq_{0};
-  std::uint64_t next_id_{1};
 };
 
 }  // namespace vg::sim

@@ -82,8 +82,9 @@ DecisionModule& GuardBox::decision_for(const Monitor& m) {
 
 bool GuardBox::on_lan_packet(net::Packet& p) {
   if (p.protocol == net::Protocol::kTcp && is_speaker(p.src.ip)) {
-    // Every speaker TCP flow is transparently proxied from its SYN.
-    lan_stack_->on_packet(p);
+    // Every speaker TCP flow is transparently proxied from its SYN. The
+    // packet is consumed, so it moves into the stack without a copy.
+    lan_stack_->on_packet(std::move(p));
     return true;
   }
   if (p.protocol == net::Protocol::kUdp && p.quic && is_speaker(p.src.ip)) {
@@ -102,11 +103,11 @@ bool GuardBox::on_lan_packet(net::Packet& p) {
     }
     const std::shared_ptr<Monitor>& m = it->second;
     const std::uint32_t len = p.payload_length();
-    net::Packet copy = p;
-    monitor_upstream(m, len,
-                     [this, copy = std::move(copy)]() mutable {
-                       send_to_wan(std::move(copy));
-                     });
+    // Consumed here: the datagram moves into the forward closure instead of
+    // being copied (records + tag strings) for every monitored QUIC packet.
+    monitor_upstream(m, len, [this, pkt = std::move(p)]() mutable {
+      send_to_wan(std::move(pkt));
+    });
     return true;
   }
   // DNS queries and anything else pass through untouched.
@@ -116,7 +117,7 @@ bool GuardBox::on_lan_packet(net::Packet& p) {
 bool GuardBox::on_wan_packet(net::Packet& p) {
   if (p.dns && p.dns->is_response) on_dns_response(*p.dns);
   if (p.protocol == net::Protocol::kTcp && wan_stack_->owns_flow(p)) {
-    wan_stack_->on_packet(p);
+    wan_stack_->on_packet(std::move(p));
     return true;
   }
   return false;  // downstream UDP/QUIC and DNS pass through

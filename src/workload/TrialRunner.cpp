@@ -1,0 +1,63 @@
+#include "workload/TrialRunner.h"
+
+namespace vg::workload {
+
+TrialResult run_trial(const TrialSpec& spec) {
+  SmartHomeWorld world{spec.world};
+  world.calibrate();
+
+  ExperimentDriver driver{world, spec.experiment};
+  driver.run();
+
+  TrialResult r;
+  r.label = spec.label;
+  r.confusion = driver.confusion();
+  r.outcomes = driver.outcomes();
+  r.legit_issued = driver.legit_issued();
+  r.malicious_issued = driver.malicious_issued();
+  r.night_attacks = driver.night_attacks();
+  r.executed_events = world.sim().executed_events();
+  r.sim_seconds = world.sim().now().seconds();
+  return r;
+}
+
+std::vector<TrialResult> run_trials_serial(const std::vector<TrialSpec>& specs) {
+  std::vector<TrialResult> out;
+  out.reserve(specs.size());
+  for (const auto& spec : specs) out.push_back(run_trial(spec));
+  return out;
+}
+
+std::vector<TrialResult> run_trials(const std::vector<TrialSpec>& specs,
+                                    sim::BatchRunner& pool) {
+  return pool.map<TrialResult>(
+      specs.size(), [&](std::size_t i) { return run_trial(specs[i]); });
+}
+
+std::vector<TrialSpec> table_matrix(WorldConfig::TestbedKind kind, int owners,
+                                    bool watch, std::uint64_t seed0,
+                                    sim::Duration duration) {
+  std::vector<TrialSpec> specs;
+  std::uint64_t seed = seed0;
+  for (auto speaker : {WorldConfig::SpeakerType::kEchoDot,
+                       WorldConfig::SpeakerType::kGoogleHomeMini}) {
+    for (int dep : {1, 2}) {
+      TrialSpec spec;
+      spec.world.testbed = kind;
+      spec.world.speaker = speaker;
+      spec.world.deployment = dep;
+      spec.world.owner_count = owners;
+      spec.world.use_watch = watch;
+      spec.world.seed = seed++;
+      spec.experiment.duration = duration;
+      spec.label =
+          (speaker == WorldConfig::SpeakerType::kEchoDot ? "Echo Dot"
+                                                         : "GH Mini");
+      spec.label += ", location " + std::to_string(dep);
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+}  // namespace vg::workload

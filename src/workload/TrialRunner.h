@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/Stats.h"
+#include "simcore/BatchRunner.h"
+#include "workload/Experiment.h"
+#include "workload/World.h"
+
+/// \file TrialRunner.h
+/// One independent trial = (world config, experiment config): build a
+/// SmartHomeWorld, calibrate, run the 7-day protocol, collect the results.
+/// Trials share no state, so a batch fans perfectly across cores; run_trials
+/// returns results in spec order, bit-identical to run_trials_serial for the
+/// same specs (each trial's determinism comes from its own seeded Simulation).
+
+namespace vg::workload {
+
+struct TrialSpec {
+  WorldConfig world;
+  ExperimentConfig experiment;
+  std::string label;
+};
+
+struct TrialResult {
+  std::string label;
+  analysis::ConfusionMatrix confusion;
+  std::vector<CommandOutcome> outcomes;
+  std::uint64_t legit_issued{0};
+  std::uint64_t malicious_issued{0};
+  std::uint64_t night_attacks{0};
+  /// Kernel events executed by this trial's Simulation (throughput metric).
+  std::uint64_t executed_events{0};
+  /// Simulated time at trial end, in seconds.
+  double sim_seconds{0};
+};
+
+/// Runs one trial to completion on the calling thread.
+TrialResult run_trial(const TrialSpec& spec);
+
+/// Runs every spec serially, in order.
+std::vector<TrialResult> run_trials_serial(const std::vector<TrialSpec>& specs);
+
+/// Fans the specs across \p pool; results come back in spec order.
+std::vector<TrialResult> run_trials(const std::vector<TrialSpec>& specs,
+                                    sim::BatchRunner& pool);
+
+/// The (speaker x deployment) matrix of one Tables II-IV testbed: 4 specs,
+/// seeded seed0, seed0+1, ... in the paper benches' enumeration order.
+std::vector<TrialSpec> table_matrix(WorldConfig::TestbedKind kind, int owners,
+                                    bool watch, std::uint64_t seed0,
+                                    sim::Duration duration);
+
+}  // namespace vg::workload
