@@ -6,8 +6,10 @@
 /// twice — serially on the calling thread, then fanned across cores with
 /// sim::BatchRunner — and cross-checked for bit-identical results.
 ///
-/// Reports events/sec (serial, the kernel hot-path metric) and trials/sec
-/// (batched, the fleet metric), plus a machine-readable BENCH_JSON line:
+/// Reports events/sec (serial, the kernel hot-path metric), trials/sec
+/// (batched, the fleet metric) and allocs/event (global allocator pressure —
+/// the per-simulation arena's headline number), plus a machine-readable
+/// BENCH_JSON line:
 ///   BENCH_JSON {"bench":"throughput",...}
 ///
 /// Usage: bench_throughput [--days N] [--workers N]
@@ -23,6 +25,9 @@
 
 #include "common.h"
 #include "simcore/BatchRunner.h"
+// Counting operator new/delete (one TU per binary): global allocations during
+// the serial run divided by kernel events gives allocs/event.
+#include "testutil/CountingAllocator.h"
 #include "workload/TrialRunner.h"
 
 using namespace vg;
@@ -93,8 +98,11 @@ int main(int argc, char** argv) {
   }
 
   std::vector<workload::TrialResult> serial, batched;
-  const double serial_s =
-      wall_seconds([&] { serial = workload::run_trials_serial(specs); });
+  std::size_t serial_allocs = 0;
+  const double serial_s = wall_seconds([&] {
+    serial_allocs = testutil::allocations_during(
+        [&] { serial = workload::run_trials_serial(specs); });
+  });
 
   sim::BatchRunner pool{workers};
   const double batch_s =
@@ -110,6 +118,9 @@ int main(int argc, char** argv) {
   const double evps = static_cast<double>(events) / serial_s;
   const double trials_ps = static_cast<double>(specs.size()) / batch_s;
   const double speedup = serial_s / batch_s;
+  const double allocs_per_event =
+      events ? static_cast<double>(serial_allocs) / static_cast<double>(events)
+             : 0.0;
 
   std::printf("\ntrials               : %zu (%d-day protocol each)\n",
               specs.size(), days);
@@ -120,6 +131,8 @@ int main(int argc, char** argv) {
   std::printf("batched wall         : %.3f s  -> %.2f trials/sec on %u workers\n",
               batch_s, trials_ps, pool.worker_count());
   std::printf("speedup              : %.2fx\n", speedup);
+  std::printf("global allocations   : %zu serial  -> %.3f allocs/event\n",
+              serial_allocs, allocs_per_event);
   std::printf("serial/batch results : %s\n",
               match ? "bit-identical" : "MISMATCH");
 
@@ -127,9 +140,10 @@ int main(int argc, char** argv) {
       "\nBENCH_JSON {\"bench\":\"throughput\",\"trials\":%zu,\"days\":%d,"
       "\"workers\":%u,\"serial_seconds\":%.3f,\"batch_seconds\":%.3f,"
       "\"events\":%llu,\"events_per_sec_serial\":%.0f,"
-      "\"trials_per_sec_batch\":%.3f,\"speedup\":%.3f,\"identical\":%s}\n",
+      "\"trials_per_sec_batch\":%.3f,\"speedup\":%.3f,"
+      "\"serial_allocs\":%zu,\"allocs_per_event\":%.3f,\"identical\":%s}\n",
       specs.size(), days, pool.worker_count(), serial_s, batch_s,
       static_cast<unsigned long long>(events), evps, trials_ps, speedup,
-      match ? "true" : "false");
+      serial_allocs, allocs_per_event, match ? "true" : "false");
   return match ? 0 : 1;
 }

@@ -2,12 +2,6 @@
 
 namespace vg::cloud {
 
-namespace {
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-}  // namespace
-
 AvsServerApp::AvsServerApp(net::Host& host, Options opts)
     : host_(host), opts_(opts) {
   host_.tcp().listen(opts_.port,
@@ -29,12 +23,12 @@ void AvsServerApp::accept(net::TcpConnection& conn) {
 }
 
 net::TlsRecord AvsServerApp::make_record(Session& s, std::uint32_t len,
-                                         std::string tag) {
+                                         std::string_view tag) {
   net::TlsRecord r;
   r.type = net::TlsContentType::kApplicationData;
   r.length = len;
   r.tls_seq = s.server_seq++;
-  r.tag = std::move(tag);
+  r.tag = tag;
   return r;
 }
 
@@ -69,15 +63,15 @@ void AvsServerApp::on_record(Session& s, const net::TlsRecord& r) {
     s.conn->send_record(make_record(s, 41, "heartbeat-ack"));
     return;
   }
-  if (starts_with(r.tag, "voice-cmd-end:")) {
+  if (r.tag.starts_with("voice-cmd-end:")) {
     execute_and_respond(s, r.tag);
     return;
   }
   // Activation records, audio chunks, playback telemetry: consumed silently.
 }
 
-void AvsServerApp::execute_and_respond(Session& s, const std::string& cmd_tag) {
-  executed_.push_back(ExecutedCommand{cmd_tag, host_.sim().now()});
+void AvsServerApp::execute_and_respond(Session& s, std::string_view cmd_tag) {
+  executed_.push_back(ExecutedCommand{std::string(cmd_tag), host_.sim().now()});
   auto& rng = host_.sim().rng("cloud.avs");
   const sim::Duration delay =
       opts_.process_delay_mean +
@@ -95,11 +89,13 @@ void AvsServerApp::execute_and_respond(Session& s, const std::string& cmd_tag) {
     for (int seg = 0; seg < segments; ++seg) {
       for (int i = 0; i < opts_.response_records_per_segment; ++i) {
         const bool last = (i == opts_.response_records_per_segment - 1);
-        std::string tag = last ? ("response-seg-end:" + std::to_string(seg + 1) +
-                                  "/" + std::to_string(segments))
-                               : "response-audio";
+        const std::string_view tag =
+            last ? host_.sim().intern("response-seg-end:" +
+                                      std::to_string(seg + 1) + "/" +
+                                      std::to_string(segments))
+                 : std::string_view{"response-audio"};
         sess.conn->send_record(
-            make_record(sess, opts_.response_record_len, std::move(tag)));
+            make_record(sess, opts_.response_record_len, tag));
       }
     }
   });

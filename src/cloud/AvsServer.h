@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -74,8 +75,10 @@ class AvsServerApp {
   void accept(net::TcpConnection& conn);
   void on_record(Session& s, const net::TlsRecord& r);
   void kill_session(Session& s);
-  void execute_and_respond(Session& s, const std::string& cmd_tag);
-  net::TlsRecord make_record(Session& s, std::uint32_t len, std::string tag);
+  void execute_and_respond(Session& s, std::string_view cmd_tag);
+  /// \p tag must be a literal or interned via the simulation's TagPool.
+  net::TlsRecord make_record(Session& s, std::uint32_t len,
+                             std::string_view tag);
 
   net::Host& host_;
   Options opts_;

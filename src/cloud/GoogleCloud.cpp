@@ -2,12 +2,6 @@
 
 namespace vg::cloud {
 
-namespace {
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-}  // namespace
-
 GoogleCloudApp::GoogleCloudApp(net::Host& host, Options opts)
     : host_(host), opts_(opts) {
   host_.tcp().listen(opts_.port,
@@ -40,8 +34,8 @@ void GoogleCloudApp::on_tcp_record(TcpSession& s, const net::TlsRecord& r) {
     return;
   }
   s.expected_seq = r.tls_seq + 1;
-  if (starts_with(r.tag, "voice-cmd-end:")) {
-    executed_.push_back(ExecutedCommand{r.tag, host_.sim().now()});
+  if (r.tag.starts_with("voice-cmd-end:")) {
+    executed_.push_back(ExecutedCommand{std::string(r.tag), host_.sim().now()});
     respond_tcp(s);
   }
 }
@@ -98,8 +92,9 @@ void GoogleCloudApp::on_quic_datagram(const net::Packet& p) {
       return;
     }
     s.expected_seq = r.tls_seq + 1;
-    if (starts_with(r.tag, "voice-cmd-end:")) {
-      executed_.push_back(ExecutedCommand{r.tag, host_.sim().now()});
+    if (r.tag.starts_with("voice-cmd-end:")) {
+      executed_.push_back(
+          ExecutedCommand{std::string(r.tag), host_.sim().now()});
       respond_quic(s);
     }
   }

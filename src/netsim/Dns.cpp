@@ -20,11 +20,12 @@ DnsServerApp::DnsServerApp(Host& host, DnsZone& zone, sim::Duration response_del
 void DnsServerApp::on_query(const Packet& p) {
   if (!p.dns || p.dns->is_response) return;
   ++served_;
-  DnsMessage resp;
+  DnsMessage resp = host_.sim().make<DnsMessage>();
   resp.id = p.dns->id;
   resp.is_response = true;
   resp.qname = p.dns->qname;
-  resp.answers = zone_.lookup(p.dns->qname);
+  const std::vector<IpAddress> addrs = zone_.lookup(p.dns->qname);
+  resp.answers.assign(addrs.begin(), addrs.end());
   const Endpoint from = p.src;
   const Endpoint to = p.dst;
   host_.sim().after(delay_, [this, resp = std::move(resp), from, to] {

@@ -56,7 +56,7 @@ class DnsServerApp {
 /// queries can be lost on lossy links).
 class DnsClient {
  public:
-  using Callback = std::function<void(const std::vector<IpAddress>&)>;
+  using Callback = std::function<void(const AddrVec&)>;
 
   DnsClient(Host& host, Endpoint server);
 

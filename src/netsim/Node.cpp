@@ -4,6 +4,32 @@
 
 namespace vg::net {
 
+namespace {
+
+/// Owns an in-flight packet parked in the simulation arena (or on the heap in
+/// heap mode). Move-only; frees the slot whether or not delivery ever fires,
+/// so packets pending at teardown don't leak their out-of-arena members.
+class FlightSlot {
+ public:
+  FlightSlot(sim::Arena* arena, Packet&& p)
+      : arena_(arena), slot_(sim::arena_new<Packet>(arena, std::move(p))) {}
+  FlightSlot(FlightSlot&& o) noexcept : arena_(o.arena_), slot_(o.slot_) {
+    o.slot_ = nullptr;
+  }
+  FlightSlot(const FlightSlot&) = delete;
+  FlightSlot& operator=(const FlightSlot&) = delete;
+  FlightSlot& operator=(FlightSlot&&) = delete;
+  ~FlightSlot() { sim::arena_delete(arena_, slot_); }
+
+  Packet&& take() && { return std::move(*slot_); }
+
+ private:
+  sim::Arena* arena_;
+  Packet* slot_;
+};
+
+}  // namespace
+
 Link& Network::add_link(NetNode& a, NetNode& b, sim::Duration latency,
                         sim::Duration jitter, double loss_rate) {
   links_.push_back(
@@ -51,8 +77,15 @@ void Link::send_from(NetNode& sender, Packet p) {
   last = when;
 
   NetNode& dst = peer_of(sender);
-  net_.sim().at(when, [this, &dst, pkt = std::move(p)]() mutable {
-    dst.receive(std::move(pkt), *this);
+  // The in-flight packet parks in an arena slot; the delivery callback then
+  // captures four words (32 bytes), which fits the event queue's inline
+  // callback buffer — one hop costs zero global allocations instead of a
+  // heap-boxed closure holding the whole Packet. FlightSlot owns the slot so
+  // the Packet is destroyed even when the simulation tears down with the
+  // delivery still pending.
+  net_.sim().at(when, [this, &dst,
+                       fs = FlightSlot{net_.sim().arena_ptr(), std::move(p)}]() mutable {
+    dst.receive(std::move(fs).take(), *this);
   });
 }
 

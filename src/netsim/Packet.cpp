@@ -16,9 +16,10 @@ std::string to_string(TlsContentType t) {
 
 std::string TcpFlags::to_string() const {
   std::string s;
-  auto add = [&](TcpFlag f, const char* name) {
+  s.reserve(19);  // "SYN,ACK,FIN,RST,PSH" — the longest possible value
+  auto add = [&](TcpFlag f, std::string_view name) {
     if (has(f)) {
-      if (!s.empty()) s += ",";
+      if (!s.empty()) s += ',';
       s += name;
     }
   };
@@ -27,24 +28,29 @@ std::string TcpFlags::to_string() const {
   add(TcpFlag::kFin, "FIN");
   add(TcpFlag::kRst, "RST");
   add(TcpFlag::kPsh, "PSH");
-  return s.empty() ? "-" : s;
+  if (s.empty()) s = "-";
+  return s;
 }
 
 std::string Packet::summary() const {
   char buf[256];
+  int n = 0;
   if (protocol == Protocol::kTcp) {
-    std::snprintf(buf, sizeof(buf), "#%llu %s > %s [%s] seq=%u ack=%u len=%u%s",
-                  static_cast<unsigned long long>(id), src.to_string().c_str(),
-                  dst.to_string().c_str(), tcp.flags.to_string().c_str(),
-                  tcp.seq, tcp.ack, payload_length(),
-                  keepalive_probe ? " keepalive" : "");
+    n = std::snprintf(buf, sizeof(buf), "#%llu %s > %s [%s] seq=%u ack=%u len=%u%s",
+                      static_cast<unsigned long long>(id), src.to_string().c_str(),
+                      dst.to_string().c_str(), tcp.flags.to_string().c_str(),
+                      tcp.seq, tcp.ack, payload_length(),
+                      keepalive_probe ? " keepalive" : "");
   } else {
-    std::snprintf(buf, sizeof(buf), "#%llu %s > %s UDP%s len=%u%s",
-                  static_cast<unsigned long long>(id), src.to_string().c_str(),
-                  dst.to_string().c_str(), quic ? "/QUIC" : "", payload_length(),
-                  dns ? (dns->is_response ? " DNS-resp" : " DNS-query") : "");
+    n = std::snprintf(buf, sizeof(buf), "#%llu %s > %s UDP%s len=%u%s",
+                      static_cast<unsigned long long>(id), src.to_string().c_str(),
+                      dst.to_string().c_str(), quic ? "/QUIC" : "", payload_length(),
+                      dns ? (dns->is_response ? " DNS-resp" : " DNS-query") : "");
   }
-  return buf;
+  // Exact-length construction: no strlen pass, no growth reallocation.
+  if (n < 0) n = 0;
+  if (static_cast<std::size_t>(n) >= sizeof(buf)) n = sizeof(buf) - 1;
+  return std::string(buf, static_cast<std::size_t>(n));
 }
 
 }  // namespace vg::net

@@ -4,9 +4,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netsim/Address.h"
+#include "simcore/Arena.h"
 
 /// \file Packet.h
 /// The simulated wire format.
@@ -46,9 +48,19 @@ struct TlsRecord {
   /// but never renumber them.
   std::uint64_t tls_seq{0};
   /// Free-form label propagated for test/bench introspection only; carries no
-  /// wire semantics ("heartbeat", "voice-cmd", "response", ...).
-  std::string tag;
+  /// wire semantics ("heartbeat", "voice-cmd", "response", ...). A view, not
+  /// an owner: the closed tag set makes copies pointless. Point it at a
+  /// string literal or at sim::TagPool-interned storage (Simulation::intern)
+  /// — never at a stack-local std::string.
+  std::string_view tag;
 };
+
+/// TLS records of one segment/datagram, allocated from the owning
+/// simulation's arena (or the heap, when constructed without one).
+using RecordVec = std::vector<TlsRecord, sim::ArenaAlloc<TlsRecord>>;
+
+/// DNS A-record lists, same allocation scheme as RecordVec.
+using AddrVec = std::vector<IpAddress, sim::ArenaAlloc<IpAddress>>;
 
 enum class TcpFlag : std::uint8_t {
   kSyn = 1u << 0,
@@ -81,17 +93,29 @@ struct TcpHeader {
 /// A plaintext DNS message (queries from the speaker are observable and the
 /// recognizer uses them to learn server IPs).
 struct DnsMessage {
+  DnsMessage() = default;
+  explicit DnsMessage(sim::Arena* arena)
+      : answers(sim::ArenaAlloc<IpAddress>{arena}) {}
+
   std::uint16_t id{0};
   bool is_response{false};
   std::string qname;
-  std::vector<IpAddress> answers;  // A records, response only
+  AddrVec answers;  // A records, response only
   /// Time-to-live is irrelevant to the scheme; omitted.
 };
 
 enum class Protocol : std::uint8_t { kTcp, kUdp };
 
 /// A simulated IP packet.
+///
+/// Default-constructed packets allocate from the heap (seed semantics); hot
+/// paths build them through Simulation::make<Packet>() so the record vector
+/// draws from the per-simulation arena instead.
 struct Packet {
+  Packet() = default;
+  explicit Packet(sim::Arena* arena)
+      : records(sim::ArenaAlloc<TlsRecord>{arena}) {}
+
   std::uint64_t id{0};  // global monotone id, for Fig. 4-style narration
   Endpoint src;
   Endpoint dst;
@@ -101,7 +125,7 @@ struct Packet {
 
   /// TLS records carried in this segment/datagram (possibly empty: pure ACKs,
   /// SYN/FIN, keep-alive probes, DNS).
-  std::vector<TlsRecord> records;
+  RecordVec records;
 
   /// Plain (non-TLS) payload size in bytes, e.g. QUIC datagram or raw bytes.
   std::uint32_t plain_payload{0};
@@ -111,8 +135,9 @@ struct Packet {
   /// True for QUIC datagrams (UDP); the Google Home Mini switches transports.
   bool quic{false};
 
-  /// Introspection-only label (no wire semantics), e.g. "voice-cmd".
-  std::string tag;
+  /// Introspection-only label (no wire semantics), e.g. "voice-cmd". Same
+  /// lifetime rule as TlsRecord::tag: literal or interned storage only.
+  std::string_view tag;
 
   /// Total L4 payload length — the value Wireshark would report and the one
   /// packet-level signatures are computed over. Single pass over the records;

@@ -49,7 +49,13 @@ std::string to_string(TcpCloseReason r) {
 
 TcpConnection::TcpConnection(TcpStack& stack, Endpoint local, Endpoint remote,
                              TcpOptions opts)
-    : stack_(stack), local_(local), remote_(remote), opts_(opts) {
+    : stack_(stack),
+      local_(local),
+      remote_(remote),
+      opts_(opts),
+      unacked_(sim::ArenaAlloc<Packet>{stack.arena()}),
+      out_of_order_(
+          sim::ArenaAlloc<std::pair<const std::uint32_t, Packet>>{stack.arena()}) {
   iss_ = static_cast<std::uint32_t>(
       stack_.sim().rng(stack_.name() + ".tcp.isn").uniform_int(1000, 500000));
   snd_una_ = iss_;
@@ -58,7 +64,7 @@ TcpConnection::TcpConnection(TcpStack& stack, Endpoint local, Endpoint remote,
 }
 
 Packet TcpConnection::make_segment(TcpFlags flags) const {
-  Packet p;
+  Packet p{stack_.arena()};
   p.src = local_;
   p.dst = remote_;
   p.protocol = Protocol::kTcp;
@@ -95,12 +101,12 @@ void TcpConnection::start_accept(const Packet& syn) {
 }
 
 void TcpConnection::send_record(TlsRecord r) {
-  std::vector<TlsRecord> v;
+  RecordVec v{sim::ArenaAlloc<TlsRecord>{stack_.arena()}};
   v.push_back(std::move(r));
   send_records(std::move(v));
 }
 
-void TcpConnection::send_records(std::vector<TlsRecord> rs) {
+void TcpConnection::send_records(RecordVec rs) {
   if (rs.empty()) return;
   if (state_ == TcpState::kEstablished || state_ == TcpState::kCloseWait) {
     send_data_segment(std::move(rs));
@@ -111,7 +117,14 @@ void TcpConnection::send_records(std::vector<TlsRecord> rs) {
   // Writes after FIN are discarded, as with a real half-closed socket.
 }
 
-void TcpConnection::send_data_segment(std::vector<TlsRecord> rs) {
+void TcpConnection::send_records(std::vector<TlsRecord> rs) {
+  RecordVec v{sim::ArenaAlloc<TlsRecord>{stack_.arena()}};
+  v.reserve(rs.size());
+  for (auto& r : rs) v.push_back(std::move(r));
+  send_records(std::move(v));
+}
+
+void TcpConnection::send_data_segment(RecordVec rs) {
   Packet p = make_segment(TcpFlags{}.set(TcpFlag::kAck).set(TcpFlag::kPsh));
   p.records = std::move(rs);
   snd_nxt_ += p.payload_length();
@@ -509,7 +522,7 @@ void TcpStack::on_packet(Packet p) {
 }
 
 void TcpStack::send_rst_for(const Packet& p) {
-  Packet rst;
+  Packet rst{arena()};
   rst.src = p.dst;
   rst.dst = p.src;
   rst.protocol = Protocol::kTcp;

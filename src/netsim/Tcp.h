@@ -86,6 +86,11 @@ class TcpConnection {
   void send_record(TlsRecord r);
 
   /// Sends one segment carrying all of \p rs (coalesced write).
+  void send_records(RecordVec rs);
+
+  /// Convenience overload converting a heap-allocated record vector onto the
+  /// connection's arena (test/bench call sites; the hot paths build
+  /// RecordVecs directly).
   void send_records(std::vector<TlsRecord> rs);
 
   /// Orderly close: sends FIN after any queued data.
@@ -120,7 +125,7 @@ class TcpConnection {
   // --- sending --------------------------------------------------------------
   void emit(Packet p, bool track_for_retransmit);
   Packet make_segment(TcpFlags flags) const;
-  void send_data_segment(std::vector<TlsRecord> rs);
+  void send_data_segment(RecordVec rs);
   void send_ack();
   void send_fin();
   void flush_pending();
@@ -150,13 +155,17 @@ class TcpConnection {
   bool fin_queued_{false};
   bool fin_sent_{false};
   std::uint32_t fin_seq_{0};
-  std::deque<Packet> unacked_;
-  std::vector<std::vector<TlsRecord>> pending_;  // writes before ESTABLISHED
+  /// Segments awaiting ACK. Arena-backed: the deque's block churn under
+  /// steady-state send/ack cycles must not touch the global allocator.
+  std::deque<Packet, sim::ArenaAlloc<Packet>> unacked_;
+  std::vector<RecordVec> pending_;  // writes before ESTABLISHED (cold path)
 
   // Receive side.
   std::uint32_t irs_{0};
   std::uint32_t rcv_nxt_{0};
-  std::map<std::uint32_t, Packet> out_of_order_;
+  std::map<std::uint32_t, Packet, std::less<std::uint32_t>,
+           sim::ArenaAlloc<std::pair<const std::uint32_t, Packet>>>
+      out_of_order_;
 
   // Timers.
   sim::EventId retransmit_timer_{};
@@ -215,6 +224,8 @@ class TcpStack {
   [[nodiscard]] bool owns_flow(const Packet& p) const;
 
   sim::Simulation& sim() { return sim_; }
+  /// The owning simulation's packet arena (null in heap mode).
+  [[nodiscard]] sim::Arena* arena() const { return sim_.arena_ptr(); }
   [[nodiscard]] IpAddress ip() const { return ip_; }
   [[nodiscard]] const std::string& name() const { return name_; }
 

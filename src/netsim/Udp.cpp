@@ -4,21 +4,21 @@ namespace vg::net {
 
 void UdpStack::send_datagram(Endpoint local, Endpoint remote,
                              std::uint32_t payload_len, bool quic,
-                             std::optional<DnsMessage> dns, std::string tag) {
-  Packet p;
+                             std::optional<DnsMessage> dns,
+                             std::string_view tag) {
+  Packet p = sim_.make<Packet>();
   p.src = local;
   p.dst = remote;
   p.protocol = Protocol::kUdp;
   p.plain_payload = payload_len;
   p.quic = quic;
   p.dns = std::move(dns);
-  p.tag = std::move(tag);
+  p.tag = tag;
   out_(std::move(p));
 }
 
-void UdpStack::send_quic(Endpoint local, Endpoint remote,
-                         std::vector<TlsRecord> records) {
-  Packet p;
+void UdpStack::send_quic(Endpoint local, Endpoint remote, RecordVec records) {
+  Packet p{sim_.arena_ptr()};
   p.src = local;
   p.dst = remote;
   p.protocol = Protocol::kUdp;

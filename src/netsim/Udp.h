@@ -30,16 +30,16 @@ class UdpStack {
   /// Fallback for datagrams to unbound ports (transparent capture).
   void bind_any(Handler handler) { any_handler_ = std::move(handler); }
 
-  /// Sends a datagram with \p payload_len opaque bytes.
+  /// Sends a datagram with \p payload_len opaque bytes. \p tag must point at
+  /// storage outliving the packet (a literal or an interned tag).
   void send_datagram(Endpoint local, Endpoint remote, std::uint32_t payload_len,
                      bool quic = false,
                      std::optional<DnsMessage> dns = std::nullopt,
-                     std::string tag = {});
+                     std::string_view tag = {});
 
   /// Sends a QUIC datagram carrying \p records (QUIC packet numbers ride in
   /// TlsRecord::tls_seq; lengths are the observable datagram payload).
-  void send_quic(Endpoint local, Endpoint remote,
-                 std::vector<TlsRecord> records);
+  void send_quic(Endpoint local, Endpoint remote, RecordVec records);
 
   /// Sends a pre-built packet (used by forwarders re-emitting held datagrams).
   void send_raw(Packet p) { out_(std::move(p)); }

@@ -1,9 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "simcore/Arena.h"
 #include "simcore/EventQueue.h"
 #include "simcore/Log.h"
 #include "simcore/Rng.h"
@@ -16,13 +19,39 @@
 /// and the trace logger. All substrates (network, radio, people, devices) are
 /// built around a reference to one Simulation and advance exclusively through
 /// its event loop.
+///
+/// The Simulation also anchors per-episode memory: an Arena for packet-path
+/// allocations (owned by default, or borrowed so a BatchRunner worker can
+/// reuse one arena's capacity across trials) and a TagPool interning the
+/// string_view tags carried by packets and TLS records. Allocation strategy
+/// never feeds back into event ordering or RNG draws, so arena-backed and
+/// heap-backed runs of the same seed are bit-identical.
 
 namespace vg::sim {
 
 class Simulation {
  public:
+  struct Options {
+    /// When false the Simulation owns no arena: arena-aware factories hand
+    /// out null-arena handles and every container falls back to the global
+    /// allocator — the seed ("heap") semantics, kept for parity testing.
+    bool use_arena = true;
+  };
+
   /// \param seed root seed for all named RNG streams.
-  explicit Simulation(std::uint64_t seed = 1) : rngs_(seed) {}
+  explicit Simulation(std::uint64_t seed = 1) : Simulation(seed, Options{}) {}
+
+  Simulation(std::uint64_t seed, Options opts) : rngs_(seed) {
+    if (opts.use_arena) {
+      owned_arena_ = std::make_unique<Arena>();
+      arena_ = owned_arena_.get();
+    }
+  }
+
+  /// Borrows \p arena instead of owning one — the episode-reuse path: a
+  /// TrialRunner worker resets its thread-local arena between trials and
+  /// lends it to each trial's Simulation in turn.
+  Simulation(std::uint64_t seed, Arena* arena) : arena_(arena), rngs_(seed) {}
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -53,6 +82,31 @@ class Simulation {
   Rng& rng(std::string_view stream) { return rngs_.stream(stream); }
   RngRegistry& rngs() { return rngs_; }
 
+  // --- per-episode memory ----------------------------------------------------
+
+  /// The packet-path arena; null when arena allocation is disabled (heap
+  /// semantics). Valid for the Simulation's lifetime.
+  [[nodiscard]] Arena* arena_ptr() const { return arena_; }
+
+  TagPool& tags() { return tags_; }
+
+  /// Interns a runtime-built tag to storage that outlives the packets
+  /// carrying it. Literals don't need this (static storage).
+  std::string_view intern(std::string_view tag) { return tags_.intern(tag); }
+
+  /// Arena-aware factory: constructs a T wired to this simulation's arena.
+  /// T must be constructible from Arena* (e.g. net::Packet, net::DnsMessage).
+  template <class T>
+  [[nodiscard]] T make() {
+    return T{arena_};
+  }
+
+  /// An empty vector allocating from this simulation's arena.
+  template <class T>
+  [[nodiscard]] std::vector<T, ArenaAlloc<T>> make_vec() {
+    return std::vector<T, ArenaAlloc<T>>(ArenaAlloc<T>{arena_});
+  }
+
   Logger& logger() { return logger_; }
   void log(LogLevel level, std::string_view component, std::string message) const {
     logger_.log(now_, level, component, std::move(message));
@@ -64,6 +118,12 @@ class Simulation {
  private:
   void fire_next();
 
+  // Arena and tag pool are declared (and thus destroyed) after everything
+  // below them in reverse: pending callbacks in the EventQueue may own
+  // arena-backed packets, so the arena must outlive the queue.
+  std::unique_ptr<Arena> owned_arena_;
+  Arena* arena_{nullptr};
+  TagPool tags_;
   TimePoint now_{};
   EventQueue queue_;
   RngRegistry rngs_;

@@ -1,14 +1,9 @@
 #include "speaker/EchoDot.h"
 
 #include <algorithm>
+#include <charconv>
 
 namespace vg::speaker {
-
-namespace {
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-}  // namespace
 
 EchoDotModel::EchoDotModel(net::Host& host, net::Endpoint dns_server,
                            std::function<net::IpAddress()> avs_ip_oracle,
@@ -35,7 +30,7 @@ void EchoDotModel::resolve_and_connect(bool allow_dnsless) {
     connect_to(avs_ip_oracle_());
     return;
   }
-  dns_.resolve(opts_.avs_domain, [this](const std::vector<net::IpAddress>& ips) {
+  dns_.resolve(opts_.avs_domain, [this](const net::AddrVec& ips) {
     if (ips.empty()) {
       host_.sim().after(sim::seconds(5), [this] { resolve_and_connect(false); });
       return;
@@ -63,13 +58,13 @@ void EchoDotModel::connect_to(net::IpAddress ip) {
 }
 
 void EchoDotModel::send_record(std::uint64_t gen, std::uint32_t len,
-                               std::string tag, net::TlsContentType type) {
+                               std::string_view tag, net::TlsContentType type) {
   if (gen != conn_gen_ || conn_ == nullptr) return;
   net::TlsRecord r;
   r.type = type;
   r.length = len;
   r.tls_seq = tls_seq_++;
-  r.tag = std::move(tag);
+  r.tag = tag;
   conn_->send_record(std::move(r));
 }
 
@@ -125,7 +120,7 @@ void EchoDotModel::schedule_misc_connection() {
     auto& r = host_.sim().rng("speaker.echo.misc");
     const int idx = static_cast<int>(r.uniform_int(0, 5));
     dns_.resolve("misc-" + std::to_string(idx) + ".amazon.com",
-                 [this, idx](const std::vector<net::IpAddress>& ips) {
+                 [this, idx](const net::AddrVec& ips) {
                    if (!ips.empty()) {
                      // Short-lived side connection with its own establishment
                      // signature; exists to exercise signature discrimination.
@@ -181,8 +176,11 @@ void EchoDotModel::start_phase1(const CommandSpec& cmd, sim::TimePoint wake_time
   sim::Duration t{0};
   for (std::size_t i = 0; i < prefix.size(); ++i) {
     const std::uint32_t len = prefix[i];
-    const std::string tag =
-        (i == 0) ? "activation:" + std::to_string(cmd.id) : "activation-data";
+    // Interned once here: the scheduled send then captures a 16-byte
+    // string_view instead of heap-owning the tag in every closure.
+    const std::string_view tag =
+        (i == 0) ? host_.sim().intern("activation:" + std::to_string(cmd.id))
+                 : std::string_view{"activation-data"};
     host_.sim().after(t, [this, gen, len, tag] { send_record(gen, len, tag); });
     t += sim::milliseconds(15);
   }
@@ -206,7 +204,8 @@ void EchoDotModel::start_phase1(const CommandSpec& cmd, sim::TimePoint wake_time
   for (int i = 0; i < audio_records; ++i) {
     const bool last = (i == audio_records - 1);
     const auto len = static_cast<std::uint32_t>(rng.uniform_int(1180, 1420));
-    const std::string tag = last ? cmd.end_tag() : "voice-audio";
+    const std::string_view tag = last ? host_.sim().intern(cmd.end_tag())
+                                      : std::string_view{"voice-audio"};
     host_.sim().after(audio_t,
                       [this, gen, len, tag] { send_record(gen, len, tag); });
     audio_t += sim::milliseconds(8);
@@ -225,14 +224,16 @@ void EchoDotModel::start_phase1(const CommandSpec& cmd, sim::TimePoint wake_time
 }
 
 void EchoDotModel::on_server_record(const net::TlsRecord& r) {
-  if (starts_with(r.tag, "alert:")) return;  // connection death follows
+  if (r.tag.starts_with("alert:")) return;  // connection death follows
   if (r.tag == "heartbeat-ack") return;
   if (!pending_) return;
 
-  if (starts_with(r.tag, "response-seg-end:")) {
+  if (r.tag.starts_with("response-seg-end:")) {
     // "response-seg-end:<k>/<n>"
     const auto slash = r.tag.find('/');
-    const int total = std::stoi(r.tag.substr(slash + 1));
+    int total = 0;
+    std::from_chars(r.tag.data() + slash + 1, r.tag.data() + r.tag.size(),
+                    total);
     if (!pending_->response_start) {
       pending_->response_start = host_.sim().now();
       pending_->segments_expected = total;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "netsim/Dns.h"
@@ -102,8 +103,9 @@ class EchoDotModel {
   void on_connection_closed(net::TcpCloseReason reason);
   /// Sends a record iff the connection generation still matches — scheduled
   /// sends from a dead connection must not leak onto its successor (they
-  /// would corrupt the fresh TLS sequence space).
-  void send_record(std::uint64_t gen, std::uint32_t len, std::string tag,
+  /// would corrupt the fresh TLS sequence space). \p tag must be a literal or
+  /// interned via the simulation's TagPool so it outlives the record.
+  void send_record(std::uint64_t gen, std::uint32_t len, std::string_view tag,
                    net::TlsContentType type = net::TlsContentType::kApplicationData);
   void schedule_heartbeat();
   void schedule_misc_connection();

@@ -4,12 +4,6 @@
 
 namespace vg::speaker {
 
-namespace {
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-}  // namespace
-
 GoogleHomeMiniModel::GoogleHomeMiniModel(net::Host& host,
                                          net::Endpoint dns_server, Options opts)
     : host_(host), dns_(host, dns_server), opts_(std::move(opts)) {}
@@ -23,7 +17,7 @@ void GoogleHomeMiniModel::hear_command(const CommandSpec& cmd) {
     // On-demand: every interaction starts with a fresh DNS resolution —
     // which is exactly why DNS tracking suffices for the Mini (§IV-B).
     dns_.resolve(opts_.domain,
-                 [this, cmd, wake](const std::vector<net::IpAddress>& ips) {
+                 [this, cmd, wake](const net::AddrVec& ips) {
                    if (ips.empty() || pending_) return;
                    start_interaction(cmd, wake, ips.front());
                  });
@@ -72,7 +66,7 @@ void GoogleHomeMiniModel::run_tcp(net::IpAddress server_ip) {
   };
   cbs.on_record = [this, igen, alive](const net::TlsRecord& r) {
     if (!pending_ || igen != interaction_gen_) return;
-    if (starts_with(r.tag, "response")) {
+    if (r.tag.starts_with("response")) {
       if (!pending_->response_start) on_response_start();
       if (r.tag == "response-end") {
         // Speak the answer, then the interaction is over.
@@ -104,12 +98,12 @@ void GoogleHomeMiniModel::run_tcp(net::IpAddress server_ip) {
 
 void GoogleHomeMiniModel::stream_command_tcp(std::uint64_t igen) {
   auto& rng = host_.sim().rng("speaker.ghm.traffic");
-  auto send = [this, igen](std::uint32_t len, std::string tag) {
+  auto send = [this, igen](std::uint32_t len, std::string_view tag) {
     if (!pending_ || igen != interaction_gen_ || pending_->conn == nullptr) return;
     net::TlsRecord r;
     r.length = len;
     r.tls_seq = pending_->send_seq++;
-    r.tag = std::move(tag);
+    r.tag = tag;
     pending_->conn->send_record(std::move(r));
   };
 
@@ -138,7 +132,9 @@ void GoogleHomeMiniModel::stream_command_tcp(std::uint64_t igen) {
   for (int i = 0; i < audio_records; ++i) {
     const bool last = (i == audio_records - 1);
     const auto len = static_cast<std::uint32_t>(rng.uniform_int(1100, 1380));
-    const std::string tag = last ? pending_->cmd.end_tag() : "voice-audio";
+    const std::string_view tag =
+        last ? host_.sim().intern(pending_->cmd.end_tag())
+             : std::string_view{"voice-audio"};
     host_.sim().at(at, [send, len, tag] { send(len, tag); });
     at = at + sim::milliseconds(8);
   }
@@ -154,7 +150,7 @@ void GoogleHomeMiniModel::run_quic(net::IpAddress server_ip) {
         finish_interaction(false, /*connection_error=*/true, false);
         return;
       }
-      if (starts_with(r.tag, "response")) {
+      if (r.tag.starts_with("response")) {
         if (!pending_->response_start) on_response_start();
         if (r.tag == "response-end") {
           auto& rng = host_.sim().rng("speaker.ghm.playback");
@@ -176,13 +172,15 @@ void GoogleHomeMiniModel::stream_command_quic(std::uint64_t igen,
   auto& rng = host_.sim().rng("speaker.ghm.traffic");
   const net::Endpoint local{host_.ip(), pending_->quic_local_port};
   const net::Endpoint remote{server_ip, opts_.port};
-  auto send = [this, igen, local, remote](std::uint32_t len, std::string tag) {
+  auto send = [this, igen, local, remote](std::uint32_t len, std::string_view tag) {
     if (!pending_ || igen != interaction_gen_) return;
     net::TlsRecord r;
     r.length = len;
     r.tls_seq = pending_->send_seq++;
-    r.tag = std::move(tag);
-    host_.udp().send_quic(local, remote, {std::move(r)});
+    r.tag = tag;
+    net::RecordVec rs = host_.sim().make_vec<net::TlsRecord>();
+    rs.push_back(std::move(r));
+    host_.udp().send_quic(local, remote, std::move(rs));
   };
 
   sim::Duration t{0};
@@ -208,7 +206,9 @@ void GoogleHomeMiniModel::stream_command_quic(std::uint64_t igen,
   for (int i = 0; i < audio_records; ++i) {
     const bool last = (i == audio_records - 1);
     const auto len = static_cast<std::uint32_t>(rng.uniform_int(1000, 1350));
-    const std::string tag = last ? pending_->cmd.end_tag() : "voice-audio";
+    const std::string_view tag =
+        last ? host_.sim().intern(pending_->cmd.end_tag())
+             : std::string_view{"voice-audio"};
     host_.sim().at(at, [send, len, tag] { send(len, tag); });
     at = at + sim::milliseconds(9);
   }

@@ -3,7 +3,18 @@
 namespace vg::workload {
 
 TrialResult run_trial(const TrialSpec& spec) {
-  SmartHomeWorld world{spec.world};
+  // Episode-reset contract: each worker thread (or the serial caller) keeps
+  // one arena whose chunks are recycled across trials. The previous trial's
+  // world is destroyed before reset() runs, so no live object can outlast its
+  // storage. An explicitly configured arena / heap mode is left alone.
+  thread_local sim::Arena episode_arena;
+  TrialSpec local = spec;
+  if (local.world.use_arena && local.world.arena == nullptr) {
+    episode_arena.reset();
+    local.world.arena = &episode_arena;
+  }
+
+  SmartHomeWorld world{local.world};
   world.calibrate();
 
   ExperimentDriver driver{world, spec.experiment};

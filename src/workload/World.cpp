@@ -23,7 +23,10 @@ constexpr double kStairSpeed = 0.45;  // m/s — ~8 s for the staircase (§V-B2)
 
 SmartHomeWorld::SmartHomeWorld(WorldConfig cfg)
     : cfg_(cfg),
-      sim_(std::make_unique<sim::Simulation>(cfg.seed)),
+      sim_(cfg.arena
+               ? std::make_unique<sim::Simulation>(cfg.seed, cfg.arena)
+               : std::make_unique<sim::Simulation>(
+                     cfg.seed, sim::Simulation::Options{cfg.use_arena})),
       net_(std::make_unique<net::Network>(*sim_)),
       testbed_(make_testbed(cfg.testbed)) {
   speaker_floor_ =

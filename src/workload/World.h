@@ -48,6 +48,13 @@ struct WorldConfig {
   std::uint64_t seed = 1;
   /// Overrides the testbed's propagation calibration when set.
   std::optional<radio::PathLossParams> radio{};
+  /// When false the simulation uses heap (seed) allocation semantics; used
+  /// by the allocation parity tests. Ignored if \p arena is set.
+  bool use_arena = true;
+  /// Lend an external arena to the world's Simulation instead of owning one
+  /// (episode reuse: TrialRunner resets a worker-local arena per trial).
+  /// Must outlive the world.
+  sim::Arena* arena = nullptr;
 };
 
 class SmartHomeWorld {

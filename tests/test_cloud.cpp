@@ -29,11 +29,11 @@ struct CloudFixture : ::testing::Test {
   }
 
   static net::TlsRecord rec(std::uint64_t seq, std::uint32_t len,
-                            std::string tag) {
+                            std::string_view tag) {
     net::TlsRecord r;
     r.length = len;
     r.tls_seq = seq;
-    r.tag = std::move(tag);
+    r.tag = tag;
     return r;
   }
 };

@@ -1,39 +1,13 @@
 #include <gtest/gtest.h>
 
-#include <atomic>
-#include <cstdlib>
 #include <memory>
-#include <new>
 #include <vector>
 
 #include "simcore/Callback.h"
 #include "simcore/EventQueue.h"
-
-// ---------------------------------------------------------------------------
-// Counting allocator: global operator new/delete overrides for this binary,
-// used to assert that EventQueue::schedule does not allocate on the hot path.
-// ---------------------------------------------------------------------------
-
-namespace {
-std::atomic<std::size_t> g_allocations{0};
-}
-
-void* operator new(std::size_t size) {
-  ++g_allocations;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc{};
-}
-
-void* operator new[](std::size_t size) {
-  ++g_allocations;
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc{};
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+// Defines the counting global operator new/delete for this binary; used to
+// assert that EventQueue::schedule does not allocate on the hot path.
+#include "testutil/CountingAllocator.h"
 
 namespace vg::sim {
 namespace {
@@ -89,11 +63,11 @@ TEST(EventQueue, ScheduleDoesNotAllocateForSmallCallbacks) {
   }
 
   int *a = &sink, *b = &sink, *c = &sink;
-  const std::size_t before = g_allocations.load();
+  const std::size_t before = testutil::allocation_count();
   for (int i = 0; i < 256; ++i) {
     q.schedule(TimePoint{i}, [a, b, c] { ++*a; ++*b; ++*c; });
   }
-  EXPECT_EQ(g_allocations.load(), before)
+  EXPECT_EQ(testutil::allocation_count(), before)
       << "schedule() allocated for a <=3-pointer callback";
   while (!q.empty()) q.pop().cb();
   EXPECT_EQ(sink, 4 * 256 + 3 * 256);

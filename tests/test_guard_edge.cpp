@@ -212,7 +212,7 @@ TEST(GuardEdge, DnsAlwaysPassesThroughBlockingGuard) {
   net::DnsClient resolver{w.speaker_host, w.farm.dns_endpoint()};
   std::vector<IpAddress> got;
   resolver.resolve(w.farm.avs_domain(),
-                   [&](const std::vector<IpAddress>& ips) { got = ips; });
+                   [&](const auto& ips) { got.assign(ips.begin(), ips.end()); });
   w.run_to(5);
   ASSERT_EQ(got.size(), 1u);
   EXPECT_EQ(got[0], w.farm.current_avs_ip());

@@ -172,7 +172,7 @@ TEST(DnsEdge, MultipleARecordsReturned) {
   DnsClient resolver{client, {server.ip(), DnsServerApp::kPort}};
   std::vector<IpAddress> got;
   resolver.resolve("multi.example",
-                   [&](const std::vector<IpAddress>& ips) { got = ips; });
+                   [&](const auto& ips) { got.assign(ips.begin(), ips.end()); });
   sim.run_all();
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0], IpAddress(1, 1, 1, 1));
@@ -193,9 +193,9 @@ TEST(DnsEdge, ConcurrentQueriesDemuxById) {
   DnsClient resolver{client, {server.ip(), DnsServerApp::kPort}};
   IpAddress ra{}, rb{};
   resolver.resolve("a.example",
-                   [&](const std::vector<IpAddress>& ips) { ra = ips.at(0); });
+                   [&](const auto& ips) { ra = ips.at(0); });
   resolver.resolve("b.example",
-                   [&](const std::vector<IpAddress>& ips) { rb = ips.at(0); });
+                   [&](const auto& ips) { rb = ips.at(0); });
   sim.run_all();
   EXPECT_EQ(ra, IpAddress(1, 0, 0, 1));
   EXPECT_EQ(rb, IpAddress(2, 0, 0, 2));

@@ -43,6 +43,47 @@ TEST(Packet, SummaryMentionsFlagsAndLength) {
   EXPECT_NE(s.find("#7"), std::string::npos);
 }
 
+TEST(Packet, SummaryOfQuicDatagram) {
+  Packet p;
+  p.id = 42;
+  p.src = {IpAddress(192, 168, 1, 50), 50000};
+  p.dst = {IpAddress(142, 250, 0, 1), 443};
+  p.protocol = Protocol::kUdp;
+  p.quic = true;
+  p.records.push_back(TlsRecord{TlsContentType::kApplicationData, 900, 3, "voice-audio"});
+  p.plain_payload = 60;  // QUIC framing overhead
+  EXPECT_EQ(p.summary(),
+            "#42 192.168.1.50:50000 > 142.250.0.1:443 UDP/QUIC len=960");
+}
+
+TEST(Packet, SummaryOfKeepAliveProbe) {
+  Packet p;
+  p.id = 9;
+  p.src = {IpAddress(192, 168, 1, 30), 40000};
+  p.dst = {IpAddress(52, 94, 0, 2), 443};
+  p.tcp.flags.set(TcpFlag::kAck);
+  p.tcp.seq = 999;
+  p.tcp.ack = 500;
+  p.keepalive_probe = true;
+  EXPECT_EQ(p.summary(),
+            "#9 192.168.1.30:40000 > 52.94.0.2:443 [ACK] seq=999 ack=500 "
+            "len=0 keepalive");
+}
+
+TEST(TcpFlags, ToStringCoversAllCombinations) {
+  EXPECT_EQ(TcpFlags{}.to_string(), "-");
+  TcpFlags syn_ack;
+  syn_ack.set(TcpFlag::kSyn).set(TcpFlag::kAck);
+  EXPECT_EQ(syn_ack.to_string(), "SYN,ACK");
+  TcpFlags all;
+  all.set(TcpFlag::kSyn)
+      .set(TcpFlag::kAck)
+      .set(TcpFlag::kFin)
+      .set(TcpFlag::kRst)
+      .set(TcpFlag::kPsh);
+  EXPECT_EQ(all.to_string(), "SYN,ACK,FIN,RST,PSH");
+}
+
 TEST(Link, DeliversWithLatency) {
   sim::Simulation sim{1};
   Network net{sim};
@@ -136,12 +177,12 @@ TEST(Dns, ResolvesFromZone) {
   DnsClient resolver{client, {server.ip(), DnsServerApp::kPort}};
 
   std::vector<IpAddress> got;
-  resolver.resolve("example.com", [&](const std::vector<IpAddress>& ips) {
-    got = ips;
+  resolver.resolve("example.com", [&](const auto& ips) {
+    got.assign(ips.begin(), ips.end());
   });
   std::vector<IpAddress> missing{IpAddress(1, 1, 1, 1)};  // sentinel
-  resolver.resolve("nosuch.example", [&](const std::vector<IpAddress>& ips) {
-    missing = ips;
+  resolver.resolve("nosuch.example", [&](const auto& ips) {
+    missing.assign(ips.begin(), ips.end());
   });
   sim.run_all();
   ASSERT_EQ(got.size(), 1u);

@@ -20,11 +20,11 @@ struct TcpWorld {
   }
 };
 
-TlsRecord rec(std::uint32_t len, std::uint64_t seq, std::string tag = "data") {
+TlsRecord rec(std::uint32_t len, std::uint64_t seq, std::string_view tag = "data") {
   TlsRecord r;
   r.length = len;
   r.tls_seq = seq;
-  r.tag = std::move(tag);
+  r.tag = tag;
   return r;
 }
 
@@ -104,7 +104,7 @@ TEST(Tcp, ByteCountersMatchRecordLengths) {
   TcpConnection& cc =
       w.a.tcp().connect(Endpoint{w.b.ip(), 443}, TcpCallbacks{});
   cc.send_record(rec(100, 0));
-  cc.send_records({rec(50, 1), rec(25, 2)});
+  cc.send_records(std::vector<TlsRecord>{rec(50, 1), rec(25, 2)});
   w.sim.run_all();
   ASSERT_NE(server_conn, nullptr);
   EXPECT_EQ(server_conn->bytes_received(), 175u);

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "simcore/BatchRunner.h"
+#include "workload/TrialRunner.h"
+
+/// \file test_packet_parity.cpp
+/// Heap-vs-arena parity: the per-simulation arena changes where packet-path
+/// bytes live, and must change nothing else. The same Table II workload run
+/// with heap (seed) semantics and with the arena — serially and through the
+/// BatchRunner — has to produce field-identical trial results and a
+/// byte-identical trace.
+
+namespace vg {
+namespace {
+
+using workload::TrialResult;
+using workload::TrialSpec;
+using workload::WorldConfig;
+
+std::vector<TrialSpec> table2_workload(bool use_arena) {
+  // The Table II matrix (house, 2 owners, phones), shortened: 4 trials of
+  // 6 simulated hours each keep the test fast while still exercising
+  // command interactions, reconnects and heartbeat traffic.
+  auto specs = workload::table_matrix(WorldConfig::TestbedKind::kHouse,
+                                      /*owners=*/2, /*watch=*/false,
+                                      /*seed0=*/500, sim::hours(6));
+  for (auto& spec : specs) {
+    spec.world.use_arena = use_arena;
+    spec.world.arena = nullptr;
+  }
+  return specs;
+}
+
+void expect_identical(const TrialResult& h, const TrialResult& a) {
+  EXPECT_EQ(h.label, a.label);
+  EXPECT_EQ(h.confusion.tp, a.confusion.tp);
+  EXPECT_EQ(h.confusion.fn, a.confusion.fn);
+  EXPECT_EQ(h.confusion.tn, a.confusion.tn);
+  EXPECT_EQ(h.confusion.fp, a.confusion.fp);
+  EXPECT_EQ(h.legit_issued, a.legit_issued);
+  EXPECT_EQ(h.malicious_issued, a.malicious_issued);
+  EXPECT_EQ(h.night_attacks, a.night_attacks);
+  EXPECT_EQ(h.executed_events, a.executed_events);
+  EXPECT_EQ(h.sim_seconds, a.sim_seconds);
+  ASSERT_EQ(h.outcomes.size(), a.outcomes.size());
+  for (std::size_t k = 0; k < h.outcomes.size(); ++k) {
+    const auto& ho = h.outcomes[k];
+    const auto& ao = a.outcomes[k];
+    EXPECT_EQ(ho.id, ao.id);
+    EXPECT_EQ(ho.malicious, ao.malicious);
+    EXPECT_EQ(ho.executed, ao.executed);
+    EXPECT_EQ(ho.when, ao.when);
+    EXPECT_EQ(ho.issuer, ao.issuer);
+    EXPECT_EQ(ho.owner_whereabouts, ao.owner_whereabouts);
+  }
+}
+
+TEST(PacketParity, SerialHeapAndArenaRunsAreFieldIdentical) {
+  const auto heap = workload::run_trials_serial(table2_workload(false));
+  const auto arena = workload::run_trials_serial(table2_workload(true));
+  ASSERT_EQ(heap.size(), arena.size());
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    SCOPED_TRACE(heap[i].label);
+    expect_identical(heap[i], arena[i]);
+  }
+}
+
+TEST(PacketParity, BatchedArenaRunsMatchSerialHeapRuns) {
+  // Cross-check both axes at once: worker-thread arenas (one thread_local
+  // arena per pool worker, reset between trials) against the single-threaded
+  // heap-semantics reference.
+  const auto heap = workload::run_trials_serial(table2_workload(false));
+  sim::BatchRunner pool{3};
+  const auto arena = workload::run_trials(table2_workload(true), pool);
+  ASSERT_EQ(heap.size(), arena.size());
+  for (std::size_t i = 0; i < heap.size(); ++i) {
+    SCOPED_TRACE(heap[i].label);
+    expect_identical(heap[i], arena[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identical trace
+// ---------------------------------------------------------------------------
+
+std::string traced_run(bool use_arena) {
+  workload::WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kHouse;
+  cfg.speaker = WorldConfig::SpeakerType::kEchoDot;
+  cfg.owner_count = 2;
+  cfg.seed = 77;
+  cfg.use_arena = use_arena;
+
+  workload::SmartHomeWorld world{cfg};
+  std::string trace;
+  world.sim().logger().add_sink(
+      sim::LogLevel::kTrace, [&trace](const sim::LogRecord& rec) {
+        char line[512];
+        const int n = std::snprintf(
+            line, sizeof(line), "[%lld] %d %s: %s\n",
+            static_cast<long long>(rec.time.ns()), static_cast<int>(rec.level),
+            rec.component.c_str(), rec.message.c_str());
+        if (n > 0) trace.append(line, static_cast<std::size_t>(n));
+      });
+
+  world.calibrate();
+  speaker::CommandSpec cmd;
+  cmd.id = 4242;
+  cmd.text = "parity probe command";
+  cmd.words = 6;
+  world.hear_command(cmd);
+  world.run_for(sim::minutes(5));
+  return trace;
+}
+
+TEST(PacketParity, TraceIsByteIdenticalAcrossAllocators) {
+  const std::string heap_trace = traced_run(false);
+  const std::string arena_trace = traced_run(true);
+  EXPECT_FALSE(heap_trace.empty());
+  EXPECT_EQ(heap_trace, arena_trace);
+}
+
+}  // namespace
+}  // namespace vg

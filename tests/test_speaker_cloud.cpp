@@ -151,11 +151,11 @@ TEST(AvsServer, NoCommandExecutionAfterGap) {
   CloudWorld w;
   net::TcpConnection& c = w.speaker_host.tcp().connect(
       net::Endpoint{w.farm.current_avs_ip(), 443}, net::TcpCallbacks{});
-  auto send = [&c](std::uint64_t seq, std::string tag) {
+  auto send = [&c](std::uint64_t seq, std::string_view tag) {
     net::TlsRecord r;
     r.length = 100;
     r.tls_seq = seq;
-    r.tag = std::move(tag);
+    r.tag = tag;
     c.send_record(r);
   };
   send(0, "data");
@@ -204,11 +204,11 @@ TEST(GoogleCloud, QuicGapClosesConnection) {
       if (r.tag == "quic-connection-close") got_close = true;
     }
   });
-  auto send = [&](std::uint64_t seq, std::string tag) {
+  auto send = [&](std::uint64_t seq, std::string_view tag) {
     net::TlsRecord r;
     r.length = 500;
     r.tls_seq = seq;
-    r.tag = std::move(tag);
+    r.tag = tag;
     w.speaker_host.udp().send_quic(local, google, {std::move(r)});
   };
   send(0, "quic-setup");
