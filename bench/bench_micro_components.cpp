@@ -3,6 +3,11 @@
 /// with line-rate speaker traffic (§IV-A's "general-purpose computing
 /// device is sufficient" claim).
 
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "analysis/Stats.h"
@@ -89,6 +94,43 @@ void BM_EventQueueScheduleFire(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleFire);
 
+// Captures per-benchmark adjusted real time while still printing the normal
+// console table, then emits one grep-able BENCH_JSON summary line (repo
+// convention, see bench_throughput).
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      results_.emplace_back(run.benchmark_name(), run.GetAdjustedRealTime());
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  void print_json_line() const {
+    std::string fields;
+    for (const auto& [name, ns] : results_) {
+      if (!fields.empty()) fields += ',';
+      char buf[160];
+      std::snprintf(buf, sizeof buf, "\"%s\":%.1f", name.c_str(), ns);
+      fields += buf;
+    }
+    std::printf("\nBENCH_JSON {\"bench\":\"micro_components\",\"unit\":\"ns\","
+                "%s}\n",
+                fields.c_str());
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.print_json_line();
+  benchmark::Shutdown();
+  return 0;
+}

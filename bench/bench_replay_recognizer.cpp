@@ -1,0 +1,89 @@
+/// Offline recognizer throughput over a wire trace.
+///
+/// Replays a captured scenario through trace::Replayer (the full recognition
+/// pipeline: AVS-IP tracking, establishment exemption, signature matching,
+/// heartbeat filtering, spike segmentation + classification) with no
+/// simulation in the loop, so the recognizer's per-record cost is measured in
+/// isolation. This is the harness for the recognizer hot-path work tracked in
+/// ROADMAP.md: any rolling-window optimisation must move the records/sec
+/// number here.
+///
+/// Usage: bench_replay_recognizer [scenario]   (default: echo_dot_tcp)
+///
+/// Emits a machine-readable line:
+///   BENCH_JSON {"bench":"replay_recognizer",...,"records_per_sec":...}
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "common.h"
+#include "trace/Replayer.h"
+#include "trace/TraceReader.h"
+#include "workload/TraceScenarios.h"
+
+using namespace vg;
+
+int main(int argc, char** argv) {
+  const std::string scenario = argc > 1 ? argv[1] : "echo_dot_tcp";
+  bench::header("Replay recognizer throughput (" + scenario + ")",
+                "offline harness for the recognition logic of §IV-B1");
+
+  const workload::TraceScenarioResult cap =
+      workload::run_trace_scenario(scenario);
+  using clock = std::chrono::steady_clock;
+
+  // Parse throughput (strict validation incl. per-frame CRC).
+  int parse_iters = 0;
+  double parse_s = 0;
+  std::size_t frames = 0;
+  {
+    const auto t0 = clock::now();
+    do {
+      const trace::TraceReader t = trace::TraceReader::parse(cap.bytes);
+      frames = t.records().size();
+      ++parse_iters;
+      parse_s = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (parse_s < 0.2 || parse_iters < 10);
+  }
+  const double parse_mb_s =
+      static_cast<double>(cap.bytes.size()) * parse_iters / parse_s / 1e6;
+
+  const trace::TraceReader t = trace::TraceReader::parse(cap.bytes);
+  const trace::Replayer replayer;
+  trace::ReplayResult res = replayer.run(t);  // warm-up + result snapshot
+
+  int iters = 0;
+  double replay_s = 0;
+  {
+    const auto t0 = clock::now();
+    do {
+      res = replayer.run(t);
+      ++iters;
+      replay_s = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (replay_s < 0.5 || iters < 10);
+  }
+  const double records_per_sec =
+      static_cast<double>(frames) * iters / replay_s;
+
+  std::printf("trace: %zu bytes, %zu frames, %llu flows, %s of wire time\n",
+              cap.bytes.size(), frames,
+              static_cast<unsigned long long>(res.flows),
+              sim::format_duration(res.end_time - sim::TimePoint{}).c_str());
+  std::printf("parse : %7.1f MB/s (%d iters)\n", parse_mb_s, parse_iters);
+  std::printf("replay: %10.0f records/s (%d iters, %.3f s)\n", records_per_sec,
+              iters, replay_s);
+  std::printf("spikes per replay: %zu (%llu command, %llu response, %llu "
+              "unknown)\n",
+              res.spikes.size(), static_cast<unsigned long long>(res.commands),
+              static_cast<unsigned long long>(res.responses),
+              static_cast<unsigned long long>(res.unknowns));
+
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"replay_recognizer\",\"scenario\":\"%s\","
+      "\"frames\":%zu,\"bytes\":%zu,\"iters\":%d,"
+      "\"records_per_sec\":%.0f,\"parse_mb_per_sec\":%.1f,\"spikes\":%zu}\n",
+      scenario.c_str(), frames, cap.bytes.size(), iters, records_per_sec,
+      parse_mb_s, res.spikes.size());
+  return 0;
+}

@@ -10,6 +10,7 @@
 /// The guard runs in monitor mode: recognition only, no holds, so the
 /// recognizer's raw quality is measured in isolation, as in the paper.
 
+#include <chrono>
 #include <memory>
 
 #include "analysis/Stats.h"
@@ -40,6 +41,7 @@ int main() {
   std::uint64_t invocations = 0;
   analysis::ConfusionMatrix m;  // positive = command spike
 
+  const auto wall0 = std::chrono::steady_clock::now();
   constexpr int kInvocations = 134;
   for (int i = 0; i < kInvocations; ++i) {
     const std::size_t events_before = h.guard.spike_events().size();
@@ -88,5 +90,15 @@ int main() {
               analysis::pct(m.precision()).c_str());
   std::printf("Recall   : %s   (paper: 98.51%%)\n",
               analysis::pct(m.recall()).c_str());
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"table1_recognition\",\"invocations\":%llu,"
+      "\"spike_events\":%zu,\"accuracy\":%.4f,\"precision\":%.4f,"
+      "\"recall\":%.4f,\"wall_seconds\":%.3f}\n",
+      static_cast<unsigned long long>(invocations),
+      h.guard.spike_events().size(), m.accuracy(), m.precision(), m.recall(),
+      wall);
   return 0;
 }

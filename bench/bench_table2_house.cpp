@@ -8,6 +8,8 @@
 /// The four (speaker x location) trials run in parallel via sim::BatchRunner;
 /// rows and numbers are identical to the former serial enumeration.
 
+#include <chrono>
+
 #include "table_common.h"
 
 using namespace vg;
@@ -16,13 +18,18 @@ using workload::WorldConfig;
 int main() {
   bench::header("Table II: 7-day results, two-floor house (2 owners, phones)",
                 "Table II / §V-B3");
+  const auto t0 = std::chrono::steady_clock::now();
   const auto rows =
       bench::run_table(WorldConfig::TestbedKind::kHouse, /*owners=*/2,
                        /*watch=*/false, /*seed0=*/200, sim::days(7));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   bench::print_table(rows);
   std::printf("\nPaper Table II:    Echo loc1 89/91 & 69/69 (98.75%%), loc2 "
               "100/103 & 78/78 (98.34%%);\n"
               "                   GHM  loc1 90/94 & 65/65 (97.48%%), loc2 "
               "82/86 & 63/63 (97.32%%).\n");
+  bench::print_bench_json("table2_house", rows, wall);
   return 0;
 }

@@ -4,6 +4,8 @@
 ///
 /// The four (speaker x location) trials run in parallel via sim::BatchRunner.
 
+#include <chrono>
+
 #include "table_common.h"
 
 using namespace vg;
@@ -13,13 +15,18 @@ int main() {
   bench::header(
       "Table III: 7-day results, two-bedroom apartment (2 owners, phones)",
       "Table III / §V-B3");
+  const auto t0 = std::chrono::steady_clock::now();
   const auto rows =
       bench::run_table(WorldConfig::TestbedKind::kApartment, /*owners=*/2,
                        /*watch=*/false, /*seed0=*/300, sim::days(7));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   bench::print_table(rows);
   std::printf("\nPaper Table III:   Echo loc1 75/78 & 59/59 (97.81%%), loc2 "
               "86/88 & 64/65 (98.04%%);\n"
               "                   GHM  loc1 76/80 & 57/57 (97.08%%), loc2 "
               "93/95 & 50/50 (98.62%%).\n");
+  bench::print_bench_json("table3_apartment", rows, wall);
   return 0;
 }

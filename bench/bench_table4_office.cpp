@@ -4,6 +4,8 @@
 ///
 /// The four (speaker x location) trials run in parallel via sim::BatchRunner.
 
+#include <chrono>
+
 #include "table_common.h"
 
 using namespace vg;
@@ -12,13 +14,18 @@ using workload::WorldConfig;
 int main() {
   bench::header("Table IV: 7-day results, office (1 owner, smartwatch)",
                 "Table IV / §V-B3");
+  const auto t0 = std::chrono::steady_clock::now();
   const auto rows =
       bench::run_table(WorldConfig::TestbedKind::kOffice, /*owners=*/1,
                        /*watch=*/true, /*seed0=*/400, sim::days(7));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
   bench::print_table(rows);
   std::printf("\nPaper Table IV:    Echo loc1 82/85 & 47/47 (97.73%%), loc2 "
               "91/94 & 52/52 (97.95%%);\n"
               "                   GHM  loc1 89/90 & 50/50 (99.29%%), loc2 "
               "89/91 & 51/51 (98.59%%).\n");
+  bench::print_bench_json("table4_office", rows, wall);
   return 0;
 }

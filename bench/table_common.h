@@ -47,6 +47,31 @@ inline std::vector<TableRow> run_table(workload::WorldConfig::TestbedKind kind,
   return rows;
 }
 
+/// One machine-readable line per table bench so CI can harvest results with a
+/// plain `grep BENCH_JSON` (same convention as bench_throughput).
+inline void print_bench_json(const std::string& bench,
+                             const std::vector<TableRow>& rows,
+                             double wall_seconds) {
+  std::string cases;
+  for (const auto& r : rows) {
+    if (!cases.empty()) cases += ',';
+    char buf[256];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"label\":\"%s\",\"accuracy\":%.4f,\"precision\":%.4f,"
+        "\"recall\":%.4f,\"tp\":%llu,\"fn\":%llu,\"fp\":%llu,\"tn\":%llu}",
+        r.label.c_str(), r.m.accuracy(), r.m.precision(), r.m.recall(),
+        static_cast<unsigned long long>(r.m.tp),
+        static_cast<unsigned long long>(r.m.fn),
+        static_cast<unsigned long long>(r.m.fp),
+        static_cast<unsigned long long>(r.m.tn));
+    cases += buf;
+  }
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"%s\",\"wall_seconds\":%.3f,\"cases\":[%s]}\n",
+      bench.c_str(), wall_seconds, cases.c_str());
+}
+
 inline void print_table(const std::vector<TableRow>& rows) {
   std::printf("\n%-22s %15s %15s %9s %10s %8s\n", "", "legit (N)",
               "malicious (P)", "Accuracy", "Precision", "Recall");

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/TraceReader.h"
+#include "voiceguard/GuardBox.h"
+#include "voiceguard/Recognizer.h"
+
+/// \file Replayer.h
+/// Offline recognizer harness: drives the Voice Command Traffic Recognition
+/// logic (AVS-IP tracking, establishment exemption, signature adoption,
+/// heartbeat filtering, spike segmentation and the phase-1/phase-2
+/// classifier) directly from a `.vgt` trace, with no Simulation, network
+/// stack or decision module involved.
+///
+/// Replay mirrors GuardBox's *monitor-mode* semantics exactly: on a trace
+/// captured in kMonitor mode, the spikes returned here are identical (flow,
+/// start time, prefix, class, matched rule) to the live run's SpikeEvents —
+/// the golden-trace regression tests assert this. kVoiceGuard/kNaive replay
+/// is an approximation: decision-module verdict latency is not part of the
+/// wire trace, so forced-kCommand spikes settle instantly instead of waiting
+/// for a verdict, which can segment follow-up traffic differently than live.
+
+namespace vg::trace {
+
+struct ReplayOptions {
+  guard::GuardMode mode = guard::GuardMode::kMonitor;
+  /// These must match the GuardBox options used at capture time.
+  std::uint32_t heartbeat_len = 41;
+  sim::Duration spike_idle_gap = sim::seconds(3);
+  sim::Duration classify_timeout = sim::milliseconds(300);
+  sim::Duration establishment_window = sim::from_seconds(1.5);
+  bool adaptive_signatures = true;
+  std::vector<std::uint32_t> avs_signature = guard::GuardBox::avs_signature();
+};
+
+/// One spike recognized during replay. Field-for-field comparable with the
+/// recognition half of guard::SpikeEvent.
+struct ReplaySpike {
+  std::uint64_t flow_id{0};  // trace flow index + 1 (== live flow id)
+  bool udp{false};
+  sim::TimePoint start;
+  std::vector<std::uint32_t> prefix;  // first packet lengths (<= 8 kept)
+  guard::SpikeClass cls{guard::SpikeClass::kUnknown};
+  guard::MatchedRule rule{guard::MatchedRule::kNone};
+};
+
+struct ReplayResult {
+  std::vector<ReplaySpike> spikes;
+
+  // Tallies for `vgtrace stats` and the bench harness.
+  std::uint64_t frames{0};
+  std::uint64_t flows{0};
+  std::uint64_t avs_flows{0};
+  std::uint64_t google_flows{0};
+  std::uint64_t unmonitored_flows{0};
+  std::uint64_t tls_records{0};
+  std::uint64_t datagrams{0};
+  std::uint64_t dns_answers{0};
+  std::uint64_t heartbeats{0};
+  std::uint64_t avs_dns_updates{0};
+  std::uint64_t avs_signature_updates{0};
+  std::uint64_t commands{0};
+  std::uint64_t responses{0};
+  std::uint64_t unknowns{0};
+  sim::TimePoint end_time;
+};
+
+class Replayer {
+ public:
+  explicit Replayer(ReplayOptions opts = {}) : opts_(std::move(opts)) {}
+
+  /// Replays the whole trace and returns every recognized spike plus tallies.
+  /// Pure: a Replayer can be reused and run() is deterministic.
+  ReplayResult run(const TraceReader& trace) const;
+
+ private:
+  ReplayOptions opts_;
+};
+
+}  // namespace vg::trace

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/Packet.h"
+#include "simcore/Time.h"
+#include "trace/TraceFormat.h"
+
+/// \file TraceReader.h
+/// Parses and validates one `.vgt` trace into decoded frames with absolute
+/// timestamps. Parsing is strict: bad magic, version, CRC, short frames,
+/// unknown kinds, out-of-range flow indices and a header frame count that
+/// disagrees with the stream all raise TraceError (never UB).
+
+namespace vg::trace {
+
+struct TraceMeta {
+  std::string scenario;
+  std::uint64_t seed{0};
+  std::string avs_domain;
+  std::string google_domain;
+};
+
+struct TraceFlow {
+  net::Protocol protocol{net::Protocol::kTcp};
+  net::Endpoint speaker;
+  net::Endpoint server;
+  sim::TimePoint first_seen;
+};
+
+/// One decoded frame. Which fields are meaningful depends on `kind`.
+struct TraceRecord {
+  FrameKind kind{FrameKind::kTlsRecord};
+  sim::TimePoint when;
+  std::int32_t flow{-1};   // kTlsRecord / kDatagram / kFlowBegin
+  bool upstream{true};     // kTlsRecord / kDatagram
+  net::TlsContentType tls_type{net::TlsContentType::kApplicationData};
+  std::uint32_t length{0};     // kTlsRecord / kDatagram
+  std::uint8_t domain_code{0};  // kDnsAnswer
+  net::IpAddress dns_answer;    // kDnsAnswer
+};
+
+class TraceReader {
+ public:
+  /// Parses (and fully validates) \p bytes.
+  static TraceReader parse(const std::vector<std::uint8_t>& bytes);
+  /// Reads \p path and parses it. Throws TraceError on I/O failure too.
+  static TraceReader load(const std::string& path);
+
+  [[nodiscard]] const TraceMeta& meta() const { return meta_; }
+  [[nodiscard]] const std::vector<TraceFlow>& flows() const { return flows_; }
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+  /// Timestamp of the last frame (simulated).
+  [[nodiscard]] sim::TimePoint end_time() const { return end_; }
+
+ private:
+  TraceReader() = default;
+
+  TraceMeta meta_;
+  std::vector<TraceFlow> flows_;
+  std::vector<TraceRecord> records_;
+  sim::TimePoint end_;
+};
+
+/// Reads a whole file into memory (helper shared with `vgtrace diff`).
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace vg::trace

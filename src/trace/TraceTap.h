@@ -1,0 +1,49 @@
+#pragma once
+
+#include "trace/TraceWriter.h"
+#include "voiceguard/WireTap.h"
+
+/// \file TraceTap.h
+/// Concrete guard::WireTap that streams every observed wire event into a
+/// TraceWriter. Install with GuardBox::set_wire_tap() before the simulation
+/// runs; only metadata (endpoints, record types/lengths, timestamps) is ever
+/// captured — payload bytes never reach the trace.
+
+namespace vg::trace {
+
+class TraceTap final : public guard::WireTap {
+ public:
+  /// The tap borrows \p writer; the writer must outlive the tap.
+  explicit TraceTap(TraceWriter& writer) : writer_(writer) {}
+
+  int on_flow(net::Protocol proto, net::Endpoint speaker, net::Endpoint server,
+              sim::TimePoint when) override {
+    return writer_.add_flow(proto, speaker, server, when);
+  }
+
+  void on_tls_record(int flow, bool upstream, net::TlsContentType type,
+                     std::uint32_t len, sim::TimePoint when) override {
+    writer_.tls_record(flow, upstream, type, len, when);
+  }
+
+  void on_datagram(int flow, bool upstream, std::uint32_t len,
+                   sim::TimePoint when) override {
+    writer_.datagram(flow, upstream, len, when);
+  }
+
+  void on_dns(const std::string& qname, net::IpAddress answer,
+              sim::TimePoint when) override {
+    // Only the two voice-service domains matter for recognition; other
+    // lookups are dropped so the trace stays free of unrelated metadata.
+    if (qname == writer_.meta().avs_domain) {
+      writer_.dns_answer(kDomainAvs, answer, when);
+    } else if (qname == writer_.meta().google_domain) {
+      writer_.dns_answer(kDomainGoogle, answer, when);
+    }
+  }
+
+ private:
+  TraceWriter& writer_;
+};
+
+}  // namespace vg::trace

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/Packet.h"
+#include "simcore/Time.h"
+#include "trace/TraceFormat.h"
+
+/// \file TraceWriter.h
+/// Serializes one wire trace into the `.vgt` byte layout (see
+/// TraceFormat.h). The writer buffers in memory so the header's frame count
+/// can be patched on finish; traces are compact (a few bytes per record), so
+/// even a multi-day capture stays small.
+
+namespace vg::trace {
+
+class TraceWriter {
+ public:
+  struct Meta {
+    std::string scenario;
+    std::uint64_t seed{0};
+    std::string avs_domain = "avs-alexa-4-na.amazon.com";
+    std::string google_domain = "www.google.com";
+  };
+
+  explicit TraceWriter(Meta meta);
+
+  const Meta& meta() const { return meta_; }
+
+  /// Registers a new flow; returns its dense index (0, 1, ...). Emits a
+  /// flow-begin frame at \p when.
+  int add_flow(net::Protocol proto, net::Endpoint speaker, net::Endpoint server,
+               sim::TimePoint when);
+
+  void tls_record(int flow, bool upstream, net::TlsContentType type,
+                  std::uint32_t len, sim::TimePoint when);
+  void datagram(int flow, bool upstream, std::uint32_t len,
+                sim::TimePoint when);
+  /// \p domain_code is kDomainAvs or kDomainGoogle.
+  void dns_answer(std::uint8_t domain_code, net::IpAddress answer,
+                  sim::TimePoint when);
+
+  [[nodiscard]] std::uint64_t frames() const { return frames_; }
+  [[nodiscard]] int flow_count() const { return next_flow_; }
+
+  /// Patches the header frame count and returns the finished bytes. The
+  /// writer may not be fed afterwards.
+  const std::vector<std::uint8_t>& finish();
+
+  /// finish() + write to \p path. Throws TraceError on I/O failure.
+  void save(const std::string& path);
+
+ private:
+  std::uint64_t delta_to(sim::TimePoint when);
+  void emit_frame(const std::vector<std::uint8_t>& payload);
+
+  Meta meta_;
+  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> payload_;  // scratch, reused per frame
+  std::int64_t last_ns_{0};
+  std::uint64_t frames_{0};
+  int next_flow_{0};
+  bool finished_{false};
+};
+
+}  // namespace vg::trace

@@ -52,6 +52,7 @@ GuardBox::Monitor::Kind GuardBox::classify_destination(
 
 void GuardBox::on_dns_response(const net::DnsMessage& dns) {
   if (dns.answers.empty()) return;
+  if (tap_ != nullptr) tap_->on_dns(dns.qname, dns.answers.front(), sim().now());
   if (dns.qname == opts_.avs_domain) {
     if (avs_ip_ != dns.answers.front()) {
       avs_ip_ = dns.answers.front();
@@ -99,10 +100,17 @@ bool GuardBox::on_lan_packet(net::Packet& p) {
       m->speaker_ip = p.src.ip;
       m->created = sim().now();
       m->establishment_done = true;  // QUIC flows have no exempted prefix
+      if (tap_ != nullptr) {
+        m->tap_flow =
+            tap_->on_flow(net::Protocol::kUdp, p.src, p.dst, sim().now());
+      }
       it = udp_monitors_.emplace(key, std::move(m)).first;
     }
     const std::shared_ptr<Monitor>& m = it->second;
     const std::uint32_t len = p.payload_length();
+    if (tap_ != nullptr && m->tap_flow >= 0) {
+      tap_->on_datagram(m->tap_flow, /*upstream=*/true, len, sim().now());
+    }
     // Consumed here: the datagram moves into the forward closure instead of
     // being copied (records + tag strings) for every monitored QUIC packet.
     monitor_upstream(m, len, [this, pkt = std::move(p)]() mutable {
@@ -119,6 +127,16 @@ bool GuardBox::on_wan_packet(net::Packet& p) {
   if (p.protocol == net::Protocol::kTcp && wan_stack_->owns_flow(p)) {
     wan_stack_->on_packet(std::move(p));
     return true;
+  }
+  if (tap_ != nullptr && p.protocol == net::Protocol::kUdp && p.quic &&
+      is_speaker(p.dst.ip)) {
+    // Downstream QUIC datagrams pass through, but their lengths are part of
+    // what the box observes.
+    const auto it = udp_monitors_.find(net::FlowKey::canonical(p.src, p.dst));
+    if (it != udp_monitors_.end() && it->second->tap_flow >= 0) {
+      tap_->on_datagram(it->second->tap_flow, /*upstream=*/false,
+                        p.payload_length(), sim().now());
+    }
   }
   return false;  // downstream UDP/QUIC and DNS pass through
 }
@@ -139,6 +157,10 @@ void GuardBox::accept_lan_connection(net::TcpConnection& lan_conn) {
   flow->mon->created = sim().now();
   flows_by_lan_[&lan_conn] = flow;
   const std::shared_ptr<Monitor> mon = flow->mon;
+  if (tap_ != nullptr) {
+    mon->tap_flow = tap_->on_flow(net::Protocol::kTcp, lan_conn.remote(),
+                                  lan_conn.local(), sim().now());
+  }
 
   if (mon->kind == Monitor::Kind::kAvs) {
     // A DNS-identified AVS connection: once its establishment window closes,
@@ -151,6 +173,10 @@ void GuardBox::accept_lan_connection(net::TcpConnection& lan_conn) {
   // LAN side: speaker <-> guard (guard impersonates the server endpoint).
   net::TcpCallbacks lan_cbs;
   lan_cbs.on_record = [this, flow, mon](const net::TlsRecord& r) {
+    if (tap_ != nullptr && mon->tap_flow >= 0) {
+      tap_->on_tls_record(mon->tap_flow, /*upstream=*/true, r.type, r.length,
+                          sim().now());
+    }
     maybe_adopt_avs_ip(*mon, r.length);
     net::TlsRecord copy = r;
     monitor_upstream(mon, r.length, [flow, copy = std::move(copy)]() mutable {
@@ -180,7 +206,11 @@ void GuardBox::accept_lan_connection(net::TcpConnection& lan_conn) {
 
   // WAN side: guard <-> real server, with the speaker's own address.
   net::TcpCallbacks wan_cbs;
-  wan_cbs.on_record = [flow](const net::TlsRecord& r) {
+  wan_cbs.on_record = [this, flow, mon](const net::TlsRecord& r) {
+    if (tap_ != nullptr && mon->tap_flow >= 0) {
+      tap_->on_tls_record(mon->tap_flow, /*upstream=*/false, r.type, r.length,
+                          sim().now());
+    }
     // Downstream records are never held (responses flow freely).
     if (flow->lan != nullptr && !flow->lan_closed) {
       flow->lan->send_record(r);
@@ -318,7 +348,10 @@ void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
       if (mon.state == Monitor::State::kObserving) {
         // Monitor-only mode: recognized and classified, never held.
         if (auto v = mon.classifier.feed(len)) {
-          if (mon.event_index >= 0) events_[mon.event_index].cls = *v;
+          if (mon.event_index >= 0) {
+            events_[mon.event_index].cls = *v;
+            events_[mon.event_index].rule = mon.classifier.matched_rule();
+          }
           mon.state = Monitor::State::kPass;
         }
         forward();
@@ -364,7 +397,10 @@ void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
           events_[mon.event_index].prefix.push_back(len);
         }
         if (auto v = mon.classifier.feed(len)) {
-          if (mon.event_index >= 0) events_[mon.event_index].cls = *v;
+          if (mon.event_index >= 0) {
+            events_[mon.event_index].cls = *v;
+            events_[mon.event_index].rule = mon.classifier.matched_rule();
+          }
           mon.state = Monitor::State::kPass;
         }
       }
@@ -398,6 +434,7 @@ void GuardBox::start_spike(const std::shared_ptr<Monitor>& m) {
       }
       if (m->event_index >= 0) {
         events_[m->event_index].cls = m->classifier.finalize();
+        events_[m->event_index].rule = m->classifier.matched_rule();
       }
       m->state = Monitor::State::kPass;
     });
@@ -424,7 +461,10 @@ void GuardBox::start_spike(const std::shared_ptr<Monitor>& m) {
 void GuardBox::settle_classification(const std::shared_ptr<Monitor>& m,
                                      SpikeClass cls) {
   Monitor& mon = *m;
-  if (mon.event_index >= 0) events_[mon.event_index].cls = cls;
+  if (mon.event_index >= 0) {
+    events_[mon.event_index].cls = cls;
+    events_[mon.event_index].rule = mon.classifier.matched_rule();
+  }
   if (cls == SpikeClass::kCommand) {
     mon.state = Monitor::State::kAwaitingVerdict;
     query_decision(m);

@@ -13,6 +13,7 @@
 #include "voiceguard/Decision.h"
 #include "voiceguard/Recognizer.h"
 #include "voiceguard/SignatureLearner.h"
+#include "voiceguard/WireTap.h"
 
 /// \file GuardBox.h
 /// The VoiceGuard box: the paper's laptop, inline between the smart speaker
@@ -54,6 +55,7 @@ struct SpikeEvent {
   sim::TimePoint start;
   std::vector<std::uint32_t> prefix;  // first packet lengths (<= 8 kept)
   SpikeClass cls{SpikeClass::kUnknown};
+  MatchedRule rule{MatchedRule::kNone};  // rule behind cls (kNone if forced)
   bool held{false};
   bool queried{false};
   bool verdict_legit{false};
@@ -96,6 +98,12 @@ class GuardBox : public net::MiddleBox {
   void set_decision_for(net::IpAddress speaker, DecisionModule& decision) {
     per_speaker_decision_[speaker] = &decision;
   }
+
+  /// Attaches a wire tap that receives every observable record/datagram/DNS
+  /// answer from now on (see WireTap.h); nullptr detaches. Flows opened while
+  /// no tap was attached are never reported. The tap must outlive the guard
+  /// or be detached first.
+  void set_wire_tap(WireTap* tap) { tap_ = tap; }
 
   // --- recognizer state ------------------------------------------------------
   [[nodiscard]] net::IpAddress tracked_avs_ip() const { return avs_ip_; }
@@ -153,6 +161,7 @@ class GuardBox : public net::MiddleBox {
     sim::TimePoint first_held{};
     int event_index{-1};
     std::uint64_t spike_gen{0};
+    int tap_flow{-1};  // wire-tap flow index; -1 when untapped
 
     explicit Monitor(std::vector<std::uint32_t> signature)
         : sig(std::move(signature)) {}
@@ -187,6 +196,7 @@ class GuardBox : public net::MiddleBox {
   DecisionModule& decision_;
   Options opts_;
   SignatureLearner learner_;
+  WireTap* tap_{nullptr};
   std::unordered_map<net::IpAddress, DecisionModule*> per_speaker_decision_;
 
   std::unique_ptr<net::TcpStack> lan_stack_;

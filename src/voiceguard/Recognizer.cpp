@@ -1,5 +1,7 @@
 #include "voiceguard/Recognizer.h"
 
+#include <algorithm>
+
 namespace vg::guard {
 
 SignatureMatcher::State SignatureMatcher::feed(std::uint32_t len) {
@@ -22,40 +24,64 @@ std::string to_string(SpikeClass c) {
   return "?";
 }
 
-bool SpikeClassifier::matches_fixed_pattern(
-    const std::vector<std::uint32_t>& f) {
-  if (f.size() < 5) return false;
-  if (f[0] < 250 || f[0] > 650) return false;
-  // a) [250-650, 131, 277, 131, 113]
-  if (f[1] == 131 && f[2] == 277 && f[3] == 131 && f[4] == 113) return true;
-  // b) [250-650, 131, 113, 113, 113]
-  if (f[1] == 131 && f[2] == 113 && f[3] == 113 && f[4] == 113) return true;
-  // c) [250-650, 131, 121, 277, 131]
-  if (f[1] == 131 && f[2] == 121 && f[3] == 277 && f[4] == 131) return true;
-  return false;
+std::string to_string(MatchedRule r) {
+  switch (r) {
+    case MatchedRule::kNone: return "none";
+    case MatchedRule::kP138: return "p-138";
+    case MatchedRule::kP75: return "p-75";
+    case MatchedRule::kPatternA: return "pattern-a";
+    case MatchedRule::kPatternB: return "pattern-b";
+    case MatchedRule::kPatternC: return "pattern-c";
+    case MatchedRule::kResponsePair: return "p-77/p-33";
+  }
+  return "?";
 }
 
-std::optional<SpikeClass> SpikeClassifier::evaluate(bool final_call) const {
+MatchedRule fixed_pattern_rule(const std::vector<std::uint32_t>& f) {
+  using namespace rules;
+  if (f.size() < kPatternLen) return MatchedRule::kNone;
+  if (f[0] < kPatternFirstMin || f[0] > kPatternFirstMax) {
+    return MatchedRule::kNone;
+  }
+  const auto tail_is = [&f](const std::array<std::uint32_t, 4>& tail) {
+    return std::equal(tail.begin(), tail.end(), f.begin() + 1);
+  };
+  if (tail_is(kPatternTailA)) return MatchedRule::kPatternA;
+  if (tail_is(kPatternTailB)) return MatchedRule::kPatternB;
+  if (tail_is(kPatternTailC)) return MatchedRule::kPatternC;
+  return MatchedRule::kNone;
+}
+
+bool SpikeClassifier::matches_fixed_pattern(
+    const std::vector<std::uint32_t>& f) {
+  return fixed_pattern_rule(f) != MatchedRule::kNone;
+}
+
+SpikeClassifier::Evaluation SpikeClassifier::evaluate(bool final_call) const {
+  using namespace rules;
   // Phase-2 rule first: the frequent phase-2 pair is checked before the
   // phase-1 frequent lengths so that a response spike that happens to carry
   // a 138/75 later cannot be mistaken for a command (the paper reports 100%
   // precision for this ordering).
-  for (std::size_t i = 0; i + 1 < lens_.size() && i + 1 < 7; ++i) {
-    if (lens_[i] == 77 && lens_[i + 1] == 33) return SpikeClass::kResponse;
+  for (std::size_t i = 0; i + 1 < lens_.size() && i + 1 < kPairWindow; ++i) {
+    if (lens_[i] == kP77 && lens_[i + 1] == kP33) {
+      return {SpikeClass::kResponse, MatchedRule::kResponsePair};
+    }
   }
   // Phase-1 frequent lengths within the first five packets.
-  for (std::size_t i = 0; i < lens_.size() && i < 5; ++i) {
-    if (lens_[i] == 138 || lens_[i] == 75) return SpikeClass::kCommand;
+  for (std::size_t i = 0; i < lens_.size() && i < kFrequentWindow; ++i) {
+    if (lens_[i] == kP138) return {SpikeClass::kCommand, MatchedRule::kP138};
+    if (lens_[i] == kP75) return {SpikeClass::kCommand, MatchedRule::kP75};
   }
   // Phase-1 fixed patterns need exactly the first five.
-  if (lens_.size() >= 5 && matches_fixed_pattern(lens_)) {
-    return SpikeClass::kCommand;
+  if (const MatchedRule r = fixed_pattern_rule(lens_); r != MatchedRule::kNone) {
+    return {SpikeClass::kCommand, r};
   }
-  if (lens_.size() >= 7 || final_call) {
+  if (lens_.size() >= kDecisionWindow || final_call) {
     // No rule matched within the window where the rules are defined.
-    return SpikeClass::kUnknown;
+    return {SpikeClass::kUnknown, MatchedRule::kNone};
   }
-  return std::nullopt;  // need more packets
+  return {std::nullopt, MatchedRule::kNone};  // need more packets
 }
 
 std::optional<SpikeClass> SpikeClassifier::feed(std::uint32_t len) {
@@ -64,12 +90,15 @@ std::optional<SpikeClass> SpikeClassifier::feed(std::uint32_t len) {
   // The pair rule can still fire at packets 6-7, so a phase-1 "unknown" at
   // this point must wait; but a positive command/response verdict is final.
   auto v = evaluate(/*final_call=*/false);
-  if (v && *v != SpikeClass::kUnknown) {
-    decided_ = v;
+  if (v.cls && *v.cls != SpikeClass::kUnknown) {
+    decided_ = v.cls;
+    rule_ = v.rule;
     return decided_;
   }
-  if (lens_.size() >= 7) {
-    decided_ = evaluate(/*final_call=*/true);
+  if (lens_.size() >= rules::kDecisionWindow) {
+    auto f = evaluate(/*final_call=*/true);
+    decided_ = f.cls;
+    rule_ = f.rule;
     return decided_;
   }
   return std::nullopt;
@@ -78,15 +107,24 @@ std::optional<SpikeClass> SpikeClassifier::feed(std::uint32_t len) {
 SpikeClass SpikeClassifier::finalize() const {
   if (decided_) return *decided_;
   auto v = evaluate(/*final_call=*/true);
-  return v.value_or(SpikeClass::kUnknown);
+  return v.cls.value_or(SpikeClass::kUnknown);
+}
+
+MatchedRule SpikeClassifier::matched_rule() const {
+  if (decided_) return rule_;
+  return evaluate(/*final_call=*/true).rule;
 }
 
 SpikeClass classify_spike(const std::vector<std::uint32_t>& lens) {
+  return analyze_spike(lens).cls;
+}
+
+RuleMatch analyze_spike(const std::vector<std::uint32_t>& lens) {
   SpikeClassifier c;
   for (std::uint32_t l : lens) {
-    if (auto v = c.feed(l)) return *v;
+    if (auto v = c.feed(l)) return {*v, c.matched_rule()};
   }
-  return c.finalize();
+  return {c.finalize(), c.matched_rule()};
 }
 
 }  // namespace vg::guard

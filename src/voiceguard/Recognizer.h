@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -13,6 +14,39 @@
 /// payload, no tags.
 
 namespace vg::guard {
+
+/// The measured frequent-length rule table of §IV-B1, named. These are the
+/// single source of truth for the classifier; Recognizer.cpp and the replay
+/// tooling (`vgtrace stats`) both read them from here.
+namespace rules {
+
+/// Frequent phase-1 (command) lengths: a p-138 or p-75 packet appears within
+/// the first \ref kFrequentWindow packets of most command spikes.
+inline constexpr std::uint32_t kP138 = 138;
+inline constexpr std::uint32_t kP75 = 75;
+inline constexpr std::size_t kFrequentWindow = 5;
+
+/// Frequent phase-2 (response) pair: p-77 *immediately followed by* p-33,
+/// anywhere in the first \ref kPairWindow packets.
+inline constexpr std::uint32_t kP77 = 77;
+inline constexpr std::uint32_t kP33 = 33;
+inline constexpr std::size_t kPairWindow = 7;
+
+/// The three fixed phase-1 fallback patterns: a first packet in
+/// [kPatternFirstMin, kPatternFirstMax] (mode 277) followed by one of the
+/// three measured 4-packet tails.
+inline constexpr std::uint32_t kPatternFirstMin = 250;
+inline constexpr std::uint32_t kPatternFirstMax = 650;
+inline constexpr std::size_t kPatternLen = 5;
+inline constexpr std::array<std::uint32_t, 4> kPatternTailA{131, 277, 131, 113};
+inline constexpr std::array<std::uint32_t, 4> kPatternTailB{131, 113, 113, 113};
+inline constexpr std::array<std::uint32_t, 4> kPatternTailC{131, 121, 277, 131};
+
+/// No rule is defined past this many packets: an undecided spike becomes
+/// kUnknown once this window fills (or the spike ends earlier).
+inline constexpr std::size_t kDecisionWindow = 7;
+
+}  // namespace rules
 
 /// Incremental prefix matcher for a packet-length signature.
 class SignatureMatcher {
@@ -46,6 +80,23 @@ enum class SpikeClass {
 
 std::string to_string(SpikeClass c);
 
+/// Which entry of the §IV-B1 rule table produced a verdict.
+enum class MatchedRule {
+  kNone,          // no rule fired (kUnknown spikes, and forced verdicts)
+  kP138,          // frequent phase-1 length 138
+  kP75,           // frequent phase-1 length 75
+  kPatternA,      // fixed pattern [250-650, 131, 277, 131, 113]
+  kPatternB,      // fixed pattern [250-650, 131, 113, 113, 113]
+  kPatternC,      // fixed pattern [250-650, 131, 121, 277, 131]
+  kResponsePair,  // sequential p-77/p-33 pair
+};
+
+std::string to_string(MatchedRule r);
+
+/// Which fixed fallback pattern the first \ref rules::kPatternLen packets
+/// match (kPatternA/B/C), or kNone.
+MatchedRule fixed_pattern_rule(const std::vector<std::uint32_t>& first5);
+
 /// Incremental classifier over the first packets of one spike. Decides as
 /// early as the rules allow:
 ///  - p-138 or p-75 within the first 5 packets        -> kCommand
@@ -60,19 +111,36 @@ class SpikeClassifier {
   /// Forces a verdict from what has been seen (spike ended / timeout).
   [[nodiscard]] SpikeClass finalize() const;
 
+  /// The rule behind the verdict (kNone while undecided / for kUnknown).
+  [[nodiscard]] MatchedRule matched_rule() const;
+
   [[nodiscard]] const std::vector<std::uint32_t>& seen() const { return lens_; }
 
   /// The three fixed phase-1 patterns (first packet is a 250-650 range).
   static bool matches_fixed_pattern(const std::vector<std::uint32_t>& first5);
 
  private:
-  [[nodiscard]] std::optional<SpikeClass> evaluate(bool final_call) const;
+  struct Evaluation {
+    std::optional<SpikeClass> cls;
+    MatchedRule rule{MatchedRule::kNone};
+  };
+  [[nodiscard]] Evaluation evaluate(bool final_call) const;
 
   std::vector<std::uint32_t> lens_;
   std::optional<SpikeClass> decided_;
+  MatchedRule rule_{MatchedRule::kNone};
 };
 
 /// Classifies a complete spike prefix offline (tests, Table I bench).
 SpikeClass classify_spike(const std::vector<std::uint32_t>& lens);
+
+/// A verdict plus the rule that produced it.
+struct RuleMatch {
+  SpikeClass cls{SpikeClass::kUnknown};
+  MatchedRule rule{MatchedRule::kNone};
+};
+
+/// classify_spike with the matched rule, for offline tooling.
+RuleMatch analyze_spike(const std::vector<std::uint32_t>& lens);
 
 }  // namespace vg::guard

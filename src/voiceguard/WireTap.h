@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+
+#include "netsim/Packet.h"
+#include "simcore/Time.h"
+
+/// \file WireTap.h
+/// Observation interface for everything the guard box may legally see on the
+/// wire: flow 5-tuples, per-direction TLS record lengths (post-reassembly,
+/// exactly the stream the recognizer consumes), QUIC/UDP datagram lengths,
+/// and plaintext DNS answers. Payload bytes, TLS sequence numbers and
+/// introspection tags are deliberately absent — a tap can never record more
+/// than the paper's information rule allows.
+///
+/// The trace subsystem (src/trace) implements this to capture wire traces
+/// that re-drive the recognizer offline; GuardBox calls it inline when a tap
+/// is attached (set_wire_tap), at zero cost otherwise.
+
+namespace vg::guard {
+
+class WireTap {
+ public:
+  virtual ~WireTap() = default;
+
+  /// A new speaker flow the guard started observing. \p speaker is the
+  /// speaker-side endpoint, \p server the cloud-side endpoint. Returns the
+  /// tap's dense flow index (>= 0), or -1 to ignore the flow (no further
+  /// callbacks are made for ignored flows).
+  virtual int on_flow(net::Protocol proto, net::Endpoint speaker,
+                      net::Endpoint server, sim::TimePoint when) = 0;
+
+  /// One reassembled TLS record on flow \p flow. \p upstream is true for the
+  /// speaker->cloud direction.
+  virtual void on_tls_record(int flow, bool upstream, net::TlsContentType type,
+                             std::uint32_t len, sim::TimePoint when) = 0;
+
+  /// One QUIC/UDP datagram payload on flow \p flow.
+  virtual void on_datagram(int flow, bool upstream, std::uint32_t len,
+                           sim::TimePoint when) = 0;
+
+  /// A plaintext DNS answer crossing the box (first A record).
+  virtual void on_dns(const std::string& qname, net::IpAddress answer,
+                      sim::TimePoint when) = 0;
+};
+
+}  // namespace vg::guard

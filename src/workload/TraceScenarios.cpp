@@ -1,0 +1,324 @@
+#include "workload/TraceScenarios.h"
+
+#include <stdexcept>
+
+#include "cloud/CloudFarm.h"
+#include "netsim/Router.h"
+#include "speaker/EchoDot.h"
+#include "speaker/GoogleHomeMini.h"
+#include "trace/TraceTap.h"
+#include "voiceguard/Decision.h"
+#include "workload/Corpus.h"
+#include "workload/World.h"
+
+namespace vg::workload {
+
+namespace {
+
+trace::TraceWriter::Meta meta_for(const std::string& name, std::uint64_t seed) {
+  trace::TraceWriter::Meta m;
+  m.scenario = name;
+  m.seed = seed;
+  return m;
+}
+
+TraceScenarioResult finish(trace::TraceWriter& writer,
+                           std::vector<guard::SpikeEvent> live_spikes) {
+  TraceScenarioResult out;
+  out.meta = writer.meta();
+  out.bytes = writer.finish();
+  out.live_spikes = std::move(live_spikes);
+  return out;
+}
+
+// --- full-world scenarios ---------------------------------------------------
+
+TraceScenarioResult run_world(const std::string& name, WorldConfig cfg,
+                              int commands) {
+  cfg.mode = guard::GuardMode::kMonitor;  // recognition only, no calibration
+  SmartHomeWorld world{cfg};
+
+  trace::TraceWriter writer{meta_for(name, cfg.seed)};
+  trace::TraceTap tap{writer};
+  world.guard().set_wire_tap(&tap);  // before the first packet flows
+
+  world.run_for(sim::seconds(10));  // boot: DNS, connect, establishment
+  const CommandCorpus& corpus =
+      cfg.speaker == WorldConfig::SpeakerType::kEchoDot
+          ? CommandCorpus::alexa()
+          : CommandCorpus::google();
+  sim::Rng& rng = world.sim().rng("trace.scenario");
+  for (int i = 0; i < commands; ++i) {
+    world.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
+    // Long enough for the interaction plus a >3 s idle gap before the next.
+    world.run_for(sim::from_seconds(24.0 + rng.uniform(0.0, 8.0)));
+  }
+  world.run_for(sim::seconds(8));  // close out trailing spikes
+  world.guard().set_wire_tap(nullptr);
+  return finish(writer, world.guard().spike_events());
+}
+
+// --- minimal-chain scenarios ------------------------------------------------
+
+/// speaker -- guard -- router -- cloud, like the traffic benches: no people,
+/// no radio, so long captures stay cheap.
+struct ChainHarness {
+  sim::Simulation sim;
+  net::Network net{sim};
+  net::Router router{"router"};
+  cloud::CloudFarm farm;
+  net::Host speaker_host{net, "speaker", net::IpAddress(192, 168, 1, 200)};
+  guard::FixedDecisionModule decision;
+  guard::GuardBox guard;
+
+  ChainHarness(std::uint64_t seed, cloud::CloudFarm::Options farm_opts)
+      : sim(seed),
+        farm(net, router, farm_opts),
+        decision(sim, true, sim::milliseconds(1)),
+        guard(net, "guard", decision, [] {
+          guard::GuardBox::Options o;
+          o.speaker_ips = {net::IpAddress(192, 168, 1, 200)};
+          o.mode = guard::GuardMode::kMonitor;
+          return o;
+        }()) {
+    net::Link& lan = net.add_link(speaker_host, guard, sim::milliseconds(2));
+    speaker_host.attach(lan);
+    guard.set_lan_link(lan);
+    net::Link& up = net.add_link(guard, router, sim::milliseconds(2));
+    guard.set_wan_link(up);
+    router.add_route(speaker_host.ip(), up);
+  }
+
+  void run_for(double secs) {
+    sim.run_until(sim.now() + sim::from_seconds(secs));
+  }
+};
+
+TraceScenarioResult run_echo_dot_tcp(std::uint64_t seed) {
+  cloud::CloudFarm::Options fo;
+  // Frequent AVS migrations force reconnects, some without DNS: the capture
+  // exercises signature-based IP adoption and unmonitored misc flows.
+  fo.avs_migration_mean = sim::seconds(90);
+  ChainHarness h{seed, fo};
+
+  trace::TraceWriter writer{meta_for("echo_dot_tcp", seed)};
+  trace::TraceTap tap{writer};
+  h.guard.set_wire_tap(&tap);
+
+  speaker::EchoDotModel::Options eo;
+  eo.misc_connection_mean = sim::minutes(2);
+  speaker::EchoDotModel echo{h.speaker_host, h.farm.dns_endpoint(),
+                             [&h] { return h.farm.current_avs_ip(); }, eo};
+  echo.power_on();
+  h.run_for(10);
+
+  const CommandCorpus& corpus = CommandCorpus::alexa();
+  sim::Rng& rng = h.sim.rng("trace.scenario");
+  for (int i = 0; i < 12; ++i) {
+    echo.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
+    h.run_for(20.0 + rng.uniform(0.0, 10.0));
+  }
+  h.run_for(8);
+  h.guard.set_wire_tap(nullptr);
+  return finish(writer, h.guard.spike_events());
+}
+
+TraceScenarioResult run_home_mini_quic(std::uint64_t seed) {
+  cloud::CloudFarm::Options fo;
+  fo.avs_migration_mean = sim::Duration{0};
+  ChainHarness h{seed, fo};
+
+  trace::TraceWriter writer{meta_for("home_mini_quic", seed)};
+  trace::TraceTap tap{writer};
+  h.guard.set_wire_tap(&tap);
+
+  speaker::GoogleHomeMiniModel::Options go;
+  go.quic_probability = 1.0;  // every interaction rides QUIC datagrams
+  speaker::GoogleHomeMiniModel ghm{h.speaker_host, h.farm.dns_endpoint(), go};
+  ghm.power_on();
+  h.run_for(10);
+
+  const CommandCorpus& corpus = CommandCorpus::google();
+  sim::Rng& rng = h.sim.rng("trace.scenario");
+  for (int i = 0; i < 10; ++i) {
+    ghm.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
+    h.run_for(18.0 + rng.uniform(0.0, 8.0));
+  }
+  h.run_for(8);
+  h.guard.set_wire_tap(nullptr);
+  return finish(writer, h.guard.spike_events());
+}
+
+// --- synthetic fallback-pattern scenario ------------------------------------
+
+constexpr sim::TimePoint at_ms(std::int64_t ms) {
+  return sim::TimePoint{ms * 1'000'000};
+}
+
+trace::ReplaySpike expect(std::uint64_t flow_id, bool udp, std::int64_t ms,
+                          std::vector<std::uint32_t> prefix,
+                          guard::SpikeClass cls, guard::MatchedRule rule) {
+  trace::ReplaySpike sp;
+  sp.flow_id = flow_id;
+  sp.udp = udp;
+  sp.start = at_ms(ms);
+  sp.prefix = std::move(prefix);
+  sp.cls = cls;
+  sp.rule = rule;
+  return sp;
+}
+
+/// Hand-built trace that walks the whole §IV-B1 rule table: the three fixed
+/// fallback patterns, the frequent p-138/p-75 lengths, the p-77/p-33
+/// response pair, heartbeat filtering, an unmonitored flow, signature-based
+/// AVS adoption and a QUIC flow. Ground truth is derived by hand, so this
+/// scenario cross-checks the Replayer itself (not just live-vs-replay
+/// agreement).
+TraceScenarioResult build_fallback_patterns(std::uint64_t seed) {
+  trace::TraceWriter w{meta_for("fallback_patterns", seed)};
+  const net::IpAddress speaker_ip{192, 168, 1, 200};
+  const net::IpAddress avs1{10, 0, 0, 1};
+  const net::IpAddress avs2{10, 0, 0, 2};
+  const net::IpAddress misc{10, 9, 9, 9};
+  const net::IpAddress goog{10, 0, 0, 9};
+  const net::Port https{443};
+  const auto app = net::TlsContentType::kApplicationData;
+  const std::vector<std::uint32_t>& sig = guard::GuardBox::avs_signature();
+
+  w.dns_answer(trace::kDomainAvs, avs1, at_ms(1000));
+  const int f0 = w.add_flow(net::Protocol::kTcp,
+                            net::Endpoint{speaker_ip, net::Port{50001}},
+                            net::Endpoint{avs1, https}, at_ms(1100));
+  // Establishment burst (exempt from spike detection) plus two downstream
+  // records the recognizer must observe without classifying.
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    w.tls_record(f0, true, app, sig[i],
+                 at_ms(1110 + 10 * static_cast<std::int64_t>(i)));
+  }
+  w.tls_record(f0, false, app, 1200, at_ms(1300));
+  w.tls_record(f0, false, app, 850, at_ms(1320));
+
+  const auto spike = [&](int flow, std::int64_t ms,
+                         std::initializer_list<std::uint32_t> lens) {
+    std::int64_t t = ms;
+    for (std::uint32_t len : lens) {
+      w.tls_record(flow, true, app, len, at_ms(t));
+      t += 10;
+    }
+  };
+  spike(f0, 5000, {277, 131, 277, 131, 113});   // fixed pattern A
+  spike(f0, 10000, {250, 131, 113, 113, 113});  // fixed pattern B
+  spike(f0, 15000, {650, 131, 121, 277, 131});  // fixed pattern C
+  spike(f0, 20000, {138});                      // frequent p-138
+  spike(f0, 25000, {500, 75});                  // frequent p-75
+  spike(f0, 30000, {200, 77, 33});              // response pair
+  spike(f0, 35000, {41});                       // heartbeat: ignored
+  spike(f0, 36000, {41});                       // heartbeat: ignored
+  spike(f0, 40000, {99, 98, 97});               // matches nothing
+
+  // A short-lived non-AVS flow: its first record already breaks the
+  // signature, so it stays unmonitored and produces no spikes.
+  const int f1 = w.add_flow(net::Protocol::kTcp,
+                            net::Endpoint{speaker_ip, net::Port{50002}},
+                            net::Endpoint{misc, https}, at_ms(45000));
+  spike(f1, 45010, {100, 200});
+
+  // The AVS server moved without a visible DNS query: the establishment
+  // signature re-identifies it, and the next spike is classified normally.
+  const int f2 = w.add_flow(net::Protocol::kTcp,
+                            net::Endpoint{speaker_ip, net::Port{50003}},
+                            net::Endpoint{avs2, https}, at_ms(50000));
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    w.tls_record(f2, true, app, sig[i],
+                 at_ms(50010 + 10 * static_cast<std::int64_t>(i)));
+  }
+  spike(f2, 55000, {138});
+
+  // A Google QUIC flow: datagram frames, classified like any other spike.
+  w.dns_answer(trace::kDomainGoogle, goog, at_ms(58000));
+  const int f3 = w.add_flow(net::Protocol::kUdp,
+                            net::Endpoint{speaker_ip, net::Port{40000}},
+                            net::Endpoint{goog, https}, at_ms(60000));
+  w.datagram(f3, true, 300, at_ms(60010));
+  w.datagram(f3, true, 1350, at_ms(60020));
+  w.datagram(f3, true, 600, at_ms(60030));
+  w.datagram(f3, false, 1350, at_ms(60200));
+
+  TraceScenarioResult out;
+  out.meta = w.meta();
+  out.bytes = w.finish();
+  out.synthetic = true;
+  using SC = guard::SpikeClass;
+  using MR = guard::MatchedRule;
+  out.expected_spikes = {
+      expect(1, false, 5000, {277, 131, 277, 131, 113}, SC::kCommand,
+             MR::kPatternA),
+      expect(1, false, 10000, {250, 131, 113, 113, 113}, SC::kCommand,
+             MR::kPatternB),
+      expect(1, false, 15000, {650, 131, 121, 277, 131}, SC::kCommand,
+             MR::kPatternC),
+      expect(1, false, 20000, {138}, SC::kCommand, MR::kP138),
+      expect(1, false, 25000, {500, 75}, SC::kCommand, MR::kP75),
+      expect(1, false, 30000, {200, 77, 33}, SC::kResponse, MR::kResponsePair),
+      expect(1, false, 40000, {99, 98, 97}, SC::kUnknown, MR::kNone),
+      expect(3, false, 55000, {138}, SC::kCommand, MR::kP138),
+      expect(4, true, 60010, {300, 1350, 600}, SC::kUnknown, MR::kNone),
+  };
+  return out;
+}
+
+}  // namespace
+
+const std::vector<TraceScenario>& trace_scenarios() {
+  static const std::vector<TraceScenario> kScenarios = {
+      {"house_echo", 1001,
+       "two-floor house, Echo Dot over TCP, 8 commands (full world)"},
+      {"apartment_ghm", 1002,
+       "apartment, Google Home Mini, 8 commands (full world)"},
+      {"office_echo", 1003,
+       "office, Echo Dot over TCP, 8 commands (full world)"},
+      {"echo_dot_tcp", 1004,
+       "Echo Dot chain with 90 s AVS migrations and misc flows, 12 commands"},
+      {"home_mini_quic", 1005,
+       "Google Home Mini chain, QUIC-only transport, 10 commands"},
+      {"fallback_patterns", 6,
+       "synthetic walk of the full rule table (hand-derived ground truth)"},
+  };
+  return kScenarios;
+}
+
+TraceScenarioResult run_trace_scenario(const std::string& name,
+                                       std::uint64_t seed) {
+  WorldConfig cfg;
+  cfg.seed = seed;
+  if (name == "house_echo") {
+    cfg.testbed = WorldConfig::TestbedKind::kHouse;
+    cfg.speaker = WorldConfig::SpeakerType::kEchoDot;
+    return run_world(name, cfg, 8);
+  }
+  if (name == "apartment_ghm") {
+    cfg.testbed = WorldConfig::TestbedKind::kApartment;
+    cfg.speaker = WorldConfig::SpeakerType::kGoogleHomeMini;
+    return run_world(name, cfg, 8);
+  }
+  if (name == "office_echo") {
+    cfg.testbed = WorldConfig::TestbedKind::kOffice;
+    cfg.speaker = WorldConfig::SpeakerType::kEchoDot;
+    cfg.owner_count = 1;
+    cfg.use_watch = true;
+    return run_world(name, cfg, 8);
+  }
+  if (name == "echo_dot_tcp") return run_echo_dot_tcp(seed);
+  if (name == "home_mini_quic") return run_home_mini_quic(seed);
+  if (name == "fallback_patterns") return build_fallback_patterns(seed);
+  throw std::invalid_argument{"unknown trace scenario: " + name};
+}
+
+TraceScenarioResult run_trace_scenario(const std::string& name) {
+  for (const TraceScenario& s : trace_scenarios()) {
+    if (s.name == name) return run_trace_scenario(name, s.default_seed);
+  }
+  throw std::invalid_argument{"unknown trace scenario: " + name};
+}
+
+}  // namespace vg::workload

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/Replayer.h"
+#include "trace/TraceWriter.h"
+#include "voiceguard/GuardBox.h"
+
+/// \file TraceScenarios.h
+/// The named capture scenarios behind the golden-trace corpus in
+/// `tests/data/`. Each scenario wires a deterministic testbed (full
+/// SmartHomeWorld or a minimal speaker--guard--router--cloud chain), attaches
+/// a TraceTap to the guard before any packet flows, drives a fixed workload,
+/// and returns both the serialized trace and the guard's live spike events —
+/// the ground truth the replay regression compares against.
+///
+/// Running a scenario twice with the same seed yields byte-identical traces;
+/// `vgtrace record` and the regression tests both rely on that.
+
+namespace vg::workload {
+
+struct TraceScenario {
+  std::string name;
+  std::uint64_t default_seed{0};
+  std::string summary;
+};
+
+/// Every scenario `vgtrace record` and the golden tests know about.
+const std::vector<TraceScenario>& trace_scenarios();
+
+struct TraceScenarioResult {
+  trace::TraceWriter::Meta meta;
+  std::vector<std::uint8_t> bytes;
+  /// What the live guard recognized while the trace was captured (empty for
+  /// the synthetic scenario).
+  std::vector<guard::SpikeEvent> live_spikes;
+  /// True for hand-built traces with no live run behind them; then
+  /// `expected_spikes` holds the hand-derived ground truth instead.
+  bool synthetic{false};
+  std::vector<trace::ReplaySpike> expected_spikes;
+};
+
+/// Runs scenario \p name with \p seed (monitor-mode guard, fixed workload).
+/// Throws std::invalid_argument for an unknown name.
+TraceScenarioResult run_trace_scenario(const std::string& name,
+                                       std::uint64_t seed);
+
+/// run_trace_scenario(name, default seed of \p name).
+TraceScenarioResult run_trace_scenario(const std::string& name);
+
+}  // namespace vg::workload

@@ -1,0 +1,92 @@
+/// Golden-trace regression: the shipped corpus under tests/data/ must
+/// (a) re-record byte-identically from its scenario + seed, and (b) replay
+/// to exactly the spikes the live guard recognized at capture time (flow,
+/// transport, start time, prefix, class, matched rule). Any recognizer or
+/// format change that shifts observable behaviour fails here first.
+///
+/// Regeneration policy (see EXPERIMENTS.md): when a change is *supposed* to
+/// alter captures, regenerate with `vgtrace record <scenario> tests/data/...`
+/// and commit the new .vgt files together with the change.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "trace/Replayer.h"
+#include "trace/TraceReader.h"
+#include "workload/TraceScenarios.h"
+
+using namespace vg;
+
+namespace {
+
+std::string data_path(const std::string& scenario) {
+  return std::string{VG_TRACE_DATA_DIR} + "/" + scenario + ".vgt";
+}
+
+class GoldenTrace : public ::testing::TestWithParam<workload::TraceScenario> {};
+
+TEST_P(GoldenTrace, RecaptureIsByteIdentical) {
+  const workload::TraceScenario& sc = GetParam();
+  const std::vector<std::uint8_t> golden =
+      trace::read_file(data_path(sc.name));
+  const workload::TraceScenarioResult rerun =
+      workload::run_trace_scenario(sc.name, sc.default_seed);
+  ASSERT_EQ(rerun.bytes.size(), golden.size())
+      << sc.name << " capture changed size; if intentional, regenerate "
+      << "tests/data/ (see EXPERIMENTS.md)";
+  EXPECT_TRUE(rerun.bytes == golden)
+      << sc.name << " capture is no longer byte-identical; if intentional, "
+      << "regenerate tests/data/ (see EXPERIMENTS.md)";
+}
+
+TEST_P(GoldenTrace, ReplayMatchesLiveRecognition) {
+  const workload::TraceScenario& sc = GetParam();
+  const trace::TraceReader t = trace::TraceReader::load(data_path(sc.name));
+  EXPECT_EQ(t.meta().scenario, sc.name);
+  EXPECT_EQ(t.meta().seed, sc.default_seed);
+
+  const trace::ReplayResult res = trace::Replayer{}.run(t);
+  const workload::TraceScenarioResult live =
+      workload::run_trace_scenario(sc.name, sc.default_seed);
+
+  if (live.synthetic) {
+    // Hand-derived ground truth: checks the Replayer itself.
+    ASSERT_EQ(res.spikes.size(), live.expected_spikes.size());
+    for (std::size_t i = 0; i < res.spikes.size(); ++i) {
+      const trace::ReplaySpike& got = res.spikes[i];
+      const trace::ReplaySpike& want = live.expected_spikes[i];
+      EXPECT_EQ(got.flow_id, want.flow_id) << "spike " << i;
+      EXPECT_EQ(got.udp, want.udp) << "spike " << i;
+      EXPECT_EQ(got.start, want.start) << "spike " << i;
+      EXPECT_EQ(got.prefix, want.prefix) << "spike " << i;
+      EXPECT_EQ(got.cls, want.cls) << "spike " << i;
+      EXPECT_EQ(got.rule, want.rule) << "spike " << i;
+    }
+    return;
+  }
+
+  // Live ground truth: replay must reproduce the capture-time recognition
+  // verdict for verdict.
+  ASSERT_EQ(res.spikes.size(), live.live_spikes.size()) << sc.name;
+  for (std::size_t i = 0; i < res.spikes.size(); ++i) {
+    const trace::ReplaySpike& got = res.spikes[i];
+    const guard::SpikeEvent& want = live.live_spikes[i];
+    EXPECT_EQ(got.flow_id, want.flow_id) << sc.name << " spike " << i;
+    EXPECT_EQ(got.udp, want.udp) << sc.name << " spike " << i;
+    EXPECT_EQ(got.start, want.start) << sc.name << " spike " << i;
+    EXPECT_EQ(got.prefix, want.prefix) << sc.name << " spike " << i;
+    EXPECT_EQ(got.cls, want.cls) << sc.name << " spike " << i;
+    EXPECT_EQ(got.rule, want.rule) << sc.name << " spike " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, GoldenTrace, ::testing::ValuesIn(workload::trace_scenarios()),
+    [](const ::testing::TestParamInfo<workload::TraceScenario>& info) {
+      return info.param.name;
+    });
+
+}  // namespace

@@ -1,0 +1,232 @@
+/// vgtrace — wire-trace capture & replay tool.
+///
+///   vgtrace record <scenario> <out.vgt> [--seed N]   capture a scenario
+///   vgtrace replay <trace.vgt> [--mode M]            replay the recognizer
+///   vgtrace stats  <trace.vgt>                       summarize + spike table
+///   vgtrace diff   <a.vgt> <b.vgt>                   compare two traces
+///   vgtrace list                                     list known scenarios
+///
+/// `record` re-runs one of the named deterministic scenarios; the same
+/// scenario + seed always reproduces the shipped golden traces byte for byte
+/// (see EXPERIMENTS.md for the regeneration policy).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "trace/Replayer.h"
+#include "trace/TraceReader.h"
+#include "workload/TraceScenarios.h"
+
+using namespace vg;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  vgtrace record <scenario> <out.vgt> [--seed N]\n"
+               "  vgtrace replay <trace.vgt> [--mode monitor|voiceguard|naive]\n"
+               "  vgtrace stats  <trace.vgt>\n"
+               "  vgtrace diff   <a.vgt> <b.vgt>\n"
+               "  vgtrace list\n");
+  return 2;
+}
+
+int cmd_list() {
+  for (const workload::TraceScenario& s : workload::trace_scenarios()) {
+    std::printf("%-18s seed %-6llu %s\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.default_seed),
+                s.summary.c_str());
+  }
+  return 0;
+}
+
+int cmd_record(const std::string& scenario, const std::string& out,
+               std::uint64_t seed) {
+  const workload::TraceScenarioResult r =
+      workload::run_trace_scenario(scenario, seed);
+  // run_trace_scenario already serialized the capture; just persist it.
+  std::FILE* f = std::fopen(out.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "vgtrace: cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  const std::size_t n = std::fwrite(r.bytes.data(), 1, r.bytes.size(), f);
+  const int rc = std::fclose(f);
+  if (n != r.bytes.size() || rc != 0) {
+    std::fprintf(stderr, "vgtrace: short write to %s\n", out.c_str());
+    return 1;
+  }
+  const trace::TraceReader t = trace::TraceReader::parse(r.bytes);
+  std::printf("recorded %s (seed %llu): %zu bytes, %zu frames, %zu flows\n",
+              scenario.c_str(), static_cast<unsigned long long>(seed),
+              r.bytes.size(), t.records().size(), t.flows().size());
+  if (!r.synthetic) {
+    std::printf("live guard recognized %zu spikes\n", r.live_spikes.size());
+  }
+  return 0;
+}
+
+void print_replay(const trace::ReplayResult& res) {
+  std::printf("frames %llu | flows %llu (avs %llu, google %llu, other %llu)\n",
+              static_cast<unsigned long long>(res.frames),
+              static_cast<unsigned long long>(res.flows),
+              static_cast<unsigned long long>(res.avs_flows),
+              static_cast<unsigned long long>(res.google_flows),
+              static_cast<unsigned long long>(res.unmonitored_flows));
+  std::printf(
+      "tls records %llu | datagrams %llu | dns answers %llu | heartbeats "
+      "%llu\n",
+      static_cast<unsigned long long>(res.tls_records),
+      static_cast<unsigned long long>(res.datagrams),
+      static_cast<unsigned long long>(res.dns_answers),
+      static_cast<unsigned long long>(res.heartbeats));
+  std::printf(
+      "avs ip updates: %llu from dns, %llu from signature\n",
+      static_cast<unsigned long long>(res.avs_dns_updates),
+      static_cast<unsigned long long>(res.avs_signature_updates));
+  std::printf("spikes: %zu (%llu command, %llu response, %llu unknown)\n",
+              res.spikes.size(),
+              static_cast<unsigned long long>(res.commands),
+              static_cast<unsigned long long>(res.responses),
+              static_cast<unsigned long long>(res.unknowns));
+}
+
+void print_spike_table(const trace::ReplayResult& res) {
+  std::printf("\n%-5s %-5s %-12s %-9s %-14s %s\n", "#", "flow", "start",
+              "class", "rule", "prefix");
+  for (std::size_t i = 0; i < res.spikes.size(); ++i) {
+    const trace::ReplaySpike& sp = res.spikes[i];
+    std::string prefix;
+    for (std::uint32_t len : sp.prefix) {
+      if (!prefix.empty()) prefix += ',';
+      prefix += std::to_string(len);
+    }
+    std::printf("%-5zu %-5llu %-12s %-9s %-14s [%s]\n", i + 1,
+                static_cast<unsigned long long>(sp.flow_id),
+                sim::format_time(sp.start).c_str(),
+                guard::to_string(sp.cls).c_str(),
+                guard::to_string(sp.rule).c_str(), prefix.c_str());
+  }
+}
+
+int cmd_replay(const std::string& path, guard::GuardMode mode, bool table) {
+  const trace::TraceReader t = trace::TraceReader::load(path);
+  std::printf("%s: scenario '%s', seed %llu, %s of wire time\n", path.c_str(),
+              t.meta().scenario.c_str(),
+              static_cast<unsigned long long>(t.meta().seed),
+              sim::format_duration(t.end_time() - sim::TimePoint{}).c_str());
+  trace::ReplayOptions opts;
+  opts.mode = mode;
+  const trace::ReplayResult res = trace::Replayer{opts}.run(t);
+  print_replay(res);
+  if (table) print_spike_table(res);
+  return 0;
+}
+
+int cmd_diff(const std::string& a, const std::string& b) {
+  const std::vector<std::uint8_t> ba = trace::read_file(a);
+  const std::vector<std::uint8_t> bb = trace::read_file(b);
+  if (ba == bb) {
+    std::printf("traces are byte-identical (%zu bytes)\n", ba.size());
+    return 0;
+  }
+  // Bytes differ: decode both and report the first diverging frame, which is
+  // far more actionable than a raw byte offset.
+  const trace::TraceReader ta = trace::TraceReader::parse(ba);
+  const trace::TraceReader tb = trace::TraceReader::parse(bb);
+  if (ta.meta().scenario != tb.meta().scenario ||
+      ta.meta().seed != tb.meta().seed) {
+    std::printf("headers differ: '%s' seed %llu vs '%s' seed %llu\n",
+                ta.meta().scenario.c_str(),
+                static_cast<unsigned long long>(ta.meta().seed),
+                tb.meta().scenario.c_str(),
+                static_cast<unsigned long long>(tb.meta().seed));
+  }
+  const std::size_t n = std::min(ta.records().size(), tb.records().size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const trace::TraceRecord& ra = ta.records()[i];
+    const trace::TraceRecord& rb = tb.records()[i];
+    if (ra.kind != rb.kind || ra.when != rb.when || ra.flow != rb.flow ||
+        ra.upstream != rb.upstream || ra.length != rb.length ||
+        ra.domain_code != rb.domain_code || ra.dns_answer != rb.dns_answer ||
+        (ra.kind == trace::FrameKind::kTlsRecord && ra.tls_type != rb.tls_type)) {
+      std::printf("first divergence at frame %zu:\n", i);
+      std::printf("  a: kind %u t %s flow %d len %u\n",
+                  static_cast<unsigned>(ra.kind),
+                  sim::format_time(ra.when).c_str(), ra.flow, ra.length);
+      std::printf("  b: kind %u t %s flow %d len %u\n",
+                  static_cast<unsigned>(rb.kind),
+                  sim::format_time(rb.when).c_str(), rb.flow, rb.length);
+      return 1;
+    }
+  }
+  std::printf("traces differ: %zu vs %zu frames (first %zu identical)\n",
+              ta.records().size(), tb.records().size(), n);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "list") return cmd_list();
+    if (cmd == "record") {
+      if (args.size() < 3) return usage();
+      std::uint64_t seed = 0;
+      bool seed_set = false;
+      for (std::size_t i = 3; i + 1 < args.size(); i += 2) {
+        if (args[i] == "--seed") {
+          seed = std::strtoull(args[i + 1].c_str(), nullptr, 10);
+          seed_set = true;
+        } else {
+          return usage();
+        }
+      }
+      if (!seed_set) {
+        for (const workload::TraceScenario& s : workload::trace_scenarios()) {
+          if (s.name == args[1]) {
+            seed = s.default_seed;
+            seed_set = true;
+          }
+        }
+        if (!seed_set) {
+          std::fprintf(stderr, "vgtrace: unknown scenario '%s' (try list)\n",
+                       args[1].c_str());
+          return 2;
+        }
+      }
+      return cmd_record(args[1], args[2], seed);
+    }
+    if (cmd == "replay" || cmd == "stats") {
+      if (args.size() < 2) return usage();
+      guard::GuardMode mode = guard::GuardMode::kMonitor;
+      for (std::size_t i = 2; i + 1 < args.size(); i += 2) {
+        if (args[i] == "--mode") {
+          if (args[i + 1] == "monitor") mode = guard::GuardMode::kMonitor;
+          else if (args[i + 1] == "voiceguard") mode = guard::GuardMode::kVoiceGuard;
+          else if (args[i + 1] == "naive") mode = guard::GuardMode::kNaive;
+          else return usage();
+        } else {
+          return usage();
+        }
+      }
+      return cmd_replay(args[1], mode, /*table=*/cmd == "stats");
+    }
+    if (cmd == "diff") {
+      if (args.size() != 3) return usage();
+      return cmd_diff(args[1], args[2]);
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vgtrace: %s\n", e.what());
+    return 1;
+  }
+}
