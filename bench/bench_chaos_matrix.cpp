@@ -1,0 +1,79 @@
+/// Chaos matrix — the guard path under injected faults.
+///
+/// Runs every named FaultPlan x {VoiceGuard, Naive, Monitor} cell of the
+/// chaos matrix (the same cells the `chaos` ctest label asserts invariants
+/// on) and prints what each degradation policy did: spikes recognized,
+/// released/blocked, policy-forced outcomes, hold overflows, link drops by
+/// cause, and how many of the six scripted commands the cloud executed.
+
+#include <chrono>
+#include <cstdio>
+
+#include "common.h"
+#include "simcore/BatchRunner.h"
+#include "workload/ChaosScenarios.h"
+
+using namespace vg;
+
+int main() {
+  bench::header("Chaos matrix: fault injection + graceful degradation",
+                "robustness of the guard path (§IV-B2, §VII)");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<workload::ChaosSpec> specs =
+      workload::chaos_matrix(901, guard::FailPolicy::kFailClosed);
+  sim::BatchRunner pool;
+  const std::vector<workload::ChaosResult> results =
+      workload::run_chaos_batch(specs, pool);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("\n%-38s %6s %5s %5s %6s %5s %6s %6s %5s\n", "cell", "spikes",
+              "rel", "blk", "forced", "ovfl", "drops", "faults", "exec");
+  for (const auto& r : results) {
+    std::printf("%-38s %6llu %5llu %5llu %6llu %5llu %6llu %6llu %4llu/6\n",
+                r.label.c_str(), static_cast<unsigned long long>(r.spikes),
+                static_cast<unsigned long long>(r.released),
+                static_cast<unsigned long long>(r.blocked),
+                static_cast<unsigned long long>(r.forced_open + r.forced_closed),
+                static_cast<unsigned long long>(r.hold_overflows),
+                static_cast<unsigned long long>(r.link_dropped),
+                static_cast<unsigned long long>(r.faults_injected),
+                static_cast<unsigned long long>(r.commands_executed));
+  }
+
+  std::string cases;
+  for (const auto& r : results) {
+    if (!cases.empty()) cases += ',';
+    char buf[384];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"label\":\"%s\",\"spikes\":%llu,\"released\":%llu,"
+        "\"blocked\":%llu,\"forced_open\":%llu,\"forced_closed\":%llu,"
+        "\"hold_overflows\":%llu,\"link_dropped\":%llu,\"flap_dropped\":%llu,"
+        "\"burst_dropped\":%llu,\"executed\":%llu,\"fingerprint\":%llu}",
+        r.label.c_str(), static_cast<unsigned long long>(r.spikes),
+        static_cast<unsigned long long>(r.released),
+        static_cast<unsigned long long>(r.blocked),
+        static_cast<unsigned long long>(r.forced_open),
+        static_cast<unsigned long long>(r.forced_closed),
+        static_cast<unsigned long long>(r.hold_overflows),
+        static_cast<unsigned long long>(r.link_dropped),
+        static_cast<unsigned long long>(r.flap_dropped),
+        static_cast<unsigned long long>(r.burst_dropped),
+        static_cast<unsigned long long>(r.commands_executed),
+        static_cast<unsigned long long>(r.fingerprint()));
+    cases += buf;
+  }
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"chaos_matrix\",\"wall_seconds\":%.3f,"
+      "\"cases\":[%s]}\n",
+      wall, cases.c_str());
+
+  std::printf(
+      "\nShape: only plans that declare may-break (long flap, RST outage, "
+      "guard\nrestart) lose connections; everything else degrades — retries, "
+      "forced\nverdicts, hold-cap overflows — without leaking a held packet.\n");
+  return 0;
+}

@@ -20,6 +20,9 @@ struct TableRow {
   std::uint64_t legit_correct{0}, legit_total{0};
   std::uint64_t mal_correct{0}, mal_total{0};
   analysis::ConfusionMatrix m;
+  std::uint64_t link_dropped{0};
+  std::uint64_t link_flap_dropped{0};
+  std::uint64_t link_burst_dropped{0};
 };
 
 inline TableRow to_table_row(const workload::TrialResult& r) {
@@ -30,6 +33,9 @@ inline TableRow to_table_row(const workload::TrialResult& r) {
   row.legit_correct = row.m.tn;
   row.mal_total = row.m.tp + row.m.fn;
   row.mal_correct = row.m.tp;
+  row.link_dropped = r.link_dropped;
+  row.link_flap_dropped = r.link_flap_dropped;
+  row.link_burst_dropped = r.link_burst_dropped;
   return row;
 }
 
@@ -55,16 +61,20 @@ inline void print_bench_json(const std::string& bench,
   std::string cases;
   for (const auto& r : rows) {
     if (!cases.empty()) cases += ',';
-    char buf[256];
+    char buf[384];
     std::snprintf(
         buf, sizeof buf,
         "{\"label\":\"%s\",\"accuracy\":%.4f,\"precision\":%.4f,"
-        "\"recall\":%.4f,\"tp\":%llu,\"fn\":%llu,\"fp\":%llu,\"tn\":%llu}",
+        "\"recall\":%.4f,\"tp\":%llu,\"fn\":%llu,\"fp\":%llu,\"tn\":%llu,"
+        "\"link_dropped\":%llu,\"flap_dropped\":%llu,\"burst_dropped\":%llu}",
         r.label.c_str(), r.m.accuracy(), r.m.precision(), r.m.recall(),
         static_cast<unsigned long long>(r.m.tp),
         static_cast<unsigned long long>(r.m.fn),
         static_cast<unsigned long long>(r.m.fp),
-        static_cast<unsigned long long>(r.m.tn));
+        static_cast<unsigned long long>(r.m.tn),
+        static_cast<unsigned long long>(r.link_dropped),
+        static_cast<unsigned long long>(r.link_flap_dropped),
+        static_cast<unsigned long long>(r.link_burst_dropped));
     cases += buf;
   }
   std::printf(

@@ -1,5 +1,7 @@
 #include "cloud/AvsServer.h"
 
+#include <algorithm>
+
 namespace vg::cloud {
 
 AvsServerApp::AvsServerApp(net::Host& host, Options opts)
@@ -9,6 +11,11 @@ AvsServerApp::AvsServerApp(net::Host& host, Options opts)
 }
 
 void AvsServerApp::accept(net::TcpConnection& conn) {
+  if (!available_) {
+    ++outage_refused_;
+    conn.abort();
+    return;
+  }
   ++sessions_opened_;
   sessions_[&conn] = Session{&conn};
   // Callbacks must be installed inside the accept handler (before SYN-ACK).
@@ -99,6 +106,27 @@ void AvsServerApp::execute_and_respond(Session& s, std::string_view cmd_tag) {
       }
     }
   });
+}
+
+void AvsServerApp::set_available(bool available, bool rst_existing) {
+  available_ = available;
+  if (available_ || !rst_existing) return;
+  // Collect then sort by endpoints: sessions_ is keyed by pointer and its
+  // iteration order is not reproducible, but abort order affects packet order.
+  std::vector<net::TcpConnection*> conns;
+  conns.reserve(sessions_.size());
+  for (auto& [conn, sess] : sessions_) {
+    if (!sess.dead) conns.push_back(conn);
+  }
+  std::sort(conns.begin(), conns.end(),
+            [](const net::TcpConnection* a, const net::TcpConnection* b) {
+              if (a->remote() != b->remote()) return a->remote() < b->remote();
+              return a->local() < b->local();
+            });
+  for (auto* conn : conns) {
+    ++sessions_killed_;
+    conn->abort();
+  }
 }
 
 void AvsServerApp::close_all_sessions() {

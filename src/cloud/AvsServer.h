@@ -62,6 +62,14 @@ class AvsServerApp {
   /// domain to a different IP: the old server drains its speakers).
   void close_all_sessions();
 
+  /// Outage control: while unavailable the server refuses (aborts) every new
+  /// connection. With \p rst_existing it also resets live sessions on the way
+  /// down — the paper's worst case of a backend incident mid-hold. Sessions
+  /// are reset in a deterministic (endpoint-sorted) order.
+  void set_available(bool available, bool rst_existing = false);
+  [[nodiscard]] bool available() const { return available_; }
+  [[nodiscard]] std::uint64_t outage_refused() const { return outage_refused_; }
+
   net::Host& host() { return host_; }
 
  private:
@@ -88,6 +96,8 @@ class AvsServerApp {
   std::uint64_t sessions_opened_{0};
   std::uint64_t sessions_killed_{0};
   std::uint64_t heartbeats_{0};
+  bool available_{true};
+  std::uint64_t outage_refused_{0};
 };
 
 /// A generic "other Amazon server" endpoint: accepts connections, replies to

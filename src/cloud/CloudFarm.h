@@ -69,6 +69,22 @@ class CloudFarm {
     return static_cast<int>(avs_hosts_.size());
   }
 
+  /// Takes the whole AVS pool up or down (every IP at once); see
+  /// AvsServerApp::set_available.
+  void set_avs_available(bool available, bool rst_existing = false) {
+    for (auto& app : avs_apps_) app->set_available(available, rst_existing);
+  }
+  [[nodiscard]] std::uint64_t total_outage_refused() const {
+    std::uint64_t n = 0;
+    for (const auto& app : avs_apps_) n += app->outage_refused();
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_sessions_killed() const {
+    std::uint64_t n = 0;
+    for (const auto& app : avs_apps_) n += app->sessions_killed();
+    return n;
+  }
+
  private:
   void schedule_migration();
 

@@ -1,0 +1,155 @@
+#include "faults/FaultInjector.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace vg::faults {
+
+namespace {
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw std::invalid_argument{"FaultInjector: " + what};
+}
+
+}  // namespace
+
+net::Link& FaultInjector::link_for(LinkFault::Where where) const {
+  net::Link* link =
+      where == LinkFault::Where::kLan ? targets_.lan : targets_.wan;
+  require(link != nullptr, "plan targets a link that is not wired");
+  return *link;
+}
+
+void FaultInjector::validate(const FaultPlan& plan) const {
+  for (const LinkFault& f : plan.links) {
+    require(f.start.ns() >= 0 && f.duration.ns() >= 0,
+            "negative link-fault time in plan '" + plan.name + "'");
+    link_for(f.where);  // throws when the link is missing
+    if (f.kind == LinkFault::Kind::kLatencySpike) {
+      require(f.extra_latency.ns() >= 0,
+              "negative latency spike in plan '" + plan.name + "'");
+    }
+  }
+  for (const CloudOutage& f : plan.cloud) {
+    require(f.start.ns() >= 0 && f.duration.ns() >= 0,
+            "negative cloud-outage time in plan '" + plan.name + "'");
+    require(targets_.cloud != nullptr,
+            "plan '" + plan.name + "' needs a cloud target");
+  }
+  for (const FcmFault& f : plan.fcm) {
+    require(f.start.ns() >= 0 && f.duration.ns() >= 0 &&
+                f.extra_delay.ns() >= 0,
+            "negative fcm-fault time in plan '" + plan.name + "'");
+    require(f.drop_prob >= 0.0 && f.drop_prob <= 1.0,
+            "fcm drop_prob out of [0,1] in plan '" + plan.name + "'");
+    require(targets_.fcm != nullptr,
+            "plan '" + plan.name + "' needs an fcm target");
+  }
+  for (const DeviceFault& f : plan.devices) {
+    require(f.start.ns() >= 0 && f.duration.ns() >= 0,
+            "negative device-fault time in plan '" + plan.name + "'");
+    require(f.device >= 0 &&
+                f.device < static_cast<int>(targets_.devices.size()) &&
+                targets_.devices[f.device] != nullptr,
+            "plan '" + plan.name + "' targets missing device " +
+                std::to_string(f.device));
+  }
+  for (const GuardRestart& f : plan.restarts) {
+    require(f.at.ns() >= 0,
+            "negative restart time in plan '" + plan.name + "'");
+    require(targets_.guard != nullptr,
+            "plan '" + plan.name + "' needs a guard target");
+  }
+}
+
+void FaultInjector::note(FaultEvent::Kind kind, std::uint64_t param) {
+  FaultEvent ev;
+  ev.kind = kind;
+  ev.param = param;
+  ev.when = sim_.now();
+  log_.push_back(ev);
+  ++injected_;
+  if (observer_) observer_(ev);
+}
+
+void FaultInjector::arm(const FaultPlan& plan) {
+  validate(plan);
+  const sim::TimePoint t0 = sim_.now();
+
+  for (const LinkFault& f : plan.links) {
+    net::Link& link = link_for(f.where);
+    const sim::TimePoint start = t0 + f.start;
+    const sim::TimePoint end = start + f.duration;
+    const auto param = static_cast<std::uint64_t>(f.where);
+    switch (f.kind) {
+      case LinkFault::Kind::kFlap:
+        link.add_flap(start, end);
+        sim_.at(start,
+                [this, param] { note(FaultEvent::Kind::kFlapStart, param); });
+        sim_.at(end,
+                [this, param] { note(FaultEvent::Kind::kFlapEnd, param); });
+        break;
+      case LinkFault::Kind::kBurst:
+        link.add_burst_loss(start, end, f.ge);
+        sim_.at(start,
+                [this, param] { note(FaultEvent::Kind::kBurstStart, param); });
+        sim_.at(end,
+                [this, param] { note(FaultEvent::Kind::kBurstEnd, param); });
+        break;
+      case LinkFault::Kind::kLatencySpike:
+        link.add_latency_spike(start, end, f.extra_latency);
+        sim_.at(start, [this, param] {
+          note(FaultEvent::Kind::kLatencyStart, param);
+        });
+        sim_.at(end,
+                [this, param] { note(FaultEvent::Kind::kLatencyEnd, param); });
+        break;
+    }
+  }
+
+  for (const CloudOutage& f : plan.cloud) {
+    const auto param = static_cast<std::uint64_t>(f.rst_existing ? 1 : 0);
+    sim_.at(t0 + f.start, [this, rst = f.rst_existing, param] {
+      targets_.cloud->set_avs_available(false, rst);
+      note(FaultEvent::Kind::kCloudDown, param);
+    });
+    sim_.at(t0 + f.start + f.duration, [this] {
+      targets_.cloud->set_avs_available(true);
+      note(FaultEvent::Kind::kCloudUp, 0);
+    });
+  }
+
+  for (const FcmFault& f : plan.fcm) {
+    const sim::TimePoint start = t0 + f.start;
+    const sim::TimePoint end = start + f.duration;
+    targets_.fcm->add_fault_window(start, end, f.extra_delay, f.drop_prob);
+    const auto param = static_cast<std::uint64_t>(f.drop_prob * 100.0);
+    sim_.at(start,
+            [this, param] { note(FaultEvent::Kind::kFcmDegraded, param); });
+    sim_.at(end, [this] { note(FaultEvent::Kind::kFcmNormal, 0); });
+  }
+
+  for (const DeviceFault& f : plan.devices) {
+    home::MobileDevice* dev = targets_.devices[f.device];
+    const auto param = static_cast<std::uint64_t>(f.device);
+    sim_.at(t0 + f.start, [this, dev, param] {
+      dev->set_responsive(false);
+      note(FaultEvent::Kind::kDeviceDown, param);
+    });
+    if (f.duration.ns() > 0) {
+      sim_.at(t0 + f.start + f.duration, [this, dev, param] {
+        dev->set_responsive(true);
+        note(FaultEvent::Kind::kDeviceUp, param);
+      });
+    }
+  }
+
+  for (const GuardRestart& f : plan.restarts) {
+    sim_.at(t0 + f.at, [this] {
+      targets_.guard->restart();
+      note(FaultEvent::Kind::kGuardRestart, 0);
+    });
+  }
+}
+
+}  // namespace vg::faults

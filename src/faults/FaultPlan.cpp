@@ -1,0 +1,35 @@
+#include "faults/FaultPlan.h"
+
+namespace vg::faults {
+
+std::string FaultPlan::to_string() const {
+  std::string s = name + " [";
+  s += std::to_string(links.size()) + " link, ";
+  s += std::to_string(cloud.size()) + " cloud, ";
+  s += std::to_string(fcm.size()) + " fcm, ";
+  s += std::to_string(devices.size()) + " device, ";
+  s += std::to_string(restarts.size()) + " restart";
+  s += may_break_connections ? ", may-break]" : "]";
+  return s;
+}
+
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kFlapStart: return "flap-start";
+    case FaultEvent::Kind::kFlapEnd: return "flap-end";
+    case FaultEvent::Kind::kBurstStart: return "burst-start";
+    case FaultEvent::Kind::kBurstEnd: return "burst-end";
+    case FaultEvent::Kind::kLatencyStart: return "latency-start";
+    case FaultEvent::Kind::kLatencyEnd: return "latency-end";
+    case FaultEvent::Kind::kCloudDown: return "cloud-down";
+    case FaultEvent::Kind::kCloudUp: return "cloud-up";
+    case FaultEvent::Kind::kFcmDegraded: return "fcm-degraded";
+    case FaultEvent::Kind::kFcmNormal: return "fcm-normal";
+    case FaultEvent::Kind::kDeviceDown: return "device-down";
+    case FaultEvent::Kind::kDeviceUp: return "device-up";
+    case FaultEvent::Kind::kGuardRestart: return "guard-restart";
+  }
+  return "?";
+}
+
+}  // namespace vg::faults

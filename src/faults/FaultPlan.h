@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netsim/Node.h"
+#include "simcore/Simulation.h"
+
+/// \file FaultPlan.h
+/// Declarative, deterministic fault schedules for the adverse-conditions
+/// workload. A FaultPlan is pure data: every time is relative to the moment
+/// the plan is armed (FaultInjector::arm), so the same plan replays
+/// bit-identically at any point of any simulation. No randomness lives here;
+/// the only stochastic fault (Gilbert–Elliott burst loss) draws from the
+/// dedicated "net.link.burst" stream inside netsim::Link.
+
+namespace vg::faults {
+
+/// A scheduled disturbance on one of the testbed's two links.
+struct LinkFault {
+  enum class Where { kLan, kWan };
+  enum class Kind { kFlap, kBurst, kLatencySpike };
+
+  Where where{Where::kWan};
+  Kind kind{Kind::kFlap};
+  sim::Duration start{};     // relative to arm()
+  sim::Duration duration{};
+  net::GilbertElliott ge{};        // kBurst only
+  sim::Duration extra_latency{};   // kLatencySpike only
+};
+
+/// The whole AVS pool goes dark: new connections are refused (RST) for the
+/// window; with rst_existing, live sessions are reset on the way down.
+struct CloudOutage {
+  sim::Duration start{};
+  sim::Duration duration{};
+  bool rst_existing{true};
+};
+
+/// FCM degradation window: pushes are dropped with drop_prob and survivors
+/// are delayed by extra_delay on top of the sampled latency.
+struct FcmFault {
+  sim::Duration start{};
+  sim::Duration duration{};
+  sim::Duration extra_delay{};
+  double drop_prob{0};
+};
+
+/// An owner device stops answering measurement requests (battery dead, app
+/// killed). duration 0 means it never comes back.
+struct DeviceFault {
+  int device{0};  // index into FaultInjector::Targets::devices
+  sim::Duration start{};
+  sim::Duration duration{};
+};
+
+/// The guard box crashes and restarts: all proxied flows abort, held packets
+/// and learned recognizer state are lost.
+struct GuardRestart {
+  sim::Duration at{};
+};
+
+struct FaultPlan {
+  std::string name{"baseline"};
+  std::vector<LinkFault> links;
+  std::vector<CloudOutage> cloud;
+  std::vector<FcmFault> fcm;
+  std::vector<DeviceFault> devices;
+  std::vector<GuardRestart> restarts;
+  /// Honest label for the chaos invariants: this plan is *expected* to break
+  /// live connections (flaps past the TCP retransmit budget, RST outages,
+  /// guard restarts). Plans without it must leave every connection alive.
+  bool may_break_connections{false};
+
+  [[nodiscard]] bool empty() const {
+    return links.empty() && cloud.empty() && fcm.empty() && devices.empty() &&
+           restarts.empty();
+  }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One injected fault boundary, as it happened. Kind values are stable and
+/// mirror trace::FaultCode numerically so observers can forward them into
+/// `.vgt` annotation frames without a mapping table.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kFlapStart = 0,
+    kFlapEnd = 1,
+    kBurstStart = 2,
+    kBurstEnd = 3,
+    kLatencyStart = 4,
+    kLatencyEnd = 5,
+    kCloudDown = 6,
+    kCloudUp = 7,
+    kFcmDegraded = 8,
+    kFcmNormal = 9,
+    kDeviceDown = 10,
+    kDeviceUp = 11,
+    kGuardRestart = 12,
+  };
+
+  Kind kind{Kind::kFlapStart};
+  /// Kind-specific detail: link index (0 lan / 1 wan), device index, the
+  /// rst_existing flag, or drop_prob in percent.
+  std::uint64_t param{0};
+  sim::TimePoint when{};
+};
+
+const char* to_string(FaultEvent::Kind kind);
+
+}  // namespace vg::faults

@@ -3,6 +3,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "simcore/Simulation.h"
 
@@ -44,15 +45,31 @@ class FcmService {
   /// Unknown tokens are dropped silently (as FCM does).
   void push(const std::string& token, std::string payload);
 
+  /// Degrades delivery inside [start, end): each push is dropped with
+  /// \p drop_prob (drawn from the dedicated "home.fcm.fault" stream so runs
+  /// without windows keep their seed-era draws) and survivors get
+  /// \p extra_delay on top of the sampled latency.
+  void add_fault_window(sim::TimePoint start, sim::TimePoint end,
+                        sim::Duration extra_delay, double drop_prob);
+
   [[nodiscard]] std::uint64_t pushes_sent() const { return pushes_; }
+  [[nodiscard]] std::uint64_t pushes_dropped() const { return dropped_; }
 
  private:
+  struct FaultWindow {
+    sim::TimePoint start, end;
+    sim::Duration extra_delay;
+    double drop_prob;
+  };
+
   sim::Duration sample_latency();
 
   sim::Simulation& sim_;
   Options opts_;
   std::unordered_map<std::string, Handler> devices_;
   std::uint64_t pushes_{0};
+  std::uint64_t dropped_{0};
+  std::vector<FaultWindow> faults_;
 };
 
 }  // namespace vg::home

@@ -20,6 +20,10 @@ radio::Vec3 MobileDevice::position() const {
 
 void MobileDevice::handle_measure_request(
     const radio::BluetoothBeacon& beacon, std::function<void(double)> report) {
+  if (!responsive_) {
+    ++ignored_;
+    return;
+  }
   scanner_.measure(beacon, [this, report = std::move(report)](double rssi) {
     auto& rng = sim_.rng("home.device." + name_ + ".uplink");
     const sim::Duration uplink{rng.uniform_int(

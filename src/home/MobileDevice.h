@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <string>
@@ -50,6 +51,14 @@ class MobileDevice {
   void pick_up() { placed_.reset(); }
   [[nodiscard]] bool is_placed() const { return placed_.has_value(); }
 
+  /// Crash / no-response control: an unresponsive device silently ignores
+  /// measurement requests (battery died, app killed by the OS — §VII's
+  /// unavailable-device discussion). Pushes are still delivered by FCM; they
+  /// just go unanswered.
+  void set_responsive(bool responsive) { responsive_ = responsive; }
+  [[nodiscard]] bool responsive() const { return responsive_; }
+  [[nodiscard]] std::uint64_t ignored_requests() const { return ignored_; }
+
   /// Background measurement (FCM path): scan latency + one reading + report
   /// uplink latency, then \p report fires at the Decision Module.
   void handle_measure_request(const radio::BluetoothBeacon& beacon,
@@ -68,6 +77,8 @@ class MobileDevice {
   radio::BluetoothScanner::PositionFn carrier_;
   std::optional<radio::Vec3> placed_;
   radio::BluetoothScanner scanner_;
+  bool responsive_{true};
+  std::uint64_t ignored_{0};
 };
 
 }  // namespace vg::home

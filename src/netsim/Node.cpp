@@ -52,11 +52,67 @@ NetNode& Link::peer_of(const NetNode& n) const {
   throw std::logic_error{"Link::peer_of: node not attached to this link"};
 }
 
+void Link::add_flap(sim::TimePoint start, sim::TimePoint end) {
+  if (end < start) throw std::invalid_argument{"Link::add_flap: end < start"};
+  flaps_.push_back(FlapWindow{start, end});
+}
+
+void Link::add_burst_loss(sim::TimePoint start, sim::TimePoint end,
+                          GilbertElliott params) {
+  if (end < start) {
+    throw std::invalid_argument{"Link::add_burst_loss: end < start"};
+  }
+  bursts_.push_back(BurstWindow{start, end, params, false});
+}
+
+void Link::add_latency_spike(sim::TimePoint start, sim::TimePoint end,
+                             sim::Duration extra) {
+  if (end < start) {
+    throw std::invalid_argument{"Link::add_latency_spike: end < start"};
+  }
+  spikes_.push_back(SpikeWindow{start, end, extra});
+}
+
+bool Link::fault_consumes(sim::TimePoint now, sim::Duration& extra) {
+  for (const FlapWindow& w : flaps_) {
+    if (now >= w.start && now < w.end) {
+      ++dropped_;
+      ++flap_dropped_;
+      return true;
+    }
+  }
+  for (BurstWindow& w : bursts_) {
+    if (now < w.start || now >= w.end) continue;
+    auto& rng = net_.sim().rng("net.link.burst");
+    if (w.bad) {
+      if (rng.chance(w.params.p_exit_bad)) w.bad = false;
+    } else if (rng.chance(w.params.p_enter_bad)) {
+      w.bad = true;
+    }
+    const double loss = w.bad ? w.params.loss_bad : w.params.loss_good;
+    if (loss > 0.0 && rng.chance(loss)) {
+      ++dropped_;
+      ++burst_dropped_;
+      return true;
+    }
+  }
+  for (const SpikeWindow& w : spikes_) {
+    if (now >= w.start && now < w.end) extra += w.extra;
+  }
+  return false;
+}
+
 void Link::send_from(NetNode& sender, Packet p) {
   if (!connects(sender)) {
     throw std::logic_error{"Link::send_from: sender not attached"};
   }
   if (p.id == 0) p.id = net_.next_packet_id();
+
+  sim::Duration fault_extra{0};
+  if ((!flaps_.empty() || !bursts_.empty() || !spikes_.empty()) &&
+      fault_consumes(net_.sim().now(), fault_extra)) {
+    return;
+  }
 
   if (loss_rate_ > 0.0 &&
       net_.sim().rng("net.link.loss").chance(loss_rate_)) {
@@ -64,7 +120,7 @@ void Link::send_from(NetNode& sender, Packet p) {
     return;
   }
 
-  sim::Duration d = latency_;
+  sim::Duration d = latency_ + fault_extra;
   if (jitter_.ns() > 0) {
     auto& rng = net_.sim().rng("net.link.jitter");
     d += sim::Duration{rng.uniform_int(-jitter_.ns(), jitter_.ns())};

@@ -51,8 +51,10 @@ void EchoDotModel::connect_to(net::IpAddress ip) {
     if (gen == conn_gen_) on_connection_closed(reason);
   };
   net::TcpOptions topts;
-  topts.keepalive_enabled = true;
-  topts.keepalive_idle = sim::seconds(50);
+  topts.keepalive_enabled = opts_.keepalive;
+  topts.keepalive_idle = opts_.keepalive_idle;
+  topts.keepalive_interval = opts_.keepalive_interval;
+  topts.keepalive_probes = opts_.keepalive_probes;
   conn_ = &host_.tcp().connect(net::Endpoint{ip, opts_.avs_port},
                                std::move(cbs), topts);
 }

@@ -49,6 +49,13 @@ class EchoDotModel {
         kAvsConnectionSignature;
     sim::Duration reconnect_delay_min = sim::milliseconds(400);
     sim::Duration reconnect_delay_max = sim::milliseconds(1600);
+    /// TCP keep-alive knobs for the long-lived AVS session. Defaults match
+    /// the previous hardcoded values (probes/interval are the TcpOptions
+    /// defaults); the chaos tests tighten them to force probes during a hold.
+    bool keepalive = true;
+    sim::Duration keepalive_idle = sim::seconds(50);
+    sim::Duration keepalive_interval = sim::seconds(10);
+    int keepalive_probes = 4;
     Phase1Options phase1;
     /// Playback length of one response segment ("one NBA game schedule").
     sim::Duration segment_playback_min = sim::seconds(2);

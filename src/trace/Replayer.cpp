@@ -244,6 +244,13 @@ ReplayResult Replayer::run(const TraceReader& trace) const {
         monitor(idx, rec.length, rec.when);
         break;
       }
+
+      case FrameKind::kFault: {
+        // Annotations only: injected faults are visible in the trace but are
+        // not an input to recognition.
+        ++out.fault_frames;
+        break;
+      }
     }
   }
 

@@ -58,6 +58,7 @@ struct ReplayResult {
   std::uint64_t tls_records{0};
   std::uint64_t datagrams{0};
   std::uint64_t dns_answers{0};
+  std::uint64_t fault_frames{0};
   std::uint64_t heartbeats{0};
   std::uint64_t avs_dns_updates{0};
   std::uint64_t avs_signature_updates{0};

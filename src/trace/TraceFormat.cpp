@@ -28,4 +28,23 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t n) {
   return c ^ 0xFFFFFFFFu;
 }
 
+const char* fault_code_name(std::uint8_t code) {
+  switch (static_cast<FaultCode>(code)) {
+    case FaultCode::kFlapStart: return "flap-start";
+    case FaultCode::kFlapEnd: return "flap-end";
+    case FaultCode::kBurstStart: return "burst-start";
+    case FaultCode::kBurstEnd: return "burst-end";
+    case FaultCode::kLatencyStart: return "latency-start";
+    case FaultCode::kLatencyEnd: return "latency-end";
+    case FaultCode::kCloudDown: return "cloud-down";
+    case FaultCode::kCloudUp: return "cloud-up";
+    case FaultCode::kFcmDegraded: return "fcm-degraded";
+    case FaultCode::kFcmNormal: return "fcm-normal";
+    case FaultCode::kDeviceDown: return "device-down";
+    case FaultCode::kDeviceUp: return "device-up";
+    case FaultCode::kGuardRestart: return "guard-restart";
+  }
+  return "?";
+}
+
 }  // namespace vg::trace

@@ -50,6 +50,13 @@
 ///                          so far), u8 protocol (0 = TCP, 1 = UDP),
 ///                          u32 speaker IP, u16 speaker port,
 ///                          u32 server IP, u16 server port
+///   kind 4  fault        : varint dt, u8 fault code (see FaultCode),
+///                          varint param (code-specific detail)
+///
+/// Fault frames are *annotations*: they mark injected-fault boundaries from
+/// chaos runs so offline tooling can correlate recognizer behaviour with the
+/// disturbance. They appear only in traces captured under fault injection;
+/// `vgtrace diff --no-faults` compares traces modulo these frames.
 ///
 /// `dir` is 0 for upstream (speaker -> cloud), 1 for downstream.
 
@@ -72,11 +79,34 @@ enum class FrameKind : std::uint8_t {
   kDatagram = 1,
   kDnsAnswer = 2,
   kFlowBegin = 3,
+  kFault = 4,
 };
 
 /// Domain codes for DNS-answer frames.
 inline constexpr std::uint8_t kDomainAvs = 0;
 inline constexpr std::uint8_t kDomainGoogle = 1;
+
+/// Fault-annotation codes (kind-4 frames). Values are stable on disk and
+/// numerically mirror faults::FaultEvent::Kind so capture needs no mapping.
+enum class FaultCode : std::uint8_t {
+  kFlapStart = 0,
+  kFlapEnd = 1,
+  kBurstStart = 2,
+  kBurstEnd = 3,
+  kLatencyStart = 4,
+  kLatencyEnd = 5,
+  kCloudDown = 6,
+  kCloudUp = 7,
+  kFcmDegraded = 8,
+  kFcmNormal = 9,
+  kDeviceDown = 10,
+  kDeviceUp = 11,
+  kGuardRestart = 12,
+};
+
+inline constexpr std::uint8_t kMaxFaultCode = 12;
+
+const char* fault_code_name(std::uint8_t code);
 
 /// CRC32 (IEEE 802.3, reflected, init/xorout 0xFFFFFFFF — the zlib CRC).
 /// crc32 of the ASCII bytes "123456789" is 0xCBF43926.

@@ -115,6 +115,15 @@ TraceReader TraceReader::parse(const std::vector<std::uint8_t>& bytes) {
         r.flows_.push_back(fl);
         break;
       }
+      case static_cast<std::uint8_t>(FrameKind::kFault): {
+        rec.kind = FrameKind::kFault;
+        rec.fault_code = p.u8();
+        if (rec.fault_code > kMaxFaultCode) {
+          throw TraceError{"bad fault code"};
+        }
+        rec.fault_param = p.varint();
+        break;
+      }
       default:
         throw TraceError{"unknown frame kind " + std::to_string(kind_byte)};
     }

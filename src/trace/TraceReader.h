@@ -40,6 +40,8 @@ struct TraceRecord {
   std::uint32_t length{0};     // kTlsRecord / kDatagram
   std::uint8_t domain_code{0};  // kDnsAnswer
   net::IpAddress dns_answer;    // kDnsAnswer
+  std::uint8_t fault_code{0};   // kFault (a FaultCode value)
+  std::uint64_t fault_param{0};  // kFault
 };
 
 class TraceReader {

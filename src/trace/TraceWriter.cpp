@@ -98,6 +98,18 @@ void TraceWriter::dns_answer(std::uint8_t domain_code, net::IpAddress answer,
   emit_frame(payload_);
 }
 
+void TraceWriter::fault(std::uint8_t code, std::uint64_t param,
+                        sim::TimePoint when) {
+  if (code > kMaxFaultCode) throw TraceError{"TraceWriter: bad fault code"};
+  const std::uint64_t dt = delta_to(when);
+  payload_.clear();
+  put_u8(payload_, static_cast<std::uint8_t>(FrameKind::kFault));
+  put_varint(payload_, dt);
+  put_u8(payload_, code);
+  put_varint(payload_, param);
+  emit_frame(payload_);
+}
+
 const std::vector<std::uint8_t>& TraceWriter::finish() {
   if (!finished_) {
     finished_ = true;

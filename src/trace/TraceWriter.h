@@ -41,6 +41,9 @@ class TraceWriter {
   /// \p domain_code is kDomainAvs or kDomainGoogle.
   void dns_answer(std::uint8_t domain_code, net::IpAddress answer,
                   sim::TimePoint when);
+  /// Injected-fault annotation; \p code is a FaultCode value (<=
+  /// kMaxFaultCode), \p param its code-specific detail.
+  void fault(std::uint8_t code, std::uint64_t param, sim::TimePoint when);
 
   [[nodiscard]] std::uint64_t frames() const { return frames_; }
   [[nodiscard]] int flow_count() const { return next_flow_; }

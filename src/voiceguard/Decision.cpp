@@ -87,49 +87,71 @@ void RssiDecisionModule::do_query(Verdict verdict) {
   PendingQuery& q = pending_[qid];
   q.verdict = std::move(verdict);
   q.outstanding = devices_.size();
+  q.reported.assign(devices_.size(), false);
   q.record.when = sim_.now();
 
   if (devices_.empty()) {
     // No registered owner device: fail closed (cannot confirm proximity).
-    conclude(q, false);
-    history_.push_back(q.record);
-    pending_.erase(qid);
+    finish(qid, false);
     return;
   }
 
   for (const auto& d : devices_) {
     fcm_.push(d.device->fcm_token(), "measure:" + std::to_string(qid));
   }
-  q.timeout = sim_.after(opts_.device_timeout, [this, qid] {
-    auto it = pending_.find(qid);
-    if (it == pending_.end() || it->second.answered) return;
-    // Whoever has not reported is treated as "not nearby".
-    PendingQuery& pq = it->second;
-    for (std::size_t i = 0; i < devices_.size(); ++i) {
-      bool reported = false;
-      for (const auto& r : pq.record.reports) {
-        if (r.device == devices_[i].device->name()) {
-          reported = true;
-          break;
-        }
-      }
-      if (!reported) {
-        pq.record.reports.push_back(Report{devices_[i].device->name(), 0,
-                                           devices_[i].threshold, true, true});
-      }
+  q.timeout =
+      sim_.after(opts_.device_timeout, [this, qid] { on_timeout(qid); });
+  if (opts_.fcm_max_retries > 0) {
+    q.retries_left = opts_.fcm_max_retries;
+    q.retry_wait = opts_.fcm_retry_initial;
+    q.retry_timer = sim_.after(q.retry_wait, [this, qid] { on_retry(qid); });
+  }
+}
+
+void RssiDecisionModule::on_timeout(std::uint64_t qid) {
+  auto it = pending_.find(qid);
+  if (it == pending_.end()) return;
+  PendingQuery& q = it->second;
+  // Whoever has not reported is treated as "not nearby".
+  for (std::size_t i = 0; i < q.reported.size(); ++i) {
+    if (!q.reported[i]) {
+      q.record.reports.push_back(Report{devices_[i].device->name(), 0,
+                                        devices_[i].threshold, true, true});
     }
-    conclude(pq, false);
-    history_.push_back(pq.record);
-    pending_.erase(it);
-  });
+  }
+  finish(qid, false);
+}
+
+void RssiDecisionModule::on_retry(std::uint64_t qid) {
+  auto it = pending_.find(qid);
+  if (it == pending_.end()) return;
+  PendingQuery& q = it->second;
+  // Re-push only to devices that have stayed silent — delivered pushes are
+  // in flight or already answered; duplicating those would skew reports.
+  for (std::size_t i = 0; i < q.reported.size(); ++i) {
+    if (q.reported[i]) continue;
+    ++fcm_retries_;
+    fcm_.push(devices_[i].device->fcm_token(),
+              "measure:" + std::to_string(qid));
+  }
+  if (--q.retries_left > 0) {
+    q.retry_wait = sim::Duration{q.retry_wait.ns() * 2};
+    q.retry_timer = sim_.after(q.retry_wait, [this, qid] { on_retry(qid); });
+  }
 }
 
 void RssiDecisionModule::on_report(std::uint64_t qid, std::size_t device_idx,
                                    double rssi, bool timed_out) {
   auto it = pending_.find(qid);
-  if (it == pending_.end()) return;
+  if (it == pending_.end()) {
+    // The query already concluded (verdict delivered, state freed); late
+    // reports are counted and dropped.
+    ++late_reports_;
+    return;
+  }
   PendingQuery& q = it->second;
-  if (q.answered) return;
+  if (device_idx >= q.reported.size() || q.reported[device_idx]) return;
+  q.reported[device_idx] = true;
 
   const Registered& d = devices_[device_idx];
   const bool floor_ok =
@@ -141,23 +163,21 @@ void RssiDecisionModule::on_report(std::uint64_t qid, std::size_t device_idx,
   const bool nearby = !timed_out && rssi >= d.threshold && floor_ok;
   if (nearby) {
     // First positive wins: at least one legitimate user is near the speaker.
-    sim_.cancel(q.timeout);
-    conclude(q, true);
-    history_.push_back(q.record);
-    pending_.erase(it);
+    finish(qid, true);
     return;
   }
-  if (q.outstanding == 0) {
-    sim_.cancel(q.timeout);
-    conclude(q, false);
-    history_.push_back(q.record);
-    pending_.erase(it);
-  }
+  if (q.outstanding == 0) finish(qid, false);
 }
 
-void RssiDecisionModule::conclude(PendingQuery& q, bool legit) {
-  q.answered = true;
+void RssiDecisionModule::finish(std::uint64_t qid, bool legit) {
+  auto it = pending_.find(qid);
+  if (it == pending_.end()) return;
+  PendingQuery q = std::move(it->second);
+  pending_.erase(it);
+  sim_.cancel(q.timeout);
+  sim_.cancel(q.retry_timer);
   q.record.legit = legit;
+  history_.push_back(q.record);
   if (q.verdict) q.verdict(legit);
 }
 

@@ -131,6 +131,13 @@ class RssiDecisionModule : public DecisionModule {
   struct Options {
     /// A device that has not reported by then counts as "not nearby".
     sim::Duration device_timeout = sim::seconds(6);
+    /// Bounded FCM retry with exponential backoff: devices that have not
+    /// reported are re-pushed after fcm_retry_initial, then 2x, 4x, ... up to
+    /// fcm_max_retries rounds. Default off — retries draw no extra FCM
+    /// latency samples, so benign runs stay bit-identical to the seed; the
+    /// chaos worlds opt in.
+    int fcm_max_retries = 0;
+    sim::Duration fcm_retry_initial = sim::from_seconds(1.5);
   };
 
   RssiDecisionModule(sim::Simulation& sim, home::FcmService& fcm,
@@ -165,6 +172,11 @@ class RssiDecisionModule : public DecisionModule {
   [[nodiscard]] const std::vector<QueryRecord>& history() const {
     return history_;
   }
+  /// Re-pushes sent by the retry policy (one per unreported device per round).
+  [[nodiscard]] std::uint64_t fcm_retries() const { return fcm_retries_; }
+  /// Device reports that arrived after their query had already concluded;
+  /// they are counted and otherwise ignored (never touch freed query state).
+  [[nodiscard]] std::uint64_t late_reports() const { return late_reports_; }
 
  protected:
   void do_query(Verdict verdict) override;
@@ -178,14 +190,23 @@ class RssiDecisionModule : public DecisionModule {
   struct PendingQuery {
     Verdict verdict;
     std::size_t outstanding{0};
-    bool answered{false};
     QueryRecord record;
     sim::EventId timeout{};
+    std::vector<bool> reported;  // per-device first-report dedupe
+    sim::EventId retry_timer{};
+    int retries_left{0};
+    sim::Duration retry_wait{};
   };
 
   void on_report(std::uint64_t query_id, std::size_t device_idx, double rssi,
                  bool timed_out);
-  void conclude(PendingQuery& q, bool legit);
+  void on_timeout(std::uint64_t query_id);
+  void on_retry(std::uint64_t query_id);
+  /// Delivers the verdict for \p query_id and retires the query. The entry is
+  /// moved out of pending_ and both timers cancelled *before* the verdict
+  /// callback runs: a re-entrant query() may rehash pending_, which would
+  /// dangle any reference held across the call.
+  void finish(std::uint64_t query_id, bool legit);
 
   home::FcmService& fcm_;
   const radio::BluetoothBeacon& beacon_;
@@ -194,6 +215,8 @@ class RssiDecisionModule : public DecisionModule {
   std::unordered_map<std::uint64_t, PendingQuery> pending_;
   std::uint64_t next_query_id_{1};
   std::vector<QueryRecord> history_;
+  std::uint64_t fcm_retries_{0};
+  std::uint64_t late_reports_{0};
 };
 
 }  // namespace vg::guard

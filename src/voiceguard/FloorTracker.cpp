@@ -162,21 +162,29 @@ void FloorTracker::record_trace(
   auto samples = std::make_shared<std::vector<double>>();
   samples->reserve(static_cast<std::size_t>(opts_.samples));
 
-  // Sampling closure: take one reading every interval until `samples` full.
-  auto take = std::make_shared<std::function<void()>>();
-  *take = [this, samples, take, done = std::move(done)]() mutable {
-    samples->push_back(device_.instant_rssi(beacon_));
-    if (static_cast<int>(samples->size()) >= opts_.samples) {
-      recording_ = false;
-      const auto fit = analysis::linear_regression_uniform(
-          *samples, opts_.sample_interval.seconds());
-      const TraceClass c = classify(fit.slope, fit.intercept);
-      if (done) done(c, fit);
-      return;
+  // Sampling loop: one reading per interval until `samples` is full. Each
+  // queued event owns an independent copy of the sampler (no self-referencing
+  // shared_ptr cycle), so a trace cut short by simulation teardown releases
+  // everything with the event queue.
+  struct Sampler {
+    FloorTracker* self;
+    std::shared_ptr<std::vector<double>> samples;
+    std::function<void(TraceClass, analysis::LineFit)> done;
+
+    void operator()() const {
+      samples->push_back(self->device_.instant_rssi(self->beacon_));
+      if (static_cast<int>(samples->size()) >= self->opts_.samples) {
+        self->recording_ = false;
+        const auto fit = analysis::linear_regression_uniform(
+            *samples, self->opts_.sample_interval.seconds());
+        const TraceClass c = self->classify(fit.slope, fit.intercept);
+        if (done) done(c, fit);
+        return;
+      }
+      self->sim_.after(self->opts_.sample_interval, Sampler{*this});
     }
-    sim_.after(opts_.sample_interval, *take);
   };
-  (*take)();
+  Sampler{this, std::move(samples), std::move(done)}();
 }
 
 }  // namespace vg::guard

@@ -1,6 +1,7 @@
 #include "voiceguard/GuardBox.h"
 
 #include <algorithm>
+#include <unordered_set>
 
 namespace vg::guard {
 
@@ -9,6 +10,24 @@ std::string to_string(GuardMode m) {
     case GuardMode::kVoiceGuard: return "voiceguard";
     case GuardMode::kNaive: return "naive";
     case GuardMode::kMonitor: return "monitor";
+  }
+  return "?";
+}
+
+std::string to_string(FailPolicy p) {
+  switch (p) {
+    case FailPolicy::kFailClosed: return "fail-closed";
+    case FailPolicy::kFailOpen: return "fail-open";
+  }
+  return "?";
+}
+
+std::string to_string(SpikeOutcome o) {
+  switch (o) {
+    case SpikeOutcome::kPending: return "pending";
+    case SpikeOutcome::kReleased: return "released";
+    case SpikeOutcome::kDropped: return "dropped";
+    case SpikeOutcome::kObserved: return "observed";
   }
   return "?";
 }
@@ -187,6 +206,11 @@ void GuardBox::accept_lan_connection(net::TcpConnection& lan_conn) {
     flow->lan_closed = true;
     // A dead speaker connection has nothing left to release, and any
     // outstanding verdict no longer applies.
+    terminalize(*mon,
+                mon->state == Monitor::State::kObserving
+                    ? SpikeOutcome::kObserved
+                    : SpikeOutcome::kDropped,
+                /*forced=*/false);
     drop(*mon);
     ++mon->spike_gen;
     mon->state = Monitor::State::kPass;
@@ -218,6 +242,11 @@ void GuardBox::accept_lan_connection(net::TcpConnection& lan_conn) {
   };
   wan_cbs.on_closed = [this, flow, mon](net::TcpCloseReason reason) {
     flow->wan_closed = true;
+    terminalize(*mon,
+                mon->state == Monitor::State::kObserving
+                    ? SpikeOutcome::kObserved
+                    : SpikeOutcome::kDropped,
+                /*forced=*/false);
     drop(*mon);
     ++mon->spike_gen;
     mon->state = Monitor::State::kPass;
@@ -352,6 +381,7 @@ void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
             events_[mon.event_index].cls = *v;
             events_[mon.event_index].rule = mon.classifier.matched_rule();
           }
+          terminalize(mon, SpikeOutcome::kObserved, /*forced=*/false);
           mon.state = Monitor::State::kPass;
         }
         forward();
@@ -365,6 +395,7 @@ void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
           settle_classification(m, *v);
         }
       }
+      enforce_hold_cap(m);
       return;
     }
 
@@ -380,12 +411,14 @@ void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
       if (!heartbeat) {
         if (auto v = mon.classifier.feed(len)) settle_classification(m, *v);
       }
+      enforce_hold_cap(m);
       return;
     }
 
     case Monitor::State::kAwaitingVerdict: {
       if (!heartbeat) mon.last_upstream = sim().now();
       mon.held.push_back(std::move(forward));
+      enforce_hold_cap(m);
       return;
     }
 
@@ -401,6 +434,7 @@ void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
             events_[mon.event_index].cls = *v;
             events_[mon.event_index].rule = mon.classifier.matched_rule();
           }
+          terminalize(mon, SpikeOutcome::kObserved, /*forced=*/false);
           mon.state = Monitor::State::kPass;
         }
       }
@@ -436,6 +470,7 @@ void GuardBox::start_spike(const std::shared_ptr<Monitor>& m) {
         events_[m->event_index].cls = m->classifier.finalize();
         events_[m->event_index].rule = m->classifier.matched_rule();
       }
+      terminalize(*m, SpikeOutcome::kObserved, /*forced=*/false);
       m->state = Monitor::State::kPass;
     });
     return;
@@ -472,10 +507,7 @@ void GuardBox::settle_classification(const std::shared_ptr<Monitor>& m,
   }
   // Response or unknown: release immediately; the brief buffering is the
   // "negligible" cost of online classification.
-  if (mon.event_index >= 0) {
-    events_[mon.event_index].hold_seconds =
-        (sim().now() - mon.first_held).seconds();
-  }
+  terminalize(mon, SpikeOutcome::kReleased, /*forced=*/false);
   flush(mon);
   mon.state = Monitor::State::kPass;
 }
@@ -496,6 +528,7 @@ void GuardBox::query_decision(const std::shared_ptr<Monitor>& m) {
       ev.verdict_legit = legit;
       ev.hold_seconds = (sim().now() - mon2.first_held).seconds();
       ev.dropped = !legit;
+      ev.outcome = legit ? SpikeOutcome::kReleased : SpikeOutcome::kDropped;
     }
     if (legit) {
       ++released_;
@@ -509,6 +542,23 @@ void GuardBox::query_decision(const std::shared_ptr<Monitor>& m) {
     }
     mon2.state = Monitor::State::kPass;
   });
+  // Degradation: never wait forever on a verdict. The timer is a no-op when
+  // the decision module answers in time (the common case — its own device
+  // timeout is far shorter than verdict_timeout).
+  if (opts_.verdict_timeout.ns() > 0 &&
+      m->spike_gen == gen && m->state == Monitor::State::kAwaitingVerdict) {
+    sim().after(opts_.verdict_timeout, [this, m, gen] {
+      if (m->spike_gen != gen ||
+          m->state != Monitor::State::kAwaitingVerdict) {
+        return;
+      }
+      const bool release = opts_.fail_policy == FailPolicy::kFailOpen;
+      sim().log(sim::LogLevel::kWarn, name(),
+                "verdict timeout on flow " + std::to_string(m->flow_id) +
+                    " -> " + to_string(opts_.fail_policy));
+      force_verdict(m, release);
+    });
+  }
 }
 
 void GuardBox::flush(Monitor& m) {
@@ -518,5 +568,140 @@ void GuardBox::flush(Monitor& m) {
 }
 
 void GuardBox::drop(Monitor& m) { m.held.clear(); }
+
+void GuardBox::terminalize(Monitor& m, SpikeOutcome outcome, bool forced) {
+  if (m.event_index < 0) return;
+  SpikeEvent& ev = events_[m.event_index];
+  if (ev.outcome != SpikeOutcome::kPending) return;
+  ev.outcome = outcome;
+  ev.forced = forced;
+  if (ev.held) ev.hold_seconds = (sim().now() - m.first_held).seconds();
+}
+
+void GuardBox::force_verdict(const std::shared_ptr<Monitor>& m, bool release) {
+  Monitor& mon = *m;
+  if (release) {
+    ++forced_open_;
+  } else {
+    ++forced_closed_;
+  }
+  if (mon.event_index >= 0) {
+    SpikeEvent& ev = events_[mon.event_index];
+    ev.verdict_time = sim().now();
+    ev.verdict_legit = release;
+    ev.dropped = !release;
+    if (ev.held) ev.hold_seconds = (sim().now() - mon.first_held).seconds();
+    ev.forced = true;
+    ev.outcome = release ? SpikeOutcome::kReleased : SpikeOutcome::kDropped;
+  }
+  if (release) {
+    ++released_;
+    flush(mon);
+  } else {
+    ++blocked_;
+    drop(mon);
+  }
+  // Invalidate the in-flight verdict callback: when the decision module
+  // finally answers, the generation no longer matches.
+  ++mon.spike_gen;
+  mon.state = Monitor::State::kPass;
+}
+
+void GuardBox::enforce_hold_cap(const std::shared_ptr<Monitor>& m) {
+  Monitor& mon = *m;
+  if (opts_.hold_queue_cap == 0 || mon.held.size() < opts_.hold_queue_cap) {
+    return;
+  }
+  if (mon.state != Monitor::State::kClassifying &&
+      mon.state != Monitor::State::kAwaitingVerdict) {
+    return;
+  }
+  ++hold_overflows_;
+  if (mon.state == Monitor::State::kClassifying && mon.event_index >= 0) {
+    // Record the classifier's best guess even though the policy overrides it.
+    events_[mon.event_index].cls = mon.classifier.finalize();
+    events_[mon.event_index].rule = mon.classifier.matched_rule();
+  }
+  sim().log(sim::LogLevel::kWarn, name(),
+            "hold queue overflow on flow " + std::to_string(mon.flow_id) +
+                " -> " + to_string(opts_.fail_policy));
+  force_verdict(m, opts_.fail_policy == FailPolicy::kFailOpen);
+}
+
+std::size_t GuardBox::held_outstanding() const {
+  std::unordered_set<const Monitor*> seen;
+  std::size_t n = 0;
+  auto add = [&](const Monitor& m) {
+    if (seen.insert(&m).second) n += m.held.size();
+  };
+  for (const auto& [conn, flow] : flows_by_lan_) add(*flow->mon);
+  for (const auto& [conn, flow] : flows_by_wan_) add(*flow->mon);
+  for (const auto& [key, mon] : udp_monitors_) add(*mon);
+  return n;
+}
+
+std::size_t GuardBox::unresolved_spikes() const {
+  std::size_t n = 0;
+  for (const SpikeEvent& ev : events_) {
+    if (ev.outcome == SpikeOutcome::kPending) ++n;
+  }
+  return n;
+}
+
+void GuardBox::restart() {
+  ++restarts_;
+  sim().log(sim::LogLevel::kWarn, name(),
+            "guard box restarting: dropping " +
+                std::to_string(flows_by_lan_.size()) + " proxied flows");
+
+  // The flow maps are pointer-keyed, so their iteration order is not
+  // reproducible across runs — and abort order decides packet order. Collect,
+  // dedupe, and abort in flow-id order.
+  std::vector<std::shared_ptr<ProxiedFlow>> flows;
+  flows.reserve(flows_by_lan_.size() + flows_by_wan_.size());
+  for (const auto& [conn, flow] : flows_by_lan_) flows.push_back(flow);
+  for (const auto& [conn, flow] : flows_by_wan_) flows.push_back(flow);
+  std::sort(flows.begin(), flows.end(),
+            [](const std::shared_ptr<ProxiedFlow>& a,
+               const std::shared_ptr<ProxiedFlow>& b) { return a->id < b->id; });
+  flows.erase(std::unique(flows.begin(), flows.end()), flows.end());
+
+  for (const auto& flow : flows) {
+    terminalize(*flow->mon, SpikeOutcome::kDropped, /*forced=*/true);
+    drop(*flow->mon);
+    ++flow->mon->spike_gen;
+    flow->mon->state = Monitor::State::kPass;
+    // Aborting one side cascades through its on_closed handler: the map
+    // entries are erased and the counterpart is aborted too.
+    if (flow->lan != nullptr && !flow->lan_closed) {
+      flow->lan->abort();
+    } else if (flow->wan != nullptr && !flow->wan_closed) {
+      flow->wan->abort();
+    }
+  }
+  flows_by_lan_.clear();
+  flows_by_wan_.clear();
+
+  std::vector<std::shared_ptr<Monitor>> udp_mons;
+  udp_mons.reserve(udp_monitors_.size());
+  for (const auto& [key, mon] : udp_monitors_) udp_mons.push_back(mon);
+  std::sort(udp_mons.begin(), udp_mons.end(),
+            [](const std::shared_ptr<Monitor>& a,
+               const std::shared_ptr<Monitor>& b) {
+              return a->flow_id < b->flow_id;
+            });
+  for (const auto& mon : udp_mons) {
+    terminalize(*mon, SpikeOutcome::kDropped, /*forced=*/true);
+    drop(*mon);
+  }
+  udp_monitors_.clear();
+
+  // Cold start: learned recognizer state is gone until DNS/signature
+  // re-acquisition.
+  avs_ip_ = net::IpAddress{};
+  google_ip_ = net::IpAddress{};
+  learner_ = SignatureLearner{};
+  learner_.seed(avs_signature());
+}
 
 }  // namespace vg::guard

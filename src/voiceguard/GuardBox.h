@@ -48,6 +48,29 @@ enum class GuardMode {
 
 std::string to_string(GuardMode m);
 
+/// What the guard does with a held spike when it cannot obtain a verdict
+/// (decision timeout, hold-queue overflow): fail-closed sacrifices
+/// availability for security, fail-open the reverse. §VII's deployment
+/// discussion leaves the choice to the installer; the chaos matrix measures
+/// both.
+enum class FailPolicy {
+  kFailClosed,  // drop the held spike
+  kFailOpen,    // release the held spike
+};
+
+std::string to_string(FailPolicy p);
+
+/// Terminal state of a recognized spike. The chaos invariant: every spike
+/// eventually leaves kPending, whatever faults are active.
+enum class SpikeOutcome : std::uint8_t {
+  kPending,   // still classifying or awaiting a verdict
+  kReleased,  // forwarded: benign classification, legit verdict, or fail-open
+  kDropped,   // discarded: malicious verdict, fail-closed, or flow death
+  kObserved,  // monitor mode / detection-only: recognized, never held
+};
+
+std::string to_string(SpikeOutcome o);
+
 /// One recognized spike and what happened to it.
 struct SpikeEvent {
   std::uint64_t flow_id{0};
@@ -60,6 +83,8 @@ struct SpikeEvent {
   bool queried{false};
   bool verdict_legit{false};
   bool dropped{false};
+  SpikeOutcome outcome{SpikeOutcome::kPending};
+  bool forced{false};  // outcome came from a degradation policy, not a verdict
   sim::TimePoint verdict_time;
   double hold_seconds{0};  // first-held-packet -> release/drop
 };
@@ -87,6 +112,15 @@ class GuardBox : public net::MiddleBox {
     /// connections (§VII's future work, implemented).
     bool adaptive_signatures = true;
     GuardMode mode = GuardMode::kVoiceGuard;
+    /// Degradation policies (the robustness PR). A held spike whose verdict
+    /// does not arrive within verdict_timeout is resolved by fail_policy;
+    /// likewise when a hold accumulates hold_queue_cap buffered items
+    /// (0 = unbounded). verdict_timeout defaults to 0 (disabled) so a guard
+    /// with no timeout configured holds indefinitely, exactly like the
+    /// pre-fault code; the chaos worlds opt in explicitly.
+    FailPolicy fail_policy = FailPolicy::kFailClosed;
+    sim::Duration verdict_timeout = sim::Duration{};
+    std::size_t hold_queue_cap = 256;
   };
 
   GuardBox(net::Network& net, std::string name, DecisionModule& decision,
@@ -122,6 +156,24 @@ class GuardBox : public net::MiddleBox {
   [[nodiscard]] std::uint64_t commands_released() const { return released_; }
   [[nodiscard]] std::uint64_t commands_blocked() const { return blocked_; }
   [[nodiscard]] std::uint64_t proxied_flows() const { return flow_count_; }
+  /// Spikes resolved by a degradation policy instead of a verdict.
+  [[nodiscard]] std::uint64_t forced_open() const { return forced_open_; }
+  [[nodiscard]] std::uint64_t forced_closed() const { return forced_closed_; }
+  [[nodiscard]] std::uint64_t hold_overflows() const { return hold_overflows_; }
+  [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+  /// Held items still buffered across all live monitors (the no-leak
+  /// invariant: 0 once traffic has drained).
+  [[nodiscard]] std::size_t held_outstanding() const;
+  /// Spikes whose outcome is still kPending (the terminal-verdict invariant:
+  /// 0 once traffic has drained).
+  [[nodiscard]] std::size_t unresolved_spikes() const;
+
+  /// Simulates a guard-box crash/restart mid-operation: every proxied flow is
+  /// aborted (deterministically, in flow-id order), held packets and learned
+  /// recognizer state are lost, and the box comes back up cold — speakers
+  /// must reconnect through it. Spikes that were mid-hold are terminalized as
+  /// forced drops.
+  void restart();
 
   DecisionModule& decision() { return decision_; }
 
@@ -190,6 +242,14 @@ class GuardBox : public net::MiddleBox {
   void query_decision(const std::shared_ptr<Monitor>& m);
   void flush(Monitor& m);
   void drop(Monitor& m);
+  /// Records the terminal outcome of the monitor's current spike (no-op if it
+  /// already has one or there is no event).
+  void terminalize(Monitor& m, SpikeOutcome outcome, bool forced);
+  /// Resolves a held spike by policy instead of verdict: release or drop,
+  /// then invalidate the pending verdict via the spike generation.
+  void force_verdict(const std::shared_ptr<Monitor>& m, bool release);
+  /// Applies the hold-queue capacity policy after a push.
+  void enforce_hold_cap(const std::shared_ptr<Monitor>& m);
   void maybe_adopt_avs_ip(Monitor& m, std::uint32_t len);
   void finish_establishment(Monitor& m);
 
@@ -217,6 +277,10 @@ class GuardBox : public net::MiddleBox {
   std::uint64_t flow_count_{0};
   std::uint64_t released_{0};
   std::uint64_t blocked_{0};
+  std::uint64_t forced_open_{0};
+  std::uint64_t forced_closed_{0};
+  std::uint64_t hold_overflows_{0};
+  std::uint64_t restarts_{0};
 };
 
 }  // namespace vg::guard

@@ -5,6 +5,28 @@
 
 namespace vg::guard {
 
+namespace {
+
+// Sampling loop: one reading per interval while the walk lasts. Each queued
+// event owns an independent copy of the sampler (no self-referencing
+// shared_ptr cycle), so an abandoned walk releases the loop with the queue.
+struct RssiSampler {
+  sim::Simulation& sim;
+  home::MobileDevice& device;
+  const radio::BluetoothBeacon& beacon;
+  std::shared_ptr<ThresholdResult> state;
+  std::shared_ptr<bool> walking;
+  sim::Duration interval;
+
+  void operator()() const {
+    if (!*walking) return;
+    state->samples.push_back(device.instant_rssi(beacon));
+    sim.after(interval, RssiSampler{*this});
+  }
+};
+
+}  // namespace
+
 void learn_threshold(sim::Simulation& sim, home::Person& walker,
                      home::MobileDevice& device,
                      const radio::BluetoothBeacon& beacon,
@@ -14,15 +36,7 @@ void learn_threshold(sim::Simulation& sim, home::Person& walker,
   auto state = std::make_shared<ThresholdResult>();
   auto walking = std::make_shared<bool>(true);
 
-  // Sampling loop: one reading per interval while the walk lasts.
-  auto sample = std::make_shared<std::function<void()>>();
-  *sample = [&sim, &device, &beacon, state, walking, sample,
-             sample_interval]() {
-    if (!*walking) return;
-    state->samples.push_back(device.instant_rssi(beacon));
-    sim.after(sample_interval, *sample);
-  };
-  (*sample)();
+  RssiSampler{sim, device, beacon, state, walking, sample_interval}();
 
   walker.follow_path(std::move(path), walk_speed_mps,
                      [state, walking, done = std::move(done)] {

@@ -1,0 +1,331 @@
+#include "workload/ChaosScenarios.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "faults/FaultInjector.h"
+#include "trace/TraceTap.h"
+#include "workload/Corpus.h"
+#include "workload/World.h"
+
+namespace vg::workload {
+
+namespace {
+
+/// A device-height spot at the centre of the room farthest from the speaker:
+/// where the scripted "attack" commands are issued from (the owner's device is
+/// far away, so the RSSI verdict must come back malicious).
+radio::Vec3 farthest_room_spot(const SmartHomeWorld& world) {
+  const auto& plan = world.testbed().plan();
+  const radio::Vec3 spk =
+      world.testbed().speaker_position(world.config().deployment);
+  radio::Vec3 best{};
+  double best_d = -1.0;
+  for (const auto& room : plan.rooms()) {
+    const radio::Vec2 c = room.bounds.center();
+    const radio::Vec3 p{c.x, c.y, plan.device_height(room.floor)};
+    const double d = radio::distance(p, spk);
+    if (d > best_d) {
+      best_d = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+std::vector<faults::FaultPlan> build_plans() {
+  using faults::CloudOutage;
+  using faults::DeviceFault;
+  using faults::FaultPlan;
+  using faults::FcmFault;
+  using faults::GuardRestart;
+  using faults::LinkFault;
+  std::vector<FaultPlan> plans;
+
+  {  // Nothing injected: the control row of the matrix.
+    FaultPlan p;
+    p.name = "baseline";
+    plans.push_back(p);
+  }
+  {  // Correlated loss on the speaker--guard link through most of the script.
+    FaultPlan p;
+    p.name = "lan-burst";
+    p.links.push_back({LinkFault::Where::kLan, LinkFault::Kind::kBurst,
+                       sim::seconds(20), sim::seconds(120), {}, {}});
+    plans.push_back(p);
+  }
+  {  // A 2.5 s uplink flap: well inside the TCP retransmit budget.
+    FaultPlan p;
+    p.name = "wan-flap-short";
+    p.links.push_back({LinkFault::Where::kWan, LinkFault::Kind::kFlap,
+                       sim::seconds(45), sim::from_seconds(2.5), {}, {}});
+    plans.push_back(p);
+  }
+  {  // A 45 s uplink flap: past the ~31 s retransmit budget, sessions die.
+    FaultPlan p;
+    p.name = "wan-flap-long";
+    p.links.push_back({LinkFault::Where::kWan, LinkFault::Kind::kFlap,
+                       sim::seconds(30), sim::seconds(45), {}, {}});
+    p.may_break_connections = true;
+    plans.push_back(p);
+  }
+  {  // +600 ms one-way on the uplink for two minutes.
+    FaultPlan p;
+    p.name = "wan-latency-spike";
+    p.links.push_back({LinkFault::Where::kWan, LinkFault::Kind::kLatencySpike,
+                       sim::seconds(20), sim::seconds(130), {},
+                       sim::milliseconds(600)});
+    plans.push_back(p);
+  }
+  {  // The AVS pool goes dark mid-script and resets live sessions on the way.
+    FaultPlan p;
+    p.name = "cloud-outage";
+    p.cloud.push_back({sim::seconds(60), sim::seconds(35), true});
+    p.may_break_connections = true;
+    plans.push_back(p);
+  }
+  {  // FCM drops 45 % of pushes and delays survivors by 3.5 s all run long.
+    FaultPlan p;
+    p.name = "fcm-degraded";
+    p.fcm.push_back(
+        {sim::Duration{}, sim::seconds(180), sim::from_seconds(3.5), 0.45});
+    plans.push_back(p);
+  }
+  {  // The only owner device dies early and never comes back: every query
+    // times out, so the guard's verdicts all come back malicious.
+    FaultPlan p;
+    p.name = "device-crash";
+    p.devices.push_back({0, sim::seconds(15), sim::Duration{}});
+    plans.push_back(p);
+  }
+  {  // Guard-box crash/restart while command 3 may be mid-hold.
+    FaultPlan p;
+    p.name = "guard-restart";
+    p.restarts.push_back({sim::seconds(72)});
+    p.may_break_connections = true;
+    plans.push_back(p);
+  }
+  {  // Everything at once that should still not kill a connection: soft LAN
+    // bursts, an uplink latency spike, degraded FCM, a 60 s device outage.
+    FaultPlan p;
+    p.name = "kitchen-sink";
+    net::GilbertElliott soft;
+    soft.loss_bad = 0.8;
+    p.links.push_back({LinkFault::Where::kLan, LinkFault::Kind::kBurst,
+                       sim::seconds(20), sim::seconds(60), soft, {}});
+    p.links.push_back({LinkFault::Where::kWan, LinkFault::Kind::kLatencySpike,
+                       sim::seconds(90), sim::seconds(40), {},
+                       sim::milliseconds(400)});
+    p.fcm.push_back(
+        {sim::seconds(40), sim::seconds(80), sim::from_seconds(2.0), 0.3});
+    p.devices.push_back({0, sim::seconds(50), sim::seconds(60)});
+    plans.push_back(p);
+  }
+  return plans;
+}
+
+}  // namespace
+
+const std::vector<faults::FaultPlan>& chaos_plans() {
+  static const std::vector<faults::FaultPlan> kPlans = build_plans();
+  return kPlans;
+}
+
+const faults::FaultPlan& chaos_plan(const std::string& name) {
+  for (const auto& p : chaos_plans()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument{"unknown chaos plan: " + name};
+}
+
+std::vector<ChaosSpec> chaos_matrix(std::uint64_t seed0,
+                                    guard::FailPolicy policy) {
+  std::vector<ChaosSpec> specs;
+  std::uint64_t seed = seed0;
+  for (const auto& plan : chaos_plans()) {
+    for (auto mode : {guard::GuardMode::kVoiceGuard, guard::GuardMode::kNaive,
+                      guard::GuardMode::kMonitor}) {
+      ChaosSpec s;
+      s.plan = plan.name;
+      s.mode = mode;
+      s.fail_policy = policy;
+      s.seed = seed++;
+      specs.push_back(std::move(s));
+    }
+  }
+  return specs;
+}
+
+ChaosResult run_chaos(const ChaosSpec& spec, trace::TraceWriter* writer) {
+  const faults::FaultPlan& plan = chaos_plan(spec.plan);
+
+  WorldConfig cfg;
+  cfg.testbed = WorldConfig::TestbedKind::kApartment;
+  cfg.owner_count = 1;
+  cfg.mode = spec.mode;
+  cfg.seed = spec.seed;
+  cfg.fail_policy = spec.fail_policy;
+  // Below the decision module's 6 s device timeout on purpose: a dead device
+  // or a badly delayed FCM push must resolve through the guard's fail policy,
+  // not the decision module's own give-up path.
+  cfg.verdict_timeout = sim::seconds(5);
+  cfg.hold_queue_cap = 64;
+  cfg.fcm_max_retries = 2;
+  SmartHomeWorld world{cfg};
+
+  std::unique_ptr<trace::TraceTap> tap;
+  if (writer != nullptr) {
+    tap = std::make_unique<trace::TraceTap>(*writer);
+    world.guard().set_wire_tap(tap.get());
+  }
+
+  world.calibrate();
+
+  faults::FaultInjector::Targets targets;
+  targets.lan = &world.lan_link();
+  targets.wan = &world.wan_link();
+  targets.cloud = &world.cloud();
+  targets.fcm = &world.fcm();
+  targets.devices = {&world.device(0)};
+  targets.guard = &world.guard();
+  faults::FaultInjector injector{world.sim(), targets};
+  if (writer != nullptr) {
+    injector.set_observer([writer](const faults::FaultEvent& ev) {
+      writer->fault(static_cast<std::uint8_t>(ev.kind), ev.param, ev.when);
+    });
+  }
+  const sim::TimePoint t0 = world.sim().now();
+  injector.arm(plan);
+
+  // The scripted workload: six commands, odd ones issued while the owner
+  // (and their phone) is in the farthest room — ground-truth "unauthorized".
+  const radio::Vec3 attack_spot = farthest_room_spot(world);
+  const CommandCorpus& corpus = CommandCorpus::alexa();
+  sim::Rng& rng = world.sim().rng("chaos.script");
+  constexpr int kCommands = 6;
+  constexpr double kOffsets[kCommands] = {10, 40, 70, 100, 130, 160};
+  for (int i = 0; i < kCommands; ++i) {
+    world.sim().run_until(t0 + sim::from_seconds(kOffsets[i] - 1.0));
+    const bool attack = (i % 2) == 1;
+    world.owner(0).teleport(attack ? attack_spot
+                                   : world.random_legit_spot(rng));
+    world.sim().run_until(t0 + sim::from_seconds(kOffsets[i]));
+    world.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
+  }
+  // Long enough past the last command for every hold, timeout, retransmit
+  // and reconnect to drain.
+  world.sim().run_until(t0 + sim::seconds(215));
+
+  if (writer != nullptr) world.guard().set_wire_tap(nullptr);
+
+  ChaosResult r;
+  r.label = plan.name + "/" + guard::to_string(spec.mode) + "/" +
+            guard::to_string(spec.fail_policy);
+  r.may_break_connections = plan.may_break_connections;
+
+  guard::GuardBox& g = world.guard();
+  r.spikes = g.spike_events().size();
+  r.unresolved_spikes = g.unresolved_spikes();
+  r.held_outstanding = g.held_outstanding();
+  r.released = g.commands_released();
+  r.blocked = g.commands_blocked();
+  r.forced_open = g.forced_open();
+  r.forced_closed = g.forced_closed();
+  r.hold_overflows = g.hold_overflows();
+  r.guard_restarts = g.restarts();
+
+  r.link_dropped =
+      world.lan_link().dropped_packets() + world.wan_link().dropped_packets();
+  r.flap_dropped =
+      world.lan_link().flap_dropped() + world.wan_link().flap_dropped();
+  r.burst_dropped =
+      world.lan_link().burst_dropped() + world.wan_link().burst_dropped();
+
+  r.seq_violations = world.cloud().total_sequence_violations();
+  r.sessions_killed = world.cloud().total_sessions_killed();
+  r.outage_refused = world.cloud().total_outage_refused();
+  r.fcm_pushes = world.fcm().pushes_sent();
+  r.fcm_dropped = world.fcm().pushes_dropped();
+  r.fcm_retries = world.decision().fcm_retries();
+  r.late_reports = world.decision().late_reports();
+  r.device_ignored = world.device(0).ignored_requests();
+
+  for (const auto& it : world.interactions()) {
+    ++r.interactions;
+    if (it.response_received) ++r.responses;
+    if (it.connection_error) ++r.connection_errors;
+  }
+  r.reconnects = world.echo() != nullptr ? world.echo()->reconnects() : 0;
+  for (int i = 0; i < kCommands; ++i) {
+    if (world.command_executed(static_cast<std::uint64_t>(i) + 1)) {
+      ++r.commands_executed;
+    }
+  }
+  r.faults_injected = injector.injected();
+  return r;
+}
+
+std::vector<ChaosResult> run_chaos_serial(const std::vector<ChaosSpec>& specs) {
+  std::vector<ChaosResult> out;
+  out.reserve(specs.size());
+  for (const auto& s : specs) out.push_back(run_chaos(s));
+  return out;
+}
+
+std::vector<ChaosResult> run_chaos_batch(const std::vector<ChaosSpec>& specs,
+                                         sim::BatchRunner& pool) {
+  return pool.map<ChaosResult>(
+      specs.size(), [&](std::size_t i) { return run_chaos(specs[i]); });
+}
+
+std::uint64_t ChaosResult::fingerprint() const {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const char c : label) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  mix(spikes);
+  mix(unresolved_spikes);
+  mix(held_outstanding);
+  mix(released);
+  mix(blocked);
+  mix(forced_open);
+  mix(forced_closed);
+  mix(hold_overflows);
+  mix(guard_restarts);
+  mix(link_dropped);
+  mix(flap_dropped);
+  mix(burst_dropped);
+  mix(seq_violations);
+  mix(sessions_killed);
+  mix(outage_refused);
+  mix(fcm_pushes);
+  mix(fcm_dropped);
+  mix(fcm_retries);
+  mix(late_reports);
+  mix(device_ignored);
+  mix(interactions);
+  mix(responses);
+  mix(connection_errors);
+  mix(reconnects);
+  mix(commands_executed);
+  mix(faults_injected);
+  return h;
+}
+
+std::string ChaosResult::to_string() const {
+  return label + ": spikes " + std::to_string(spikes) + " (released " +
+         std::to_string(released) + ", blocked " + std::to_string(blocked) +
+         ", forced " + std::to_string(forced_open + forced_closed) +
+         "), executed " + std::to_string(commands_executed) + "/6, faults " +
+         std::to_string(faults_injected) + ", drops " +
+         std::to_string(link_dropped);
+}
+
+}  // namespace vg::workload

@@ -1,0 +1,106 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/FaultPlan.h"
+#include "simcore/BatchRunner.h"
+#include "trace/TraceWriter.h"
+#include "voiceguard/GuardBox.h"
+
+/// \file ChaosScenarios.h
+/// The adverse-conditions workload behind the `chaos` test label: a matrix of
+/// named FaultPlans x guard modes, each run against a scripted apartment
+/// testbed (alternating legitimate and attack commands) while the plan's
+/// faults fire. The tests assert the degradation invariants on the returned
+/// counters:
+///  - no held packet leaks (held_outstanding == 0 after drain);
+///  - every recognized spike reaches a terminal outcome (unresolved == 0);
+///  - connections only die under plans that declare may_break_connections;
+///  - the whole run is bit-identical for a fixed seed, serial or batched
+///    (fingerprint()).
+
+namespace vg::workload {
+
+/// One cell of the chaos matrix.
+struct ChaosSpec {
+  std::string plan{"baseline"};
+  guard::GuardMode mode{guard::GuardMode::kVoiceGuard};
+  guard::FailPolicy fail_policy{guard::FailPolicy::kFailClosed};
+  std::uint64_t seed{1};
+};
+
+/// Everything the chaos invariants and the bench table read out of one run.
+struct ChaosResult {
+  std::string label;
+  bool may_break_connections{false};
+
+  // Guard box.
+  std::uint64_t spikes{0};
+  std::uint64_t unresolved_spikes{0};
+  std::uint64_t held_outstanding{0};
+  std::uint64_t released{0};
+  std::uint64_t blocked{0};
+  std::uint64_t forced_open{0};
+  std::uint64_t forced_closed{0};
+  std::uint64_t hold_overflows{0};
+  std::uint64_t guard_restarts{0};
+
+  // Links.
+  std::uint64_t link_dropped{0};
+  std::uint64_t flap_dropped{0};
+  std::uint64_t burst_dropped{0};
+
+  // Cloud / FCM / devices.
+  std::uint64_t seq_violations{0};
+  std::uint64_t sessions_killed{0};
+  std::uint64_t outage_refused{0};
+  std::uint64_t fcm_pushes{0};
+  std::uint64_t fcm_dropped{0};
+  std::uint64_t fcm_retries{0};
+  std::uint64_t late_reports{0};
+  std::uint64_t device_ignored{0};
+
+  // Speaker-side ground truth.
+  std::uint64_t interactions{0};
+  std::uint64_t responses{0};
+  std::uint64_t connection_errors{0};
+  std::uint64_t reconnects{0};
+  std::uint64_t commands_executed{0};
+  std::uint64_t faults_injected{0};
+
+  /// Order-sensitive digest of every counter above; equal fingerprints mean
+  /// the two runs were behaviourally identical.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// The named fault plans of the chaos matrix (first entry is "baseline",
+/// which injects nothing).
+const std::vector<faults::FaultPlan>& chaos_plans();
+
+/// Looks up one plan by name; throws std::invalid_argument if unknown.
+const faults::FaultPlan& chaos_plan(const std::string& name);
+
+/// Every plan x {VoiceGuard, Naive, Monitor}, seeds seed0, seed0+1, ... in
+/// enumeration order (same fail policy across the matrix; the fail-open side
+/// is covered by dedicated tests).
+std::vector<ChaosSpec> chaos_matrix(std::uint64_t seed0,
+                                    guard::FailPolicy policy);
+
+/// Runs one chaos cell to completion. When \p writer is set, a TraceTap is
+/// attached to the guard for the scripted phase and every injected fault
+/// boundary is annotated into the capture as a kFault frame.
+ChaosResult run_chaos(const ChaosSpec& spec,
+                      trace::TraceWriter* writer = nullptr);
+
+/// Runs every spec serially, in order.
+std::vector<ChaosResult> run_chaos_serial(const std::vector<ChaosSpec>& specs);
+
+/// Fans the specs across \p pool; results come back in spec order,
+/// bit-identical to run_chaos_serial.
+std::vector<ChaosResult> run_chaos_batch(const std::vector<ChaosSpec>& specs,
+                                         sim::BatchRunner& pool);
+
+}  // namespace vg::workload

@@ -29,6 +29,12 @@ TrialResult run_trial(const TrialSpec& spec) {
   r.night_attacks = driver.night_attacks();
   r.executed_events = world.sim().executed_events();
   r.sim_seconds = world.sim().now().seconds();
+  r.link_dropped =
+      world.lan_link().dropped_packets() + world.wan_link().dropped_packets();
+  r.link_flap_dropped =
+      world.lan_link().flap_dropped() + world.wan_link().flap_dropped();
+  r.link_burst_dropped =
+      world.lan_link().burst_dropped() + world.wan_link().burst_dropped();
   return r;
 }
 

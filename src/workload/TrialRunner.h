@@ -34,6 +34,11 @@ struct TrialResult {
   std::uint64_t executed_events{0};
   /// Simulated time at trial end, in seconds.
   double sim_seconds{0};
+  /// Packets lost on the LAN + uplink links, total and by injected-fault
+  /// cause (both fault counters are 0 unless a FaultPlan was armed).
+  std::uint64_t link_dropped{0};
+  std::uint64_t link_flap_dropped{0};
+  std::uint64_t link_burst_dropped{0};
 };
 
 /// Runs one trial to completion on the calling thread.

@@ -44,11 +44,18 @@ void SmartHomeWorld::build_network() {
   beacon_ = std::make_unique<radio::BluetoothBeacon>(
       "speaker-bt", testbed_.speaker_position(cfg_.deployment));
   fcm_ = std::make_unique<home::FcmService>(*sim_);
-  decision_ = std::make_unique<guard::RssiDecisionModule>(*sim_, *fcm_, *beacon_);
+  guard::RssiDecisionModule::Options dopts;
+  dopts.fcm_max_retries = cfg_.fcm_max_retries;
+  dopts.fcm_retry_initial = cfg_.fcm_retry_initial;
+  decision_ = std::make_unique<guard::RssiDecisionModule>(*sim_, *fcm_, *beacon_,
+                                                          dopts);
 
   guard::GuardBox::Options gopts;
   gopts.speaker_ips = {speaker_host_->ip()};
   gopts.mode = cfg_.mode;
+  gopts.fail_policy = cfg_.fail_policy;
+  gopts.verdict_timeout = cfg_.verdict_timeout;
+  gopts.hold_queue_cap = cfg_.hold_queue_cap;
   guard_ = std::make_unique<guard::GuardBox>(*net_, "guard", *decision_, gopts);
 
   // Inline chain: speaker -- guard -- router.
@@ -56,9 +63,11 @@ void SmartHomeWorld::build_network() {
                                   sim::milliseconds(2), sim::microseconds(400));
   speaker_host_->attach(lan);
   guard_->set_lan_link(lan);
+  lan_link_ = &lan;
   net::Link& uplink = net_->add_link(*guard_, *router_, sim::milliseconds(2),
                                      sim::microseconds(400));
   guard_->set_wan_link(uplink);
+  uplink_ = &uplink;
   router_->add_route(speaker_host_->ip(), uplink);
 
   // Speaker firmware.

@@ -46,6 +46,13 @@ struct WorldConfig {
   bool use_watch = false;
   bool motion_sensor = true;  // meaningful in the two-floor house only
   std::uint64_t seed = 1;
+  /// Graceful-degradation knobs, forwarded into GuardBox::Options and
+  /// RssiDecisionModule::Options. Defaults match the seed behavior.
+  guard::FailPolicy fail_policy = guard::FailPolicy::kFailClosed;
+  sim::Duration verdict_timeout = sim::Duration{};  // 0 (default) disables
+  std::size_t hold_queue_cap = 256;                  // 0 disables
+  int fcm_max_retries = 0;  // 0 keeps benign runs bit-identical to seed
+  sim::Duration fcm_retry_initial = sim::from_seconds(1.5);
   /// Overrides the testbed's propagation calibration when set.
   std::optional<radio::PathLossParams> radio{};
   /// When false the simulation uses heap (seed) allocation semantics; used
@@ -75,6 +82,9 @@ class SmartHomeWorld {
   home::FcmService& fcm() { return *fcm_; }
   const radio::BluetoothBeacon& beacon() const { return *beacon_; }
   net::Host& speaker_host() { return *speaker_host_; }
+  /// The speaker--guard and guard--router links (fault-injection targets).
+  net::Link& lan_link() { return *lan_link_; }
+  net::Link& wan_link() { return *uplink_; }
 
   [[nodiscard]] int owner_count() const { return static_cast<int>(owners_.size()); }
   home::Person& owner(int i) { return *owners_.at(static_cast<std::size_t>(i)); }
@@ -159,6 +169,8 @@ class SmartHomeWorld {
   int speaker_floor_{0};
 
   std::unique_ptr<net::Router> router_;
+  net::Link* lan_link_{nullptr};
+  net::Link* uplink_{nullptr};
   std::unique_ptr<cloud::CloudFarm> cloud_;
   std::unique_ptr<net::Host> speaker_host_;
   std::unique_ptr<radio::BluetoothBeacon> beacon_;

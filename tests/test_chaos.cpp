@@ -1,0 +1,259 @@
+/// The chaos matrix (label: chaos): every named FaultPlan x guard mode runs
+/// the scripted apartment workload while faults fire, and these tests assert
+/// the graceful-degradation invariants on the counters:
+///   1. no held packet leaks (held_outstanding == 0 after the drain window);
+///   2. every recognized spike reaches a terminal outcome (unresolved == 0);
+///   3. connections die only under plans that declare may_break_connections
+///      (or when the guard intentionally dropped a command);
+///   4. a fixed seed reproduces bit-identically, serial or batched.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cloud/CloudFarm.h"
+#include "netsim/Host.h"
+#include "netsim/Router.h"
+#include "simcore/BatchRunner.h"
+#include "speaker/EchoDot.h"
+#include "trace/Replayer.h"
+#include "trace/TraceReader.h"
+#include "trace/TraceWriter.h"
+#include "voiceguard/Decision.h"
+#include "voiceguard/GuardBox.h"
+#include "workload/ChaosScenarios.h"
+
+namespace vg::workload {
+namespace {
+
+constexpr sim::TimePoint kEpoch{};
+
+/// The one seed the whole matrix derives from; printed so a failure is
+/// reproducible by hand (`bench_chaos_matrix` uses its own fixed seed).
+constexpr std::uint64_t kMatrixSeed = 4242;
+
+TEST(ChaosMatrix, DegradationInvariantsHoldAcrossTheMatrix) {
+  std::printf("chaos matrix seed: %llu\n",
+              static_cast<unsigned long long>(kMatrixSeed));
+  const auto specs = chaos_matrix(kMatrixSeed, guard::FailPolicy::kFailClosed);
+  ASSERT_GE(specs.size(), 24u);  // >= 8 plans x 3 modes
+  const auto results = run_chaos_serial(specs);
+  ASSERT_EQ(results.size(), specs.size());
+
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ChaosResult& r = results[i];
+    SCOPED_TRACE(r.label);
+
+    // Invariant 1: every held packet was released or intentionally dropped.
+    EXPECT_EQ(r.held_outstanding, 0u);
+    // Invariant 2: every spike reached a terminal outcome.
+    EXPECT_EQ(r.unresolved_spikes, 0u);
+    // The speaker heard at least half the script: a real Echo ignores a wake
+    // word mid-interaction, so a 40 s client timeout can swallow the next
+    // scripted command, but never two in a row.
+    EXPECT_GE(r.interactions, 3u);
+    EXPECT_LE(r.interactions, 6u);
+
+    // Invariant 3: under plans that promise not to break connections, a
+    // session dies only as the visible consequence of an intentional drop —
+    // the cloud killing a sequence-violated stream after the guard swallowed
+    // a command, or the speaker giving up on a response and re-establishing.
+    // Never because a fault reset it behind everyone's back.
+    if (!r.may_break_connections) {
+      EXPECT_LE(r.sessions_killed, r.blocked + r.forced_closed);
+      const std::uint64_t timeouts =
+          r.interactions - r.responses - r.connection_errors;
+      EXPECT_LE(r.reconnects, r.blocked + r.forced_closed + timeouts);
+      if (specs[i].mode == guard::GuardMode::kMonitor) {
+        // Monitor mode never drops anything, so the cloud never kills a
+        // stream and the speaker never sees a connection error.
+        EXPECT_EQ(r.blocked, 0u);
+        EXPECT_EQ(r.forced_closed, 0u);
+        EXPECT_EQ(r.sessions_killed, 0u);
+        EXPECT_EQ(r.connection_errors, 0u);
+      }
+    }
+
+    if (specs[i].plan == "baseline") {
+      EXPECT_EQ(r.faults_injected, 0u);
+      EXPECT_EQ(r.link_dropped, 0u);
+      if (specs[i].mode == guard::GuardMode::kMonitor) {
+        // Observe-only on a healthy network: the whole script goes through.
+        EXPECT_EQ(r.commands_executed, 6u);
+        EXPECT_EQ(r.responses, 6u);
+      } else {
+        // Both defenses hold and block the attack commands (2, 4, 6).
+        EXPECT_LE(r.commands_executed, 3u);
+      }
+    } else {
+      EXPECT_GT(r.faults_injected, 0u);
+    }
+
+    if (specs[i].mode == guard::GuardMode::kVoiceGuard) {
+      EXPECT_GT(r.spikes, 0u);
+    }
+  }
+}
+
+TEST(ChaosMatrix, FixedSeedReproducesBitIdentically) {
+  ChaosSpec spec;
+  spec.plan = "kitchen-sink";
+  spec.mode = guard::GuardMode::kVoiceGuard;
+  spec.fail_policy = guard::FailPolicy::kFailClosed;
+  spec.seed = 909;
+  const ChaosResult r1 = run_chaos(spec);
+  const ChaosResult r2 = run_chaos(spec);
+  EXPECT_EQ(r1.fingerprint(), r2.fingerprint());
+  EXPECT_EQ(r1.to_string(), r2.to_string());
+  EXPECT_GT(r1.faults_injected, 0u);
+}
+
+TEST(ChaosMatrix, BatchRunnerMatchesSerial) {
+  std::vector<ChaosSpec> specs;
+  std::uint64_t seed = 5150;
+  for (const char* plan : {"baseline", "lan-burst", "fcm-degraded"}) {
+    for (auto mode :
+         {guard::GuardMode::kVoiceGuard, guard::GuardMode::kMonitor}) {
+      ChaosSpec s;
+      s.plan = plan;
+      s.mode = mode;
+      s.seed = seed++;
+      specs.push_back(std::move(s));
+    }
+  }
+  const auto serial = run_chaos_serial(specs);
+  sim::BatchRunner pool;
+  const auto batched = run_chaos_batch(specs, pool);
+  ASSERT_EQ(serial.size(), batched.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].label);
+    EXPECT_EQ(serial[i].fingerprint(), batched[i].fingerprint());
+    EXPECT_EQ(serial[i].to_string(), batched[i].to_string());
+  }
+}
+
+TEST(ChaosPolicy, FailOpenAndFailClosedDivergeWhenTheDeviceDies) {
+  // "device-crash" kills the only owner phone at t=15 s, so every later
+  // verdict is late: the decision module's own 6 s device timeout sits beyond
+  // the guard's 5 s patience, and the fail policy decides.
+  ChaosSpec spec;
+  spec.plan = "device-crash";
+  spec.mode = guard::GuardMode::kVoiceGuard;
+  spec.seed = 31337;
+
+  spec.fail_policy = guard::FailPolicy::kFailClosed;
+  const ChaosResult closed = run_chaos(spec);
+  spec.fail_policy = guard::FailPolicy::kFailOpen;
+  const ChaosResult open = run_chaos(spec);
+
+  EXPECT_GT(closed.forced_closed, 0u);
+  EXPECT_EQ(closed.forced_open, 0u);
+  EXPECT_GT(open.forced_open, 0u);
+  EXPECT_EQ(open.forced_closed, 0u);
+  // Fail-open trades safety for availability: strictly more of the script
+  // reaches the cloud, including the attack commands fail-closed stopped.
+  EXPECT_GT(open.commands_executed, closed.commands_executed);
+  // Both policies still satisfy the leak/terminality invariants.
+  for (const ChaosResult* r : {&closed, &open}) {
+    EXPECT_EQ(r->held_outstanding, 0u);
+    EXPECT_EQ(r->unresolved_spikes, 0u);
+  }
+}
+
+TEST(ChaosTrace, InjectedFaultsAnnotateTheCaptureAndRoundTrip) {
+  ChaosSpec spec;
+  spec.plan = "fcm-degraded";
+  spec.mode = guard::GuardMode::kVoiceGuard;
+  spec.seed = 616;
+  trace::TraceWriter writer{{/*scenario=*/"chaos-fcm-degraded", spec.seed}};
+  const ChaosResult r = run_chaos(spec, &writer);
+  ASSERT_GT(r.faults_injected, 0u);
+
+  const trace::TraceReader reader = trace::TraceReader::parse(writer.finish());
+  std::vector<const trace::TraceRecord*> faults;
+  for (const auto& rec : reader.records()) {
+    if (rec.kind == trace::FrameKind::kFault) faults.push_back(&rec);
+  }
+  // Every boundary the injector fired is in the capture, in order, with the
+  // numeric FaultEvent::Kind <-> trace::FaultCode identity intact.
+  ASSERT_EQ(faults.size(), r.faults_injected);
+  EXPECT_EQ(faults[0]->fault_code,
+            static_cast<std::uint8_t>(faults::FaultEvent::Kind::kFcmDegraded));
+  EXPECT_EQ(faults[0]->fault_param, 45u);  // the plan's 45 % drop, in percent
+  EXPECT_EQ(faults.back()->fault_code,
+            static_cast<std::uint8_t>(faults::FaultEvent::Kind::kFcmNormal));
+  for (const auto* f : faults) {
+    EXPECT_LE(f->fault_code, trace::kMaxFaultCode);
+  }
+  for (std::size_t i = 1; i < faults.size(); ++i) {
+    EXPECT_LE(faults[i - 1]->when, faults[i]->when);
+  }
+
+  // The replayer counts the annotations without letting them perturb the
+  // recognizer's view of the traffic.
+  const trace::ReplayResult replay = trace::Replayer{}.run(reader);
+  EXPECT_EQ(replay.fault_frames, r.faults_injected);
+  EXPECT_GT(replay.tls_records, 0u);
+}
+
+TEST(ChaosKeepAlive, HeldConnectionSurvivesProbeLossDuringTheHold) {
+  // Satellite invariant: a connection whose keep-alive probes (or their ACKs)
+  // are eaten by a link fault in the middle of a long hold must survive the
+  // hold. The guard terminates TCP on both arms, so the probes that matter
+  // run speaker->guard over the LAN link; a 3 s flap eats a probe round or
+  // two, well inside the 4-probe / 2 s budget.
+  sim::Simulation sim{7};
+  net::Network net{sim};
+  net::Router router{"router"};
+  cloud::CloudFarm::Options fopts;
+  fopts.avs_migration_mean = sim::Duration{0};
+  cloud::CloudFarm farm{net, router, fopts};
+  net::Host speaker_host{net, "speaker", net::IpAddress(192, 168, 1, 200)};
+  guard::FixedDecisionModule decision{sim, /*answer=*/true, sim::seconds(30)};
+  guard::GuardBox::Options gopts;
+  gopts.speaker_ips = {speaker_host.ip()};
+  gopts.mode = guard::GuardMode::kVoiceGuard;
+  gopts.verdict_timeout = sim::Duration{};  // the 30 s hold must run out
+  guard::GuardBox guard{net, "guard", decision, gopts};
+  net::Link& lan = net.add_link(speaker_host, guard, sim::milliseconds(2));
+  speaker_host.attach(lan);
+  guard.set_lan_link(lan);
+  net::Link& up = net.add_link(guard, router, sim::milliseconds(2));
+  guard.set_wan_link(up);
+  router.add_route(speaker_host.ip(), up);
+
+  speaker::EchoDotModel::Options eopts;
+  eopts.misc_connection_mean = sim::Duration{0};
+  eopts.phase1.irregular_prob = 0.0;
+  eopts.heartbeat_interval = sim::minutes(5);  // keep the session truly idle
+  eopts.keepalive_idle = sim::seconds(8);
+  eopts.keepalive_interval = sim::seconds(2);
+  eopts.keepalive_probes = 4;
+  eopts.response_timeout = sim::seconds(60);  // outlast the 30 s hold
+  speaker::EchoDotModel echo{speaker_host, farm.dns_endpoint(),
+                             [&farm] { return farm.current_avs_ip(); }, eopts};
+  echo.power_on();
+  sim.run_until(kEpoch + sim::seconds(10));
+
+  // Command at t=10; streaming ends ~t=12; keep-alive probes start ~t=20 and
+  // repeat every 2 s while the spike is held. The flap eats the early ones.
+  lan.add_flap(kEpoch + sim::seconds(21), kEpoch + sim::seconds(24));
+  speaker::CommandSpec cmd;
+  cmd.id = 1;
+  cmd.text = "what is tonight's schedule";
+  cmd.words = 6;
+  echo.hear_command(cmd);
+  sim.run_until(kEpoch + sim::seconds(120));
+
+  EXPECT_GT(lan.flap_dropped(), 0u);  // the fault really ate traffic
+  ASSERT_EQ(echo.interactions().size(), 1u);
+  EXPECT_TRUE(echo.interactions()[0].response_received);
+  EXPECT_FALSE(echo.interactions()[0].connection_error);
+  EXPECT_EQ(echo.reconnects(), 0u);
+  EXPECT_EQ(guard.commands_released(), 1u);
+  EXPECT_EQ(guard.held_outstanding(), 0u);
+  EXPECT_FALSE(farm.all_executed().empty());
+}
+
+}  // namespace
+}  // namespace vg::workload

@@ -129,6 +129,78 @@ TEST_F(DecisionFixture, PlacedDeviceMeasuresFromItsSpot) {
   EXPECT_FALSE(query());
 }
 
+TEST_F(DecisionFixture, ReentrantQueryFromVerdictCallback) {
+  // finish() must retire the pending entry *before* running the verdict: a
+  // verdict that immediately re-queries rehashes pending_, which would dangle
+  // any reference still held across the callback.
+  module.register_device(phone, -8.0);
+  bool outer_done = false, inner_done = false, inner_verdict = false;
+  module.query([&](bool) {
+    outer_done = true;
+    module.query([&](bool legit) {
+      inner_verdict = legit;
+      inner_done = true;
+    });
+  });
+  while (!inner_done && sim.pending_events() > 0) sim.step(1);
+  EXPECT_TRUE(outer_done);
+  ASSERT_TRUE(inner_done);
+  EXPECT_TRUE(inner_verdict);
+  EXPECT_EQ(module.history().size(), 2u);
+}
+
+TEST_F(DecisionFixture, LateReportAfterTimeoutIsCountedAndIgnored) {
+  module.register_device(phone, -8.0);
+  // Delay every FCM push past the 6 s device timeout: the query concludes
+  // timed-out first, then the real report lands on freed query state.
+  fcm.add_fault_window(sim.now(), sim.now() + sim::minutes(1), sim::seconds(7),
+                       0.0);
+  EXPECT_FALSE(query());
+  ASSERT_EQ(module.history().size(), 1u);
+  ASSERT_EQ(module.history()[0].reports.size(), 1u);
+  EXPECT_TRUE(module.history()[0].reports[0].timed_out);
+  sim.run_all();  // the delayed push + measurement now complete
+  EXPECT_EQ(module.late_reports(), 1u);
+  EXPECT_EQ(module.history().size(), 1u);  // nothing double-concluded
+}
+
+TEST_F(DecisionFixture, FcmRetryRecoversDroppedPush) {
+  RssiDecisionModule::Options opts;
+  opts.fcm_max_retries = 2;
+  opts.fcm_retry_initial = sim::from_seconds(1.5);
+  RssiDecisionModule retrying{sim, fcm, beacon, opts};
+  retrying.register_device(phone, -8.0);
+  // Every push in the first second is dropped; the 1.5 s retry gets through.
+  fcm.add_fault_window(sim.now(), sim.now() + sim::seconds(1), sim::Duration{},
+                       1.0);
+  bool done = false, verdict = false;
+  retrying.query([&](bool legit) {
+    verdict = legit;
+    done = true;
+  });
+  while (!done && sim.pending_events() > 0) sim.step(1);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(verdict);
+  EXPECT_GE(retrying.fcm_retries(), 1u);
+  EXPECT_EQ(fcm.pushes_dropped(), 1u);
+  // The early verdict cancelled both the timeout and the remaining retry
+  // round: draining the sim must not double-conclude or re-push.
+  const std::uint64_t retries_at_verdict = retrying.fcm_retries();
+  sim.run_all();
+  EXPECT_EQ(retrying.history().size(), 1u);
+  EXPECT_EQ(retrying.fcm_retries(), retries_at_verdict);
+}
+
+TEST_F(DecisionFixture, EarlyVerdictCancelsTimeoutTimer) {
+  module.register_device(phone, -8.0);
+  EXPECT_TRUE(query());
+  const auto pending_after_verdict = sim.pending_events();
+  sim.run_all();  // a live timeout event would fire here and re-conclude
+  EXPECT_EQ(module.history().size(), 1u);
+  EXPECT_EQ(module.queries(), 1u);
+  (void)pending_after_verdict;
+}
+
 TEST(ThresholdApp, LearnsRoomMinimum) {
   sim::Simulation sim{31};
   home::Testbed tb = home::Testbed::two_floor_house();

@@ -247,6 +247,55 @@ TEST(TraceRoundTrip, WriterRejectsMisuse) {
                TraceError);  // fed after finish
 }
 
+TEST(TraceRoundTrip, FaultAnnotationsRoundTrip) {
+  TraceWriter w = avs_flow_writer();
+  w.fault(8, 45, at_ms(5000));  // fcm-degraded, 45 % drop
+  add_spike(w, 6000, {134, 679, 1402});
+  w.fault(12, 0, at_ms(9000));  // guard-restart
+  const TraceReader r = TraceReader::parse(w.finish());
+
+  std::vector<const trace::TraceRecord*> faults;
+  for (const auto& rec : r.records()) {
+    if (rec.kind == FrameKind::kFault) faults.push_back(&rec);
+  }
+  ASSERT_EQ(faults.size(), 2u);
+  EXPECT_EQ(faults[0]->fault_code, 8u);
+  EXPECT_EQ(faults[0]->fault_param, 45u);
+  EXPECT_EQ(faults[0]->when, at_ms(5000));
+  EXPECT_EQ(faults[1]->fault_code, 12u);
+  for (std::uint8_t c = 0; c <= trace::kMaxFaultCode; ++c) {
+    EXPECT_GT(std::string{trace::fault_code_name(c)}.size(), 0u)
+        << "code " << int{c};
+  }
+}
+
+TEST(TraceRoundTrip, FaultAnnotationsDoNotPerturbRecognition) {
+  // The same traffic with and without fault frames must recognize the same
+  // spikes: annotations are metadata, not packets.
+  TraceWriter with = avs_flow_writer();
+  with.fault(0, 1, at_ms(4000));
+  add_spike(with, 6000, {134, 679, 1402});
+  with.fault(1, 1, at_ms(9000));
+  TraceWriter without = avs_flow_writer();
+  add_spike(without, 6000, {134, 679, 1402});
+
+  const trace::ReplayResult a = replay(with);
+  const trace::ReplayResult b = replay(without);
+  EXPECT_EQ(a.fault_frames, 2u);
+  EXPECT_EQ(b.fault_frames, 0u);
+  ASSERT_EQ(a.spikes.size(), b.spikes.size());
+  for (std::size_t i = 0; i < a.spikes.size(); ++i) {
+    EXPECT_EQ(a.spikes[i].cls, b.spikes[i].cls);
+    EXPECT_EQ(a.spikes[i].start, b.spikes[i].start);
+  }
+}
+
+TEST(TraceRoundTrip, WriterRejectsBadFaultCode) {
+  TraceWriter w{small_meta()};
+  w.fault(trace::kMaxFaultCode, 0, at_ms(1));  // the last valid code
+  EXPECT_THROW(w.fault(trace::kMaxFaultCode + 1, 0, at_ms(2)), TraceError);
+}
+
 // --- corrupted-file rejection -----------------------------------------------
 
 std::vector<std::uint8_t> valid_bytes() {
@@ -366,6 +415,12 @@ TEST(TraceCorruption, OverlongVarintRejected) {
   EXPECT_THROW((void)TraceReader::parse(with_crafted_frame(
                    {0, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
                     0xFF, 0x7F})),
+               TraceError);
+}
+
+TEST(TraceCorruption, BadFaultCodeRejected) {
+  // kind=fault, dt=0, code=13 (> kMaxFaultCode), param=0.
+  EXPECT_THROW((void)TraceReader::parse(with_crafted_frame({4, 0, 13, 0})),
                TraceError);
 }
 

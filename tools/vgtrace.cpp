@@ -31,7 +31,7 @@ int usage() {
                "  vgtrace record <scenario> <out.vgt> [--seed N]\n"
                "  vgtrace replay <trace.vgt> [--mode monitor|voiceguard|naive]\n"
                "  vgtrace stats  <trace.vgt>\n"
-               "  vgtrace diff   <a.vgt> <b.vgt>\n"
+               "  vgtrace diff   <a.vgt> <b.vgt> [--no-faults]\n"
                "  vgtrace list\n");
   return 2;
 }
@@ -114,6 +114,22 @@ void print_spike_table(const trace::ReplayResult& res) {
   }
 }
 
+void print_fault_annotations(const trace::TraceReader& t) {
+  std::size_t count = 0;
+  for (const trace::TraceRecord& rec : t.records()) {
+    if (rec.kind == trace::FrameKind::kFault) ++count;
+  }
+  if (count == 0) return;
+  std::printf("\ninjected faults (%zu):\n", count);
+  for (const trace::TraceRecord& rec : t.records()) {
+    if (rec.kind != trace::FrameKind::kFault) continue;
+    std::printf("  %-12s %-14s param %llu\n",
+                sim::format_time(rec.when).c_str(),
+                trace::fault_code_name(rec.fault_code),
+                static_cast<unsigned long long>(rec.fault_param));
+  }
+}
+
 int cmd_replay(const std::string& path, guard::GuardMode mode, bool table) {
   const trace::TraceReader t = trace::TraceReader::load(path);
   std::printf("%s: scenario '%s', seed %llu, %s of wire time\n", path.c_str(),
@@ -124,19 +140,24 @@ int cmd_replay(const std::string& path, guard::GuardMode mode, bool table) {
   opts.mode = mode;
   const trace::ReplayResult res = trace::Replayer{opts}.run(t);
   print_replay(res);
-  if (table) print_spike_table(res);
+  if (table) {
+    print_spike_table(res);
+    print_fault_annotations(t);
+  }
   return 0;
 }
 
-int cmd_diff(const std::string& a, const std::string& b) {
+int cmd_diff(const std::string& a, const std::string& b, bool no_faults) {
   const std::vector<std::uint8_t> ba = trace::read_file(a);
   const std::vector<std::uint8_t> bb = trace::read_file(b);
-  if (ba == bb) {
+  if (!no_faults && ba == bb) {
     std::printf("traces are byte-identical (%zu bytes)\n", ba.size());
     return 0;
   }
-  // Bytes differ: decode both and report the first diverging frame, which is
-  // far more actionable than a raw byte offset.
+  // Decode both and compare frame by frame (reporting the first diverging
+  // frame is far more actionable than a raw byte offset). With --no-faults,
+  // injected-fault annotations are stripped from both sides first, so a
+  // chaos capture can be compared against a benign one.
   const trace::TraceReader ta = trace::TraceReader::parse(ba);
   const trace::TraceReader tb = trace::TraceReader::parse(bb);
   if (ta.meta().scenario != tb.meta().scenario ||
@@ -147,13 +168,25 @@ int cmd_diff(const std::string& a, const std::string& b) {
                 tb.meta().scenario.c_str(),
                 static_cast<unsigned long long>(tb.meta().seed));
   }
-  const std::size_t n = std::min(ta.records().size(), tb.records().size());
+  auto filtered = [no_faults](const trace::TraceReader& t) {
+    std::vector<const trace::TraceRecord*> recs;
+    recs.reserve(t.records().size());
+    for (const trace::TraceRecord& rec : t.records()) {
+      if (no_faults && rec.kind == trace::FrameKind::kFault) continue;
+      recs.push_back(&rec);
+    }
+    return recs;
+  };
+  const std::vector<const trace::TraceRecord*> fa = filtered(ta);
+  const std::vector<const trace::TraceRecord*> fb = filtered(tb);
+  const std::size_t n = std::min(fa.size(), fb.size());
   for (std::size_t i = 0; i < n; ++i) {
-    const trace::TraceRecord& ra = ta.records()[i];
-    const trace::TraceRecord& rb = tb.records()[i];
+    const trace::TraceRecord& ra = *fa[i];
+    const trace::TraceRecord& rb = *fb[i];
     if (ra.kind != rb.kind || ra.when != rb.when || ra.flow != rb.flow ||
         ra.upstream != rb.upstream || ra.length != rb.length ||
         ra.domain_code != rb.domain_code || ra.dns_answer != rb.dns_answer ||
+        ra.fault_code != rb.fault_code || ra.fault_param != rb.fault_param ||
         (ra.kind == trace::FrameKind::kTlsRecord && ra.tls_type != rb.tls_type)) {
       std::printf("first divergence at frame %zu:\n", i);
       std::printf("  a: kind %u t %s flow %d len %u\n",
@@ -165,9 +198,14 @@ int cmd_diff(const std::string& a, const std::string& b) {
       return 1;
     }
   }
-  std::printf("traces differ: %zu vs %zu frames (first %zu identical)\n",
-              ta.records().size(), tb.records().size(), n);
-  return 1;
+  if (fa.size() != fb.size()) {
+    std::printf("traces differ: %zu vs %zu frames (first %zu identical)\n",
+                fa.size(), fb.size(), n);
+    return 1;
+  }
+  std::printf("traces are frame-identical%s (%zu frames)\n",
+              no_faults ? " modulo fault annotations" : "", n);
+  return 0;
 }
 
 }  // namespace
@@ -221,8 +259,13 @@ int main(int argc, char** argv) {
       return cmd_replay(args[1], mode, /*table=*/cmd == "stats");
     }
     if (cmd == "diff") {
-      if (args.size() != 3) return usage();
-      return cmd_diff(args[1], args[2]);
+      if (args.size() < 3 || args.size() > 4) return usage();
+      bool no_faults = false;
+      if (args.size() == 4) {
+        if (args[3] != "--no-faults") return usage();
+        no_faults = true;
+      }
+      return cmd_diff(args[1], args[2], no_faults);
     }
     return usage();
   } catch (const std::exception& e) {
