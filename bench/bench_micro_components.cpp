@@ -69,6 +69,23 @@ void BM_LinearRegression40(benchmark::State& state) {
 }
 BENCHMARK(BM_LinearRegression40);
 
+// The DFA fed record-by-record (the guard box's actual call shape, as opposed
+// to the whole-prefix classify_spike above): response pair, then an
+// undecided 7-record spike — the worst case, since nothing decides early.
+void BM_SpikeClassifierIncremental(benchmark::State& state) {
+  static constexpr std::uint32_t kResponse[] = {500, 77, 33};
+  static constexpr std::uint32_t kUndecided[] = {400, 401, 402, 403,
+                                                 404, 405, 406};
+  for (auto _ : state) {
+    guard::SpikeClassifier r;
+    for (std::uint32_t len : kResponse) benchmark::DoNotOptimize(r.feed(len));
+    guard::SpikeClassifier u;
+    for (std::uint32_t len : kUndecided) benchmark::DoNotOptimize(u.feed(len));
+    benchmark::DoNotOptimize(u.finalize());
+  }
+}
+BENCHMARK(BM_SpikeClassifierIncremental);
+
 void BM_RssiThroughHousePlan(benchmark::State& state) {
   const home::Testbed tb = home::Testbed::two_floor_house();
   const radio::PathLossParams p{};
@@ -81,6 +98,21 @@ void BM_RssiThroughHousePlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RssiThroughHousePlan);
+
+// Wall-attenuation walk alone (the expensive core of mean_rssi), per testbed:
+// the grid index's win scales with wall count, so all three plans are pinned.
+void BM_WallAttenuation(benchmark::State& state, const home::Testbed& tb) {
+  const radio::Vec3 spk = tb.speaker_position(1);
+  std::size_t i = 0;
+  const auto& locs = tb.locations();
+  for (auto _ : state) {
+    const auto& loc = locs[i++ % locs.size()];
+    benchmark::DoNotOptimize(tb.plan().wall_attenuation(spk, loc.pos));
+  }
+}
+BENCHMARK_CAPTURE(BM_WallAttenuation, house, home::Testbed::two_floor_house());
+BENCHMARK_CAPTURE(BM_WallAttenuation, apartment, home::Testbed::apartment());
+BENCHMARK_CAPTURE(BM_WallAttenuation, office, home::Testbed::office());
 
 void BM_EventQueueScheduleFire(benchmark::State& state) {
   sim::EventQueue q;

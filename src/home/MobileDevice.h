@@ -47,8 +47,18 @@ class MobileDevice {
   /// down somewhere (e.g. left charging next to the speaker — the
   /// non-applicable scenario of §VII).
   [[nodiscard]] radio::Vec3 position() const;
-  void put_down(radio::Vec3 spot) { placed_ = spot; }
-  void pick_up() { placed_.reset(); }
+  /// put_down / pick_up are device-movement events: besides switching the
+  /// position source they bump the scanner's path-loss cache epoch, so stale
+  /// means from the previous posture can never be served (positions key the
+  /// cache already; the bump is the coarse belt-and-suspenders invalidation).
+  void put_down(radio::Vec3 spot) {
+    placed_ = spot;
+    scanner_.propagation_cache().invalidate();
+  }
+  void pick_up() {
+    placed_.reset();
+    scanner_.propagation_cache().invalidate();
+  }
   [[nodiscard]] bool is_placed() const { return placed_.has_value(); }
 
   /// Crash / no-response control: an unresponsive device silently ignores
@@ -68,6 +78,11 @@ class MobileDevice {
   /// BluetoothScanner::measure_now).
   double instant_rssi(const radio::BluetoothBeacon& beacon) {
     return scanner_.measure_now(beacon);
+  }
+
+  /// The scanner's memoized path-loss state (cache hit/miss counters etc.).
+  [[nodiscard]] radio::PropagationCache& propagation_cache() {
+    return scanner_.propagation_cache();
   }
 
  private:

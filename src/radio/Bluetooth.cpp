@@ -8,15 +8,14 @@ BluetoothScanner::BluetoothScanner(sim::Simulation& sim, const FloorPlan& plan,
                                    PathLossParams params, std::string name,
                                    PositionFn pos, ScanParams scan)
     : sim_(sim),
-      plan_(plan),
-      params_(params),
       name_(std::move(name)),
       pos_(std::move(pos)),
-      scan_(scan) {}
+      scan_(scan),
+      cache_(plan, params) {}
 
 double BluetoothScanner::measure_now(const BluetoothBeacon& beacon) {
   auto& rng = sim_.rng("radio.rssi." + name_);
-  double rssi = sample_rssi(plan_, params_, beacon.position(), pos_(), rng);
+  double rssi = cache_.sample_rssi(beacon.position(), pos_(), rng);
   if (scan_.quantize) rssi = std::round(rssi);
   return rssi;
 }

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "radio/Propagation.h"
+#include "radio/PropagationCache.h"
 #include "simcore/Simulation.h"
 
 /// \file Bluetooth.h
@@ -62,13 +63,17 @@ class BluetoothScanner {
 
   [[nodiscard]] const std::string& name() const { return name_; }
 
+  /// The scanner's memoized path-loss state: readings at a repeated
+  /// (beacon, device) position pair reuse the deterministic mean instead of
+  /// re-walking the floor plan (bit-identical; see PropagationCache.h).
+  [[nodiscard]] PropagationCache& propagation_cache() { return cache_; }
+
  private:
   sim::Simulation& sim_;
-  const FloorPlan& plan_;
-  PathLossParams params_;
   std::string name_;
   PositionFn pos_;
   ScanParams scan_;
+  PropagationCache cache_;
 };
 
 }  // namespace vg::radio

@@ -1,6 +1,188 @@
 #include "radio/FloorPlan.h"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
 namespace vg::radio {
+
+namespace {
+
+/// Visits the indices of every set bit in ascending order.
+template <class Fn>
+void for_each_set_bit(const std::array<std::uint64_t, 4>& bits, Fn&& fn) {
+  for (std::size_t word = 0; word < bits.size(); ++word) {
+    std::uint64_t w = bits[word];
+    while (w != 0) {
+      const int bit = std::countr_zero(w);
+      fn(word * 64 + static_cast<std::size_t>(bit));
+      w &= w - 1;
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mutation (every mutator bumps the epoch; wall edits rebuild the grid)
+// ---------------------------------------------------------------------------
+
+void FloorPlan::add_room(Room r) {
+  rooms_.push_back(std::move(r));
+  ++epoch_;
+}
+
+void FloorPlan::add_wall(Wall w) {
+  walls_.push_back(std::move(w));
+  ++epoch_;
+  rebuild_wall_index();
+}
+
+void FloorPlan::set_stairs(Stairs s) {
+  stairs_ = std::move(s);
+  ++epoch_;
+}
+
+void FloorPlan::set_floor_height(double h) {
+  floor_height_ = h;
+  ++epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// Wall grid
+// ---------------------------------------------------------------------------
+
+int FloorPlan::WallGrid::col(double x) const {
+  const int c = static_cast<int>(std::floor((x - gx0) * inv_cell));
+  return std::clamp(c, 0, nx - 1);
+}
+
+int FloorPlan::WallGrid::row(double y) const {
+  const int r = static_cast<int>(std::floor((y - gy0) * inv_cell));
+  return std::clamp(r, 0, ny - 1);
+}
+
+void FloorPlan::WallGrid::accumulate(const Segment& path, WallMask& out) const {
+  if (cells.empty()) return;
+  const double ax = path.a.x, ay = path.a.y;
+  const double bx = path.b.x, by = path.b.y;
+  const int r0 = row(std::min(ay, by));
+  const int r1 = row(std::max(ay, by));
+  const double dy = by - ay;
+  for (int r = r0; r <= r1; ++r) {
+    // The segment's x-extent inside this row's band, padded one column either
+    // side so clipping round-off can never exclude a genuinely touched cell.
+    double x_lo = std::min(ax, bx);
+    double x_hi = std::max(ax, bx);
+    if (r0 != r1 && dy != 0.0) {
+      const double band_lo = gy0 + r * cell;
+      const double band_hi = band_lo + cell;
+      double t0 = (band_lo - ay) / dy;
+      double t1 = (band_hi - ay) / dy;
+      if (t0 > t1) std::swap(t0, t1);
+      t0 = std::clamp(t0, 0.0, 1.0);
+      t1 = std::clamp(t1, 0.0, 1.0);
+      const double xa = ax + t0 * (bx - ax);
+      const double xb = ax + t1 * (bx - ax);
+      x_lo = std::min(xa, xb);
+      x_hi = std::max(xa, xb);
+    }
+    const int c0 = std::max(0, col(x_lo) - 1);
+    const int c1 = std::min(nx - 1, col(x_hi) + 1);
+    const WallMask* cell_row = &cells[static_cast<std::size_t>(r) *
+                                      static_cast<std::size_t>(nx)];
+    for (int c = c0; c <= c1; ++c) out.merge(cell_row[c]);
+  }
+}
+
+void FloorPlan::rebuild_wall_index() {
+  grids_.clear();
+  indexed_ = walls_.size() <= kMaxIndexedWalls;
+  if (!indexed_ || walls_.empty()) return;
+
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    const Wall& w = walls_[i];
+    WallGrid* g = nullptr;
+    for (WallGrid& existing : grids_) {
+      if (existing.floor == w.floor) {
+        g = &existing;
+        break;
+      }
+    }
+    if (g == nullptr) {
+      grids_.push_back(WallGrid{});
+      g = &grids_.back();
+      g->floor = w.floor;
+    }
+    // First pass only collects bounds (abusing gx0/gy0/cell as min/max/…).
+    const double x_lo = std::min(w.seg.a.x, w.seg.b.x);
+    const double x_hi = std::max(w.seg.a.x, w.seg.b.x);
+    const double y_lo = std::min(w.seg.a.y, w.seg.b.y);
+    const double y_hi = std::max(w.seg.a.y, w.seg.b.y);
+    if (g->cells.empty() && g->nx == 0) {
+      g->gx0 = x_lo;
+      g->gy0 = y_lo;
+      g->cell = x_hi;      // stash max-x
+      g->inv_cell = y_hi;  // stash max-y
+      g->nx = -1;          // mark "bounds only"
+    } else {
+      g->gx0 = std::min(g->gx0, x_lo);
+      g->gy0 = std::min(g->gy0, y_lo);
+      g->cell = std::max(g->cell, x_hi);
+      g->inv_cell = std::max(g->inv_cell, y_hi);
+    }
+  }
+
+  for (WallGrid& g : grids_) {
+    const double x_max = g.cell;
+    const double y_max = g.inv_cell;
+    const double ext = std::max({x_max - g.gx0, y_max - g.gy0, 1.0});
+    // ~12 cells across the longer building axis, never finer than 1 m.
+    g.cell = std::max(1.0, ext / 12.0);
+    g.inv_cell = 1.0 / g.cell;
+    g.nx = std::max(1, static_cast<int>(std::ceil((x_max - g.gx0) * g.inv_cell)) + 1);
+    g.ny = std::max(1, static_cast<int>(std::ceil((y_max - g.gy0) * g.inv_cell)) + 1);
+    g.cells.assign(static_cast<std::size_t>(g.nx) * static_cast<std::size_t>(g.ny),
+                   WallMask{});
+  }
+
+  for (std::size_t i = 0; i < walls_.size(); ++i) {
+    const Wall& w = walls_[i];
+    WallGrid* g = const_cast<WallGrid*>(grid_for(w.floor));
+    const int c0 = g->col(std::min(w.seg.a.x, w.seg.b.x));
+    const int c1 = g->col(std::max(w.seg.a.x, w.seg.b.x));
+    const int r0 = g->row(std::min(w.seg.a.y, w.seg.b.y));
+    const int r1 = g->row(std::max(w.seg.a.y, w.seg.b.y));
+    for (int r = r0; r <= r1; ++r) {
+      for (int c = c0; c <= c1; ++c) {
+        g->cells[static_cast<std::size_t>(r) * static_cast<std::size_t>(g->nx) +
+                 static_cast<std::size_t>(c)]
+            .set(i);
+      }
+    }
+  }
+}
+
+const FloorPlan::WallGrid* FloorPlan::grid_for(int floor) const {
+  for (const WallGrid& g : grids_) {
+    if (g.floor == floor) return &g;
+  }
+  return nullptr;
+}
+
+bool FloorPlan::gather_candidates(const Segment& path, int floor_a, int floor_b,
+                                  WallMask& out) const {
+  if (!indexed_) return false;
+  if (const WallGrid* g = grid_for(floor_a)) g->accumulate(path, out);
+  if (floor_b != floor_a) {
+    if (const WallGrid* g = grid_for(floor_b)) g->accumulate(path, out);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Queries
+// ---------------------------------------------------------------------------
 
 const Room* FloorPlan::room_at(Vec2 p, int floor) const {
   for (const auto& r : rooms_) {
@@ -19,6 +201,14 @@ const Room* FloorPlan::room_by_name(const std::string& name) const {
 int FloorPlan::walls_crossed(Vec2 a, Vec2 b, int floor) const {
   int n = 0;
   const Segment path{a, b};
+  WallMask mask;
+  if (gather_candidates(path, floor, floor, mask)) {
+    for_each_set_bit(mask.bits, [&](std::size_t i) {
+      const Wall& w = walls_[i];
+      if (w.floor == floor && segments_intersect(path, w.seg)) ++n;
+    });
+    return n;
+  }
   for (const auto& w : walls_) {
     if (w.floor == floor && segments_intersect(path, w.seg)) ++n;
   }
@@ -30,6 +220,18 @@ double FloorPlan::wall_attenuation(Vec3 a, Vec3 b) const {
   const int fb = floor_of(b.z);
   const Segment path{a.xy(), b.xy()};
   double total = 0.0;
+  WallMask mask;
+  if (gather_candidates(path, fa, fb, mask)) {
+    // Ascending wall index == insertion order: the sum accumulates in exactly
+    // the order the linear scan would, so the result is bit-identical.
+    for_each_set_bit(mask.bits, [&](std::size_t i) {
+      const Wall& w = walls_[i];
+      if ((w.floor == fa || w.floor == fb) && segments_intersect(path, w.seg)) {
+        total += w.attenuation_db;
+      }
+    });
+    return total;
+  }
   for (const auto& w : walls_) {
     if ((w.floor == fa || w.floor == fb) && segments_intersect(path, w.seg)) {
       total += w.attenuation_db;

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -11,6 +13,12 @@
 /// interior walls with per-wall attenuation, and stair regions connecting
 /// floors. The propagation model queries wall crossings and floor differences
 /// along the straight path between two points.
+///
+/// Wall queries are served through a per-floor uniform grid over the walls'
+/// bounding boxes: a path tests only the walls registered in the grid cells
+/// it passes through, instead of every wall of the plan. Candidates are
+/// visited in insertion order, so the attenuation sum is bit-identical to the
+/// full linear scan (floating-point addition order preserved).
 
 namespace vg::radio {
 
@@ -38,15 +46,20 @@ class FloorPlan {
  public:
   FloorPlan() = default;
 
-  void add_room(Room r) { rooms_.push_back(std::move(r)); }
-  void add_wall(Wall w) { walls_.push_back(std::move(w)); }
-  void set_stairs(Stairs s) { stairs_ = std::move(s); }
-  void set_floor_height(double h) { floor_height_ = h; }
+  void add_room(Room r);
+  void add_wall(Wall w);
+  void set_stairs(Stairs s);
+  void set_floor_height(double h);
 
   [[nodiscard]] const std::vector<Room>& rooms() const { return rooms_; }
   [[nodiscard]] const std::vector<Wall>& walls() const { return walls_; }
   [[nodiscard]] const std::optional<Stairs>& stairs() const { return stairs_; }
   [[nodiscard]] double floor_height() const { return floor_height_; }
+
+  /// Monotone mutation counter: bumped by every add_room/add_wall/set_*.
+  /// radio::PropagationCache keys cached path-loss values on it, so a plan
+  /// edited mid-run invalidates every dependent cache automatically.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
 
   /// Floor index for a height z (floor 0 is [0, floor_height)).
   [[nodiscard]] int floor_of(double z) const {
@@ -77,10 +90,52 @@ class FloorPlan {
   [[nodiscard]] bool line_of_sight(Vec3 a, Vec3 b) const;
 
  private:
+  /// The grid indexes at most this many walls; larger plans fall back to the
+  /// plain linear scan (none of the testbeds comes close).
+  static constexpr std::size_t kMaxIndexedWalls = 256;
+
+  /// Fixed-width bitset over wall indices. Candidate walls are gathered as
+  /// set bits and then visited in ascending index order, which is exactly the
+  /// walls_ insertion order the linear scan uses.
+  struct WallMask {
+    std::array<std::uint64_t, kMaxIndexedWalls / 64> bits{};
+
+    void merge(const WallMask& o) {
+      for (std::size_t i = 0; i < bits.size(); ++i) bits[i] |= o.bits[i];
+    }
+    void set(std::size_t idx) { bits[idx / 64] |= std::uint64_t{1} << (idx % 64); }
+  };
+
+  /// Uniform grid over one floor's wall bounding boxes.
+  struct WallGrid {
+    int floor{0};
+    double gx0{0}, gy0{0};
+    double cell{1.0}, inv_cell{1.0};
+    int nx{0}, ny{0};
+    std::vector<WallMask> cells;
+
+    [[nodiscard]] int col(double x) const;
+    [[nodiscard]] int row(double y) const;
+    /// ORs the masks of every cell the segment passes through (conservative:
+    /// padded one column either side, so FP rounding can never drop a cell).
+    void accumulate(const Segment& path, WallMask& out) const;
+  };
+
+  void rebuild_wall_index();
+  [[nodiscard]] const WallGrid* grid_for(int floor) const;
+  /// Candidate walls (as a bitmask) for a path touching the given floors;
+  /// returns false when the plan is unindexed and callers must linear-scan.
+  [[nodiscard]] bool gather_candidates(const Segment& path, int floor_a,
+                                       int floor_b, WallMask& out) const;
+
   std::vector<Room> rooms_;
   std::vector<Wall> walls_;
   std::optional<Stairs> stairs_;
   double floor_height_{2.8};
+
+  std::vector<WallGrid> grids_;
+  bool indexed_{false};
+  std::uint64_t epoch_{0};
 };
 
 }  // namespace vg::radio

@@ -156,7 +156,9 @@ ReplayResult Replayer::run(const TraceReader& trace) const {
     if (f.spike_open) {
       f.last_upstream = now;
       ReplaySpike& sp = out.spikes[static_cast<std::size_t>(f.spike_index)];
-      if (sp.prefix.size() < 8) sp.prefix.push_back(len);
+      if (sp.prefix.size() < guard::rules::kSpikePrefixKeep) {
+        sp.prefix.push_back(len);
+      }
       if (const auto v = f.classifier.feed(len)) {
         settle(f, *v, f.classifier.matched_rule());
       }

@@ -41,7 +41,8 @@ struct ReplaySpike {
   std::uint64_t flow_id{0};  // trace flow index + 1 (== live flow id)
   bool udp{false};
   sim::TimePoint start;
-  std::vector<std::uint32_t> prefix;  // first packet lengths (<= 8 kept)
+  /// First packet lengths (<= guard::rules::kSpikePrefixKeep kept).
+  std::vector<std::uint32_t> prefix;
   guard::SpikeClass cls{guard::SpikeClass::kUnknown};
   guard::MatchedRule rule{guard::MatchedRule::kNone};
 };

@@ -24,6 +24,11 @@
 /// slope-band + nearest-centroid over the z-scored (slope, intercept) plane:
 /// identical behaviour on well-separated data, and robust when a route's
 /// intercept range brushes against Up/Down's (see EXPERIMENTS.md, Fig. 10).
+///
+/// Sampling goes through MobileDevice::instant_rssi, whose scanner memoizes
+/// the deterministic path-loss mean per (speaker, device-position) pair
+/// (radio::PropagationCache) — a 40-sample trace from a momentarily
+/// stationary carrier walks the floor plan once, not 40 times.
 
 namespace vg::guard {
 

@@ -371,7 +371,7 @@ void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
         return;
       }
       start_spike(m);
-      if (mon.event_index >= 0 && events_[mon.event_index].prefix.size() < 8) {
+      if (mon.event_index >= 0 && events_[mon.event_index].prefix.size() < rules::kSpikePrefixKeep) {
         events_[mon.event_index].prefix.push_back(len);
       }
       if (mon.state == Monitor::State::kObserving) {
@@ -403,7 +403,7 @@ void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
       if (!heartbeat) {
         mon.last_upstream = sim().now();
         if (mon.event_index >= 0 &&
-            events_[mon.event_index].prefix.size() < 8) {
+            events_[mon.event_index].prefix.size() < rules::kSpikePrefixKeep) {
           events_[mon.event_index].prefix.push_back(len);
         }
       }
@@ -426,7 +426,7 @@ void GuardBox::monitor_upstream(const std::shared_ptr<Monitor>& m,
       if (!heartbeat) {
         mon.last_upstream = sim().now();
         if (mon.event_index >= 0 &&
-            events_[mon.event_index].prefix.size() < 8) {
+            events_[mon.event_index].prefix.size() < rules::kSpikePrefixKeep) {
           events_[mon.event_index].prefix.push_back(len);
         }
         if (auto v = mon.classifier.feed(len)) {

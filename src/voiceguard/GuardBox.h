@@ -76,7 +76,8 @@ struct SpikeEvent {
   std::uint64_t flow_id{0};
   bool udp{false};
   sim::TimePoint start;
-  std::vector<std::uint32_t> prefix;  // first packet lengths (<= 8 kept)
+  /// First packet lengths (<= rules::kSpikePrefixKeep kept).
+  std::vector<std::uint32_t> prefix;
   SpikeClass cls{SpikeClass::kUnknown};
   MatchedRule rule{MatchedRule::kNone};  // rule behind cls (kNone if forced)
   bool held{false};

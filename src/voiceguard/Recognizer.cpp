@@ -57,38 +57,99 @@ bool SpikeClassifier::matches_fixed_pattern(
   return fixed_pattern_rule(f) != MatchedRule::kNone;
 }
 
-SpikeClassifier::Evaluation SpikeClassifier::evaluate(bool final_call) const {
+std::optional<SpikeClass> SpikeClassifier::feed(std::uint32_t len) {
   using namespace rules;
-  // Phase-2 rule first: the frequent phase-2 pair is checked before the
-  // phase-1 frequent lengths so that a response spike that happens to carry
-  // a 138/75 later cannot be mistaken for a command (the paper reports 100%
-  // precision for this ordering).
+  if (decided_) return decided_;
+  const std::size_t i = count_;  // index of this record; < kDecisionWindow
+  lens_[i] = len;
+  ++count_;
+
+  // Rule priority per record mirrors the window scan: the phase-2 pair is
+  // checked before the phase-1 frequent lengths so that a response spike that
+  // happens to carry a 138/75 later cannot be mistaken for a command (the
+  // paper reports 100% precision for this ordering). Only the rule a new
+  // record can *complete* needs checking: earlier completions would already
+  // have decided.
+  if (i >= 1 && prev_ == kP77 && len == kP33) {
+    // i <= kPairWindow - 1 always holds while undecided.
+    decided_ = SpikeClass::kResponse;
+    rule_ = MatchedRule::kResponsePair;
+    return decided_;
+  }
+  if (i < kFrequentWindow && (len == kP138 || len == kP75)) {
+    decided_ = SpikeClass::kCommand;
+    rule_ = len == kP138 ? MatchedRule::kP138 : MatchedRule::kP75;
+    return decided_;
+  }
+  if (pattern_alive_ != 0) {
+    if (i == 0) {
+      if (len < kPatternFirstMin || len > kPatternFirstMax) pattern_alive_ = 0;
+    } else if (i < kPatternLen) {
+      const std::size_t t = i - 1;
+      if (kPatternTailA[t] != len) pattern_alive_ &= ~kBitA;
+      if (kPatternTailB[t] != len) pattern_alive_ &= ~kBitB;
+      if (kPatternTailC[t] != len) pattern_alive_ &= ~kBitC;
+      if (i == kPatternLen - 1 && pattern_alive_ != 0) {
+        decided_ = SpikeClass::kCommand;
+        rule_ = (pattern_alive_ & kBitA) != 0   ? MatchedRule::kPatternA
+                : (pattern_alive_ & kBitB) != 0 ? MatchedRule::kPatternB
+                                                : MatchedRule::kPatternC;
+        return decided_;
+      }
+    }
+  }
+  prev_ = len;
+  if (count_ >= kDecisionWindow) {
+    // No rule matched within the window where the rules are defined.
+    decided_ = SpikeClass::kUnknown;
+    rule_ = MatchedRule::kNone;
+    return decided_;
+  }
+  return std::nullopt;
+}
+
+SpikeClass classify_spike(const std::vector<std::uint32_t>& lens) {
+  return analyze_spike(lens).cls;
+}
+
+RuleMatch analyze_spike(const std::vector<std::uint32_t>& lens) {
+  SpikeClassifier c;
+  for (std::uint32_t l : lens) {
+    if (auto v = c.feed(l)) return {*v, c.matched_rule()};
+  }
+  return {c.finalize(), c.matched_rule()};
+}
+
+// ---------------------------------------------------------------------------
+// legacy — the window-scan reference oracle
+// ---------------------------------------------------------------------------
+
+namespace legacy {
+
+WindowScanClassifier::Evaluation WindowScanClassifier::evaluate(
+    bool final_call) const {
+  using namespace rules;
   for (std::size_t i = 0; i + 1 < lens_.size() && i + 1 < kPairWindow; ++i) {
     if (lens_[i] == kP77 && lens_[i + 1] == kP33) {
       return {SpikeClass::kResponse, MatchedRule::kResponsePair};
     }
   }
-  // Phase-1 frequent lengths within the first five packets.
   for (std::size_t i = 0; i < lens_.size() && i < kFrequentWindow; ++i) {
     if (lens_[i] == kP138) return {SpikeClass::kCommand, MatchedRule::kP138};
     if (lens_[i] == kP75) return {SpikeClass::kCommand, MatchedRule::kP75};
   }
-  // Phase-1 fixed patterns need exactly the first five.
   if (const MatchedRule r = fixed_pattern_rule(lens_); r != MatchedRule::kNone) {
     return {SpikeClass::kCommand, r};
   }
   if (lens_.size() >= kDecisionWindow || final_call) {
-    // No rule matched within the window where the rules are defined.
     return {SpikeClass::kUnknown, MatchedRule::kNone};
   }
   return {std::nullopt, MatchedRule::kNone};  // need more packets
 }
 
-std::optional<SpikeClass> SpikeClassifier::feed(std::uint32_t len) {
+std::optional<SpikeClass> WindowScanClassifier::feed(std::uint32_t len) {
   if (decided_) return decided_;
   lens_.push_back(len);
-  // The pair rule can still fire at packets 6-7, so a phase-1 "unknown" at
-  // this point must wait; but a positive command/response verdict is final.
   auto v = evaluate(/*final_call=*/false);
   if (v.cls && *v.cls != SpikeClass::kUnknown) {
     decided_ = v.cls;
@@ -104,27 +165,24 @@ std::optional<SpikeClass> SpikeClassifier::feed(std::uint32_t len) {
   return std::nullopt;
 }
 
-SpikeClass SpikeClassifier::finalize() const {
+SpikeClass WindowScanClassifier::finalize() const {
   if (decided_) return *decided_;
-  auto v = evaluate(/*final_call=*/true);
-  return v.cls.value_or(SpikeClass::kUnknown);
+  return evaluate(/*final_call=*/true).cls.value_or(SpikeClass::kUnknown);
 }
 
-MatchedRule SpikeClassifier::matched_rule() const {
+MatchedRule WindowScanClassifier::matched_rule() const {
   if (decided_) return rule_;
   return evaluate(/*final_call=*/true).rule;
 }
 
-SpikeClass classify_spike(const std::vector<std::uint32_t>& lens) {
-  return analyze_spike(lens).cls;
-}
-
 RuleMatch analyze_spike(const std::vector<std::uint32_t>& lens) {
-  SpikeClassifier c;
+  WindowScanClassifier c;
   for (std::uint32_t l : lens) {
     if (auto v = c.feed(l)) return {*v, c.matched_rule()};
   }
   return {c.finalize(), c.matched_rule()};
 }
+
+}  // namespace legacy
 
 }  // namespace vg::guard

@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,12 @@ inline constexpr std::array<std::uint32_t, 4> kPatternTailC{131, 121, 277, 131};
 /// No rule is defined past this many packets: an undecided spike becomes
 /// kUnknown once this window fills (or the spike ends earlier).
 inline constexpr std::size_t kDecisionWindow = 7;
+
+/// How many leading packet lengths of a spike the guard box and the trace
+/// tooling keep for reporting (SpikeEvent::prefix / ReplaySpike::prefix).
+/// One more than the decision window, so a report always shows the record
+/// that *followed* a forced kUnknown verdict.
+inline constexpr std::size_t kSpikePrefixKeep = 8;
 
 }  // namespace rules
 
@@ -103,30 +110,51 @@ MatchedRule fixed_pattern_rule(const std::vector<std::uint32_t>& first5);
 ///  - first five packets match a fixed pattern        -> kCommand
 ///  - p-77 immediately followed by p-33 in first 7    -> kResponse
 ///  - 7 packets seen (or the spike ended) w/o a match -> kUnknown
+///
+/// Implemented as an O(1)-per-record DFA: the pair rule needs only the
+/// previous length, the frequent rule only the record counter, and the three
+/// fixed patterns run as parallel prefix-match cursors (a bitmask). Because
+/// every rule is re-checked the instant the record completing it arrives —
+/// in the same priority order the legacy window scan used (pair, then
+/// frequent, then pattern) — the verdict stream is bit-identical to
+/// re-evaluating the whole window per record (legacy::WindowScanClassifier,
+/// the reference oracle; the equivalence property test enforces this).
+/// The seen-prefix buffer is an inline std::array, so feeding a spike never
+/// allocates.
 class SpikeClassifier {
  public:
   /// Feeds the next packet length. Returns the verdict once final.
   std::optional<SpikeClass> feed(std::uint32_t len);
 
   /// Forces a verdict from what has been seen (spike ended / timeout).
-  [[nodiscard]] SpikeClass finalize() const;
+  [[nodiscard]] SpikeClass finalize() const {
+    // While undecided, no rule can have matched (each rule fires on the
+    // record completing it), so the forced verdict is always kUnknown.
+    return decided_ ? *decided_ : SpikeClass::kUnknown;
+  }
 
   /// The rule behind the verdict (kNone while undecided / for kUnknown).
-  [[nodiscard]] MatchedRule matched_rule() const;
+  /// O(1): the rule is fixed at decision time, never re-derived.
+  [[nodiscard]] MatchedRule matched_rule() const { return rule_; }
 
-  [[nodiscard]] const std::vector<std::uint32_t>& seen() const { return lens_; }
+  [[nodiscard]] std::span<const std::uint32_t> seen() const {
+    return {lens_.data(), count_};
+  }
 
   /// The three fixed phase-1 patterns (first packet is a 250-650 range).
   static bool matches_fixed_pattern(const std::vector<std::uint32_t>& first5);
 
  private:
-  struct Evaluation {
-    std::optional<SpikeClass> cls;
-    MatchedRule rule{MatchedRule::kNone};
-  };
-  [[nodiscard]] Evaluation evaluate(bool final_call) const;
+  // Pattern-cursor bits: set while the prefix seen so far still matches the
+  // corresponding fixed pattern.
+  static constexpr std::uint8_t kBitA = 1u << 0;
+  static constexpr std::uint8_t kBitB = 1u << 1;
+  static constexpr std::uint8_t kBitC = 1u << 2;
 
-  std::vector<std::uint32_t> lens_;
+  std::array<std::uint32_t, rules::kDecisionWindow> lens_{};
+  std::size_t count_{0};
+  std::uint32_t prev_{0};
+  std::uint8_t pattern_alive_{kBitA | kBitB | kBitC};
   std::optional<SpikeClass> decided_;
   MatchedRule rule_{MatchedRule::kNone};
 };
@@ -142,5 +170,33 @@ struct RuleMatch {
 
 /// classify_spike with the matched rule, for offline tooling.
 RuleMatch analyze_spike(const std::vector<std::uint32_t>& lens);
+
+/// The pre-DFA classifier, kept compiled as the reference oracle for the
+/// equivalence tests: it re-walks the whole seen window (pair rule, frequent
+/// rule, fixed patterns, in that priority order) after every record, which is
+/// trivially correct but O(window) per record and heap-backed.
+namespace legacy {
+
+class WindowScanClassifier {
+ public:
+  std::optional<SpikeClass> feed(std::uint32_t len);
+  [[nodiscard]] SpikeClass finalize() const;
+  [[nodiscard]] MatchedRule matched_rule() const;
+
+ private:
+  struct Evaluation {
+    std::optional<SpikeClass> cls;
+    MatchedRule rule{MatchedRule::kNone};
+  };
+  [[nodiscard]] Evaluation evaluate(bool final_call) const;
+
+  std::vector<std::uint32_t> lens_;
+  std::optional<SpikeClass> decided_;
+  MatchedRule rule_{MatchedRule::kNone};
+};
+
+RuleMatch analyze_spike(const std::vector<std::uint32_t>& lens);
+
+}  // namespace legacy
 
 }  // namespace vg::guard

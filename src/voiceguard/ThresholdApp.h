@@ -14,6 +14,11 @@
 /// speaker's room), and the app samples the speaker's Bluetooth RSSI every
 /// 0.5 s. When the walk ends, the threshold is the *minimum* sampled value —
 /// everywhere inside the walked boundary then measures at or above it.
+///
+/// Sampling goes through MobileDevice::instant_rssi; the scanner's
+/// radio::PropagationCache memoizes the deterministic path-loss mean per
+/// (speaker, walker-position) pair, so samples at pauses or revisited
+/// waypoints skip the wall-attenuation walk with bit-identical values.
 
 namespace vg::guard {
 
