@@ -1,0 +1,196 @@
+/// Directory-sharded columnar replay throughput.
+///
+/// Replays every `.vgt` trace in a directory through the batch engine
+/// (TraceBytes mmap -> BatchDecoder -> BatchReplayer), twice:
+///
+///   * serial  — one trace after another on the calling thread;
+///   * sharded — one job per trace on a sim::BatchRunner pool (the engine
+///     `vgtrace replay <dir>` uses), merged with
+///     BatchReplayResult::merge_tallies.
+///
+/// Both passes must produce identical merged tallies (asserted), and each
+/// trace's batch result is checked once against the legacy Replayer oracle
+/// before timing starts. The sharded records/s is the guarded headline
+/// number; `scaling` (sharded/serial) shows the per-core story and is
+/// hardware-dependent, so it is reported but not guarded.
+///
+/// Usage: bench_replay_sharded [trace-dir]
+///   (default: $VG_TRACE_DATA_DIR, else tests/data)
+///
+/// Emits a machine-readable line:
+///   BENCH_JSON {"bench":"replay_sharded","records_per_sec":...}
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "simcore/BatchRunner.h"
+#include "trace/BatchDecoder.h"
+#include "trace/BatchReplayer.h"
+#include "trace/Replayer.h"
+#include "trace/TraceReader.h"
+
+using namespace vg;
+
+namespace {
+
+std::vector<std::string> trace_files(const std::string& dir) {
+  std::vector<std::string> paths;
+  for (const auto& entry : std::filesystem::directory_iterator{dir}) {
+    if (entry.is_regular_file() && entry.path().extension() == ".vgt") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+#ifdef VG_TRACE_DATA_DIR
+  const std::string fallback = VG_TRACE_DATA_DIR;
+#else
+  const std::string fallback = "tests/data";
+#endif
+  const char* env = std::getenv("VG_TRACE_DATA_DIR");
+  const std::string dir =
+      argc > 1 ? argv[1] : (env != nullptr ? env : fallback);
+  bench::header("Directory-sharded batch replay (" + dir + ")",
+                "multi-trace fan-out of the offline recognizer");
+
+  const std::vector<std::string> paths = trace_files(dir);
+  if (paths.empty()) {
+    std::fprintf(stderr, "FATAL: no .vgt traces in %s\n", dir.c_str());
+    return 1;
+  }
+
+  // Correctness gate before any timing: batch == legacy on every trace.
+  std::uint64_t total_records = 0;
+  for (const std::string& p : paths) {
+    const trace::ColumnBatch b = trace::BatchDecoder::load(p);
+    const trace::ReplayResult batch =
+        trace::BatchReplayer{}.run(b).to_replay_result();
+    const trace::ReplayResult legacy =
+        trace::Replayer{}.run(trace::TraceReader::load(p));
+    bool same = batch.spikes.size() == legacy.spikes.size() &&
+                batch.commands == legacy.commands &&
+                batch.responses == legacy.responses &&
+                batch.unknowns == legacy.unknowns &&
+                batch.heartbeats == legacy.heartbeats &&
+                batch.avs_signature_updates == legacy.avs_signature_updates;
+    for (std::size_t i = 0; same && i < batch.spikes.size(); ++i) {
+      same = batch.spikes[i].cls == legacy.spikes[i].cls &&
+             batch.spikes[i].rule == legacy.spikes[i].rule &&
+             batch.spikes[i].start == legacy.spikes[i].start &&
+             batch.spikes[i].prefix == legacy.spikes[i].prefix;
+    }
+    if (!same) {
+      std::fprintf(stderr, "FATAL: batch/legacy divergence on %s\n",
+                   p.c_str());
+      return 1;
+    }
+    total_records += batch.frames;
+  }
+
+  using clock = std::chrono::steady_clock;
+  const auto replay_path = [](const std::string& p,
+                              trace::ColumnBatch& scratch,
+                              trace::BatchReplayer& replayer,
+                              trace::BatchReplayResult& out) {
+    const trace::TraceBytes bytes = trace::TraceBytes::from_file(p);
+    trace::BatchDecoder::decode(bytes.span(), scratch);
+    replayer.run(scratch, out);
+  };
+
+  // Serial pass: every trace on this thread, scratch reused across traces.
+  int serial_iters = 0;
+  double serial_s = 0;
+  trace::BatchReplayResult serial_merged;
+  {
+    trace::ColumnBatch scratch;
+    trace::BatchReplayer replayer;
+    trace::BatchReplayResult res;
+    const auto t0 = clock::now();
+    do {
+      serial_merged = {};
+      for (const std::string& p : paths) {
+        replay_path(p, scratch, replayer, res);
+        serial_merged.merge_tallies(res);
+      }
+      ++serial_iters;
+      serial_s = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (serial_s < 0.3 || serial_iters < 5);
+  }
+  const double serial_rps =
+      static_cast<double>(total_records) * serial_iters / serial_s;
+
+  // Sharded pass: one job per trace, merged in input order afterwards so
+  // the merge is deterministic regardless of completion order.
+  sim::BatchRunner pool;
+  int shard_iters = 0;
+  double shard_s = 0;
+  trace::BatchReplayResult shard_merged;
+  {
+    const auto t0 = clock::now();
+    do {
+      const std::vector<trace::BatchReplayResult> results =
+          pool.map<trace::BatchReplayResult>(
+              paths.size(), [&](std::size_t i) {
+                trace::ColumnBatch scratch;
+                trace::BatchReplayer replayer;
+                trace::BatchReplayResult res;
+                replay_path(paths[i], scratch, replayer, res);
+                return res;
+              });
+      shard_merged = {};
+      for (const trace::BatchReplayResult& r : results) {
+        shard_merged.merge_tallies(r);
+      }
+      ++shard_iters;
+      shard_s = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (shard_s < 0.3 || shard_iters < 5);
+  }
+  const double shard_rps =
+      static_cast<double>(total_records) * shard_iters / shard_s;
+
+  if (serial_merged.frames != shard_merged.frames ||
+      serial_merged.commands != shard_merged.commands ||
+      serial_merged.responses != shard_merged.responses ||
+      serial_merged.unknowns != shard_merged.unknowns ||
+      serial_merged.heartbeats != shard_merged.heartbeats) {
+    std::fprintf(stderr, "FATAL: serial/sharded merged tallies diverge\n");
+    return 1;
+  }
+
+  const double scaling = shard_rps / serial_rps;
+  std::printf("corpus : %zu traces, %llu records/pass\n", paths.size(),
+              static_cast<unsigned long long>(total_records));
+  std::printf("serial : %12.0f records/s (%d passes)\n", serial_rps,
+              serial_iters);
+  std::printf("sharded: %12.0f records/s (%d passes, %u workers)  %.2fx\n",
+              shard_rps, shard_iters, pool.worker_count(), scaling);
+  std::printf("merged : %llu spikes (%llu command, %llu response, "
+              "%llu unknown)\n",
+              static_cast<unsigned long long>(shard_merged.commands +
+                                              shard_merged.responses +
+                                              shard_merged.unknowns),
+              static_cast<unsigned long long>(shard_merged.commands),
+              static_cast<unsigned long long>(shard_merged.responses),
+              static_cast<unsigned long long>(shard_merged.unknowns));
+
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"replay_sharded\",\"dir\":\"%s\","
+      "\"traces\":%zu,\"records\":%llu,\"iters\":%d,"
+      "\"records_per_sec\":%.0f,\"records_per_sec_serial\":%.0f,"
+      "\"workers\":%u,\"scaling\":%.2f}\n",
+      dir.c_str(), paths.size(),
+      static_cast<unsigned long long>(total_records), shard_iters, shard_rps,
+      serial_rps, pool.worker_count(), scaling);
+  return 0;
+}

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "trace/TraceReader.h"
+#include "voiceguard/Recognizer.h"
+
+/// \file BatchDecoder.h
+/// Columnar (structure-of-arrays) decode of a `.vgt` trace.
+///
+/// TraceReader materializes an array-of-structs: one ~48-byte TraceRecord per
+/// frame, most of whose fields any given consumer never touches. The batch
+/// decoder instead fills parallel columns — kinds, directions, absolute
+/// timestamps, lengths — plus two derived columns the replay hot loop feeds
+/// on directly:
+///
+///   * `rule_class`: guard::rules::len_class() of every length, i.e. the
+///     frequent-length / pair / fixed-pattern rule predicates of §IV-B1
+///     evaluated wholesale over the length column (simple compares the
+///     compiler vectorizes), so the sequential replay pass only *adjudicates*
+///     records the predicates marked;
+///   * `attention`: a bitmask with one bit per record, set for the records
+///     that can affect recognition state (upstream data records, DNS answers,
+///     flow begins). Downstream data and fault annotations only contribute
+///     to tallies, which the decoder pre-counts — the replayer skips those
+///     records in 64-frame strides without ever loading them.
+///
+/// Validation is exactly as strict as TraceReader's (bad magic/version/CRC,
+/// short frames, unknown kinds, out-of-range or out-of-order flow indices,
+/// varint overflow, trailing payload bytes, header frame-count mismatch all
+/// raise TraceError); a property test pins column-for-field equality against
+/// TraceReader over random traces. Decoding reads straight off the input
+/// span, so an mmap'd file (TraceBytes) is never copied.
+
+namespace vg::trace {
+
+/// One trace decoded into columns. All per-record vectors share size().
+struct ColumnBatch {
+  TraceMeta meta;
+  std::vector<TraceFlow> flows;
+
+  std::vector<std::uint8_t> kinds;      // FrameKind values
+  std::vector<std::uint8_t> upstream;   // 1 = upstream; 1 for non-data kinds
+                                        // (mirrors TraceRecord's default)
+  std::vector<std::uint8_t> tls_types;  // meaningful for kTlsRecord only
+  std::vector<std::uint8_t> rule_class; // guard::rules::len_class(length)
+  std::vector<std::int32_t> flow;       // -1 for kDnsAnswer / kFault
+  std::vector<std::int64_t> when_ns;    // absolute, from the delta chain
+  std::vector<std::uint32_t> lengths;   // 0 for non-data kinds
+
+  /// Sparse side columns, in stream order (their `index` is the record row).
+  struct DnsEvent {
+    std::uint64_t index;
+    std::uint8_t domain_code;
+    net::IpAddress answer;
+  };
+  struct FaultEvent {
+    std::uint64_t index;
+    std::uint8_t code;
+    std::uint64_t param;
+  };
+  std::vector<DnsEvent> dns;
+  std::vector<FaultEvent> faults;
+  /// flow_begin_at[k] = record row of flows[k]'s begin frame.
+  std::vector<std::uint64_t> flow_begin_at;
+
+  /// One bit per record (64 records per word, bit i%64 of word i/64): set
+  /// iff the record can affect recognition state.
+  std::vector<std::uint64_t> attention;
+
+  /// Flow-major postings of the upstream data records (counting sort by
+  /// flow): bucket k = rows [up_offsets[k], up_offsets[k+1]) of the up_*
+  /// arrays, in stream order within the bucket. BatchReplayer's per-flow
+  /// pass reads each flow's upstream history sequentially with the flow
+  /// state in registers, instead of chasing a scattered flow table through
+  /// a store-to-load dependency on every record.
+  std::vector<std::uint32_t> up_offsets;  // flows.size() + 1 prefix sums
+  std::vector<std::int64_t> up_when;      // when_ns of the record
+  std::vector<std::uint32_t> up_len;      // lengths of the record
+  std::vector<std::uint32_t> up_pos;      // record row (spike ordering)
+  std::vector<std::uint8_t> up_cls;       // rule_class of the record
+  std::vector<std::uint8_t> up_tls;       // 1 = TLS record, 0 = datagram
+  /// Scatter cursors for the counting sort; contents meaningless after
+  /// decode (kept only so repeated decodes reuse the capacity).
+  std::vector<std::uint32_t> up_fill;
+
+  // Wholesale tallies (include records the attention mask skips).
+  std::uint64_t tls_records{0};
+  std::uint64_t datagrams{0};
+
+  sim::TimePoint end_time;
+
+  [[nodiscard]] std::size_t size() const { return kinds.size(); }
+
+  /// Reconstructs row \p i as a TraceRecord (parity tests, tooling). O(log n)
+  /// for the sparse kinds, O(1) otherwise.
+  [[nodiscard]] TraceRecord record(std::size_t i) const;
+};
+
+class BatchDecoder {
+ public:
+  /// Decodes (and fully validates) \p bytes into fresh columns.
+  static ColumnBatch decode(std::span<const std::uint8_t> bytes);
+
+  /// Decodes into \p out, reusing its column capacity (zero-alloc once the
+  /// columns have grown to the workload's high-water mark).
+  static void decode(std::span<const std::uint8_t> bytes, ColumnBatch& out);
+
+  /// TraceBytes::from_file + decode, with parse errors prefixed by the path.
+  static ColumnBatch load(const std::string& path);
+};
+
+}  // namespace vg::trace

@@ -69,6 +69,14 @@ class TraceError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// I/O failure (open/stat/read/map) as opposed to a malformed trace. Kept a
+/// TraceError subtype so existing catch sites still work; `vgtrace` maps the
+/// two to distinct exit codes (I/O = 3, corrupt = 4).
+class TraceIoError : public TraceError {
+ public:
+  using TraceError::TraceError;
+};
+
 inline constexpr std::array<std::uint8_t, 4> kMagic{'V', 'G', 'T', 'R'};
 inline constexpr std::uint16_t kVersion = 1;
 /// Byte offset of the patched-on-finish frame count in the header.

@@ -1,0 +1,113 @@
+#include "trace/TraceInput.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace vg::trace {
+
+namespace {
+
+[[noreturn]] void throw_io(const char* what, const std::string& path,
+                           int err) {
+  throw TraceIoError{std::string{what} + " " + path + ": " +
+                     std::strerror(err)};
+}
+
+std::vector<std::uint8_t> read_all(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) throw_io("cannot open", path, errno);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[65536];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  const int err = std::ferror(f) != 0 ? errno : 0;
+  std::fclose(f);
+  if (err != 0) throw_io("read error on", path, err);
+  return bytes;
+}
+
+}  // namespace
+
+TraceBytes& TraceBytes::operator=(TraceBytes&& o) noexcept {
+  if (this == &o) return *this;
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+  data_ = o.data_;
+  size_ = o.size_;
+  map_base_ = o.map_base_;
+  map_len_ = o.map_len_;
+  owned_ = std::move(o.owned_);
+  source_ = o.source_;
+  if (source_ == Source::kBuffered) data_ = owned_.data();
+  o.data_ = nullptr;
+  o.size_ = 0;
+  o.map_base_ = nullptr;
+  o.map_len_ = 0;
+  return *this;
+}
+
+TraceBytes::~TraceBytes() {
+  if (map_base_ != nullptr) ::munmap(map_base_, map_len_);
+}
+
+TraceBytes TraceBytes::from_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) throw_io("cannot open", path, errno);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw_io("cannot stat", path, err);
+  }
+  if (!S_ISREG(st.st_mode) || st.st_size <= 0) {
+    // Pipes, FIFOs, devices and empty files: the fread fallback. Reuse the
+    // already-open descriptor so a named pipe is not opened (and blocked on)
+    // twice.
+    std::vector<std::uint8_t> bytes;
+    std::uint8_t chunk[65536];
+    ssize_t n;
+    while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+      bytes.insert(bytes.end(), chunk, chunk + n);
+    }
+    const int err = n < 0 ? errno : 0;
+    ::close(fd);
+    if (err != 0) throw_io("read error on", path, err);
+    return from_vector(std::move(bytes));
+  }
+  const std::size_t len = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    // mmap can fail where read succeeds (e.g. some filesystems); fall back.
+    return buffered_from_file(path);
+  }
+  TraceBytes b;
+  b.data_ = static_cast<const std::uint8_t*>(base);
+  b.size_ = len;
+  b.map_base_ = base;
+  b.map_len_ = len;
+  b.source_ = Source::kMapped;
+  return b;
+}
+
+TraceBytes TraceBytes::buffered_from_file(const std::string& path) {
+  return from_vector(read_all(path));
+}
+
+TraceBytes TraceBytes::from_vector(std::vector<std::uint8_t> bytes) {
+  TraceBytes b;
+  b.owned_ = std::move(bytes);
+  b.data_ = b.owned_.data();
+  b.size_ = b.owned_.size();
+  b.source_ = Source::kBuffered;
+  return b;
+}
+
+}  // namespace vg::trace

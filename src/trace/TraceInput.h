@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/TraceFormat.h"
+
+/// \file TraceInput.h
+/// Zero-copy trace input. `TraceBytes` owns one trace's raw bytes either as a
+/// read-only memory mapping of a regular file (the fast path — the parser and
+/// the batch decoder then validate CRCs straight off the page cache with no
+/// intermediate copy) or as a heap buffer filled with `fread` (the fallback
+/// for pipes, FIFOs and anything else that is not a seekable regular file).
+///
+/// Both paths hand out the identical byte span, so every consumer — strict
+/// parse, columnar decode, `vgtrace diff` — produces identical results
+/// whichever path was taken; a regression test pins that.
+
+namespace vg::trace {
+
+class TraceBytes {
+ public:
+  enum class Source : std::uint8_t {
+    kMapped,    // mmap(2) of a regular file
+    kBuffered,  // read into an owned heap buffer
+  };
+
+  /// Opens \p path, preferring a private read-only mapping and falling back
+  /// to buffered reads when the input is not mappable (not a regular file,
+  /// empty, or mmap itself fails). Throws TraceIoError with the path and the
+  /// errno string on any I/O failure.
+  static TraceBytes from_file(const std::string& path);
+
+  /// Like from_file, but never maps — always the fread path. Exists so tests
+  /// can pin mmap-vs-fread equivalence on the same file.
+  static TraceBytes buffered_from_file(const std::string& path);
+
+  /// Wraps bytes already in memory (captures, tests).
+  static TraceBytes from_vector(std::vector<std::uint8_t> bytes);
+
+  TraceBytes() = default;
+  TraceBytes(TraceBytes&& o) noexcept { *this = std::move(o); }
+  TraceBytes& operator=(TraceBytes&& o) noexcept;
+  TraceBytes(const TraceBytes&) = delete;
+  TraceBytes& operator=(const TraceBytes&) = delete;
+  ~TraceBytes();
+
+  [[nodiscard]] const std::uint8_t* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::span<const std::uint8_t> span() const {
+    return {data_, size_};
+  }
+  [[nodiscard]] Source source() const { return source_; }
+
+ private:
+  const std::uint8_t* data_{nullptr};
+  std::size_t size_{0};
+  void* map_base_{nullptr};  // non-null iff kMapped (munmap target)
+  std::size_t map_len_{0};
+  std::vector<std::uint8_t> owned_;  // backing store iff kBuffered
+  Source source_{Source::kBuffered};
+};
+
+}  // namespace vg::trace

@@ -1,6 +1,8 @@
 #include "trace/TraceReader.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <limits>
 
 namespace vg::trace {
@@ -17,7 +19,7 @@ std::int64_t checked_advance(std::int64_t last_ns, std::uint64_t dt) {
 
 }  // namespace
 
-TraceReader TraceReader::parse(const std::vector<std::uint8_t>& bytes) {
+TraceReader TraceReader::parse(std::span<const std::uint8_t> bytes) {
   ByteCursor c{bytes.data(), bytes.size()};
 
   const std::uint8_t* magic = c.bytes(kMagic.size(), "magic");
@@ -143,21 +145,33 @@ TraceReader TraceReader::parse(const std::vector<std::uint8_t>& bytes) {
 }
 
 TraceReader TraceReader::load(const std::string& path) {
-  return parse(read_file(path));
+  const TraceBytes bytes = TraceBytes::from_file(path);  // I/O errors name
+                                                         // path + errno
+  try {
+    return parse(bytes.span());
+  } catch (const TraceIoError&) {
+    throw;
+  } catch (const TraceError& e) {
+    throw TraceError{path + ": " + e.what()};
+  }
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) throw TraceError{"cannot open: " + path};
+  if (f == nullptr) {
+    throw TraceIoError{"cannot open " + path + ": " + std::strerror(errno)};
+  }
   std::vector<std::uint8_t> bytes;
   std::uint8_t chunk[4096];
   std::size_t n;
   while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) {
     bytes.insert(bytes.end(), chunk, chunk + n);
   }
-  const bool err = std::ferror(f) != 0;
+  const int err = std::ferror(f) != 0 ? errno : 0;
   std::fclose(f);
-  if (err) throw TraceError{"read error: " + path};
+  if (err != 0) {
+    throw TraceIoError{"read error on " + path + ": " + std::strerror(err)};
+  }
   return bytes;
 }
 

@@ -1,12 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "netsim/Packet.h"
 #include "simcore/Time.h"
 #include "trace/TraceFormat.h"
+#include "trace/TraceInput.h"
 
 /// \file TraceReader.h
 /// Parses and validates one `.vgt` trace into decoded frames with absolute
@@ -46,9 +48,16 @@ struct TraceRecord {
 
 class TraceReader {
  public:
-  /// Parses (and fully validates) \p bytes.
-  static TraceReader parse(const std::vector<std::uint8_t>& bytes);
-  /// Reads \p path and parses it. Throws TraceError on I/O failure too.
+  /// Parses (and fully validates) \p bytes — works straight off an mmap'd
+  /// span, no copy.
+  static TraceReader parse(std::span<const std::uint8_t> bytes);
+  static TraceReader parse(const std::vector<std::uint8_t>& bytes) {
+    return parse(std::span<const std::uint8_t>{bytes.data(), bytes.size()});
+  }
+  /// Opens \p path (mmap when possible, fread otherwise — see TraceInput.h)
+  /// and parses it. I/O failures throw TraceIoError naming the path and the
+  /// errno string; parse failures throw TraceError prefixed with the path so
+  /// directory-mode replay reports which capture is bad.
   static TraceReader load(const std::string& path);
 
   [[nodiscard]] const TraceMeta& meta() const { return meta_; }
@@ -69,6 +78,7 @@ class TraceReader {
 };
 
 /// Reads a whole file into memory (helper shared with `vgtrace diff`).
+/// Throws TraceIoError naming the path and the errno string on failure.
 std::vector<std::uint8_t> read_file(const std::string& path);
 
 }  // namespace vg::trace

@@ -57,57 +57,6 @@ bool SpikeClassifier::matches_fixed_pattern(
   return fixed_pattern_rule(f) != MatchedRule::kNone;
 }
 
-std::optional<SpikeClass> SpikeClassifier::feed(std::uint32_t len) {
-  using namespace rules;
-  if (decided_) return decided_;
-  const std::size_t i = count_;  // index of this record; < kDecisionWindow
-  lens_[i] = len;
-  ++count_;
-
-  // Rule priority per record mirrors the window scan: the phase-2 pair is
-  // checked before the phase-1 frequent lengths so that a response spike that
-  // happens to carry a 138/75 later cannot be mistaken for a command (the
-  // paper reports 100% precision for this ordering). Only the rule a new
-  // record can *complete* needs checking: earlier completions would already
-  // have decided.
-  if (i >= 1 && prev_ == kP77 && len == kP33) {
-    // i <= kPairWindow - 1 always holds while undecided.
-    decided_ = SpikeClass::kResponse;
-    rule_ = MatchedRule::kResponsePair;
-    return decided_;
-  }
-  if (i < kFrequentWindow && (len == kP138 || len == kP75)) {
-    decided_ = SpikeClass::kCommand;
-    rule_ = len == kP138 ? MatchedRule::kP138 : MatchedRule::kP75;
-    return decided_;
-  }
-  if (pattern_alive_ != 0) {
-    if (i == 0) {
-      if (len < kPatternFirstMin || len > kPatternFirstMax) pattern_alive_ = 0;
-    } else if (i < kPatternLen) {
-      const std::size_t t = i - 1;
-      if (kPatternTailA[t] != len) pattern_alive_ &= ~kBitA;
-      if (kPatternTailB[t] != len) pattern_alive_ &= ~kBitB;
-      if (kPatternTailC[t] != len) pattern_alive_ &= ~kBitC;
-      if (i == kPatternLen - 1 && pattern_alive_ != 0) {
-        decided_ = SpikeClass::kCommand;
-        rule_ = (pattern_alive_ & kBitA) != 0   ? MatchedRule::kPatternA
-                : (pattern_alive_ & kBitB) != 0 ? MatchedRule::kPatternB
-                                                : MatchedRule::kPatternC;
-        return decided_;
-      }
-    }
-  }
-  prev_ = len;
-  if (count_ >= kDecisionWindow) {
-    // No rule matched within the window where the rules are defined.
-    decided_ = SpikeClass::kUnknown;
-    rule_ = MatchedRule::kNone;
-    return decided_;
-  }
-  return std::nullopt;
-}
-
 SpikeClass classify_spike(const std::vector<std::uint32_t>& lens) {
   return analyze_spike(lens).cls;
 }

@@ -53,6 +53,36 @@ inline constexpr std::size_t kDecisionWindow = 7;
 /// that *followed* a forced kUnknown verdict.
 inline constexpr std::size_t kSpikePrefixKeep = 8;
 
+/// Length-class bits: which role(s) a wire length can play in the rule table
+/// above. The columnar replay path computes one class byte per record with
+/// vectorizable compares over a length column (trace::BatchDecoder); records
+/// whose class is 0 can neither complete nor keep alive any rule, so the
+/// batch replayer routes them through SpikeClassifier::feed_nonrule instead
+/// of the full per-record rule evaluation.
+enum LenClass : std::uint8_t {
+  kLenFrequent = 1u << 0,      // kP138 or kP75
+  kLenPairFirst = 1u << 1,     // kP77
+  kLenPairSecond = 1u << 2,    // kP33
+  kLenPatternFirst = 1u << 3,  // in [kPatternFirstMin, kPatternFirstMax]
+  kLenPatternTail = 1u << 4,   // member of some fixed-pattern tail
+};
+
+constexpr std::uint8_t len_class(std::uint32_t len) {
+  std::uint8_t c = 0;
+  if (len == kP138 || len == kP75) c |= kLenFrequent;
+  if (len == kP77) c |= kLenPairFirst;
+  if (len == kP33) c |= kLenPairSecond;
+  if (len >= kPatternFirstMin && len <= kPatternFirstMax) {
+    c |= kLenPatternFirst;
+  }
+  for (const auto& tail : {kPatternTailA, kPatternTailB, kPatternTailC}) {
+    for (std::uint32_t t : tail) {
+      if (len == t) c |= kLenPatternTail;
+    }
+  }
+  return c;
+}
+
 }  // namespace rules
 
 /// Incremental prefix matcher for a packet-length signature.
@@ -124,7 +154,18 @@ MatchedRule fixed_pattern_rule(const std::vector<std::uint32_t>& first5);
 class SpikeClassifier {
  public:
   /// Feeds the next packet length. Returns the verdict once final.
+  /// Defined inline below: the batch replayer calls this per spike record in
+  /// its hot loop.
   std::optional<SpikeClass> feed(std::uint32_t len);
+
+  /// Fast path for a record the vectorized predicates already proved is
+  /// outside the rule alphabet (rules::len_class(len) == 0): such a length
+  /// can complete no rule and kills every fixed-pattern cursor, so only the
+  /// record counter / previous-length register / forced-kUnknown bookkeeping
+  /// remain. Behaviour is identical to feed(len) for any such length (the
+  /// equivalence property test enforces this); feeding a rule-alphabet
+  /// length here is a contract violation.
+  std::optional<SpikeClass> feed_nonrule(std::uint32_t len);
 
   /// Forces a verdict from what has been seen (spike ended / timeout).
   [[nodiscard]] SpikeClass finalize() const {
@@ -158,6 +199,75 @@ class SpikeClassifier {
   std::optional<SpikeClass> decided_;
   MatchedRule rule_{MatchedRule::kNone};
 };
+
+inline std::optional<SpikeClass> SpikeClassifier::feed(std::uint32_t len) {
+  using namespace rules;
+  if (decided_) return decided_;
+  const std::size_t i = count_;  // index of this record; < kDecisionWindow
+  lens_[i] = len;
+  ++count_;
+
+  // Rule priority per record mirrors the window scan: the phase-2 pair is
+  // checked before the phase-1 frequent lengths so that a response spike that
+  // happens to carry a 138/75 later cannot be mistaken for a command (the
+  // paper reports 100% precision for this ordering). Only the rule a new
+  // record can *complete* needs checking: earlier completions would already
+  // have decided.
+  if (i >= 1 && prev_ == kP77 && len == kP33) {
+    // i <= kPairWindow - 1 always holds while undecided.
+    decided_ = SpikeClass::kResponse;
+    rule_ = MatchedRule::kResponsePair;
+    return decided_;
+  }
+  if (i < kFrequentWindow && (len == kP138 || len == kP75)) {
+    decided_ = SpikeClass::kCommand;
+    rule_ = len == kP138 ? MatchedRule::kP138 : MatchedRule::kP75;
+    return decided_;
+  }
+  if (pattern_alive_ != 0) {
+    if (i == 0) {
+      if (len < kPatternFirstMin || len > kPatternFirstMax) pattern_alive_ = 0;
+    } else if (i < kPatternLen) {
+      const std::size_t t = i - 1;
+      if (kPatternTailA[t] != len) pattern_alive_ &= ~kBitA;
+      if (kPatternTailB[t] != len) pattern_alive_ &= ~kBitB;
+      if (kPatternTailC[t] != len) pattern_alive_ &= ~kBitC;
+      if (i == kPatternLen - 1 && pattern_alive_ != 0) {
+        decided_ = SpikeClass::kCommand;
+        rule_ = (pattern_alive_ & kBitA) != 0   ? MatchedRule::kPatternA
+                : (pattern_alive_ & kBitB) != 0 ? MatchedRule::kPatternB
+                                                : MatchedRule::kPatternC;
+        return decided_;
+      }
+    }
+  }
+  prev_ = len;
+  if (count_ >= kDecisionWindow) {
+    // No rule matched within the window where the rules are defined.
+    decided_ = SpikeClass::kUnknown;
+    rule_ = MatchedRule::kNone;
+    return decided_;
+  }
+  return std::nullopt;
+}
+
+inline std::optional<SpikeClass> SpikeClassifier::feed_nonrule(
+    std::uint32_t len) {
+  using namespace rules;
+  if (decided_) return decided_;
+  lens_[count_] = len;
+  ++count_;
+  // A non-alphabet length is never 33 (so it completes no pair), never a
+  // frequent length, and matches no pattern position — every cursor dies.
+  pattern_alive_ = 0;
+  prev_ = len;
+  if (count_ >= kDecisionWindow) {
+    decided_ = SpikeClass::kUnknown;
+    rule_ = MatchedRule::kNone;
+    return decided_;
+  }
+  return std::nullopt;
+}
 
 /// Classifies a complete spike prefix offline (tests, Table I bench).
 SpikeClass classify_spike(const std::vector<std::uint32_t>& lens);
