@@ -1,0 +1,112 @@
+/// Generative world-fuzzer throughput.
+///
+/// Two rates bound how many worlds a CI run or an overnight sweep can cover:
+///
+///   * generation — scenario::Generator::generate(seed) alone, plus the
+///     canonical write_scn -> ScenarioLoader round-trip every generated spec
+///     must survive (the fuzzer's first invariant);
+///   * fuzzing — workload::check_scenario end to end: run the world, check
+///     the chaos/degradation invariants, round-trip the trace and diff the
+///     offline replay against the live guard.
+///
+/// Usage: bench_scenario_gen [first_seed]   (default: 1)
+///
+/// Emits a machine-readable line:
+///   BENCH_JSON {"bench":"scenario_gen",...,"worlds_per_sec":...,
+///               "roundtrip_per_sec":...,"fuzz_iters_per_sec":...}
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common.h"
+#include "scenario/Generator.h"
+#include "scenario/ScenarioLoader.h"
+#include "scenario/Serialize.h"
+#include "workload/ScenarioFuzz.h"
+
+using namespace vg;
+
+int main(int argc, char** argv) {
+  const std::uint64_t first =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  bench::header("Scenario generator / fuzzer throughput",
+                "seeded generative worlds for the invariant harness");
+
+  using clock = std::chrono::steady_clock;
+
+  // Pure generation. The sink defeats dead-code elimination without touching
+  // the clock inside the loop.
+  int gen_iters = 0;
+  double gen_s = 0;
+  std::size_t sink = 0;
+  {
+    const auto t0 = clock::now();
+    do {
+      const scenario::ScenarioSpec spec =
+          scenario::Generator::generate(first + gen_iters);
+      sink += spec.schedule.commands.size() + spec.faults.links.size();
+      ++gen_iters;
+      gen_s = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (gen_s < 0.5 || gen_iters < 100);
+  }
+  const double worlds_per_sec = gen_iters / gen_s;
+
+  // Generation plus the canonical-text round-trip.
+  int rt_iters = 0;
+  double rt_s = 0;
+  {
+    const auto t0 = clock::now();
+    do {
+      const scenario::ScenarioSpec spec =
+          scenario::Generator::generate(first + rt_iters);
+      const scenario::ScenarioSpec back =
+          scenario::ScenarioLoader::load(scenario::write_scn(spec));
+      sink += back.schedule.commands.size();
+      ++rt_iters;
+      rt_s = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (rt_s < 0.5 || rt_iters < 100);
+  }
+  const double roundtrip_per_sec = rt_iters / rt_s;
+
+  // The full per-seed harness, exactly what one fuzz iteration costs. Any
+  // violation is a correctness bug, not a perf result: fail loudly.
+  int fuzz_iters = 0;
+  double fuzz_s = 0;
+  {
+    const auto t0 = clock::now();
+    do {
+      const auto violations = workload::check_scenario(
+          scenario::Generator::generate(first + fuzz_iters));
+      if (!violations.empty()) {
+        std::fprintf(stderr, "FATAL: seed %llu violates invariants: %s\n",
+                     static_cast<unsigned long long>(first + fuzz_iters),
+                     violations.front().c_str());
+        return 1;
+      }
+      ++fuzz_iters;
+      fuzz_s = std::chrono::duration<double>(clock::now() - t0).count();
+    } while (fuzz_s < 2.0 || fuzz_iters < 20);
+  }
+  const double fuzz_per_sec = fuzz_iters / fuzz_s;
+
+  std::printf("generate  : %9.0f worlds/s   (%d iters, %.3f s)\n",
+              worlds_per_sec, gen_iters, gen_s);
+  std::printf("round-trip: %9.0f worlds/s   (%d iters, %.3f s)\n",
+              roundtrip_per_sec, rt_iters, rt_s);
+  std::printf("fuzz      : %9.1f iters/s    (%d iters, %.3f s)\n",
+              fuzz_per_sec, fuzz_iters, fuzz_s);
+  std::printf("          : a 2000-seed CI sweep at this rate takes %.1f s "
+              "on one core   [sink %zu]\n",
+              2000.0 / fuzz_per_sec, sink % 1000);
+
+  std::printf(
+      "\nBENCH_JSON {\"bench\":\"scenario_gen\",\"first_seed\":%llu,"
+      "\"gen_iters\":%d,\"worlds_per_sec\":%.0f,"
+      "\"roundtrip_per_sec\":%.0f,\"fuzz_iters\":%d,"
+      "\"fuzz_iters_per_sec\":%.1f}\n",
+      static_cast<unsigned long long>(first), gen_iters, worlds_per_sec,
+      roundtrip_per_sec, fuzz_iters, fuzz_per_sec);
+  return 0;
+}

@@ -1,7 +1,13 @@
 #include "faults/FaultInjector.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace vg::faults {
 
@@ -9,6 +15,20 @@ namespace {
 
 void require(bool ok, const std::string& what) {
   if (!ok) throw std::invalid_argument{"FaultInjector: " + what};
+}
+
+/// Half-open [start, end) windows; end -1 is open-ended (a device fault with
+/// duration 0 never recovers). Touching windows are fine, overlap is not:
+/// two flaps on the same link would double-toggle it, two outages would
+/// re-enable the cloud mid-window. Mirrors ScenarioLoader's check so a plan
+/// built in C++ obeys the same rules as one loaded from `.scn`.
+void check_no_overlap(std::vector<std::pair<std::int64_t, std::int64_t>> ws,
+                      const std::string& what, const std::string& plan) {
+  std::sort(ws.begin(), ws.end());
+  for (std::size_t i = 1; i < ws.size(); ++i) {
+    require(ws[i - 1].second >= 0 && ws[i].first >= ws[i - 1].second,
+            "overlapping " + what + " windows in plan '" + plan + "'");
+  }
 }
 
 }  // namespace
@@ -59,6 +79,47 @@ void FaultInjector::validate(const FaultPlan& plan) const {
             "negative restart time in plan '" + plan.name + "'");
     require(targets_.guard != nullptr,
             "plan '" + plan.name + "' needs a guard target");
+  }
+
+  // Same grouping as the `.scn` loader: link faults may only collide within
+  // one (link, kind) pair, cloud/fcm windows within their category, device
+  // faults per device.
+  std::vector<std::pair<std::int64_t, std::int64_t>> by_group[2][3];
+  for (const LinkFault& f : plan.links) {
+    by_group[static_cast<int>(f.where)][static_cast<int>(f.kind)].emplace_back(
+        f.start.ns(), (f.start + f.duration).ns());
+  }
+  for (auto& where : by_group) {
+    for (auto& ws : where) {
+      check_no_overlap(std::move(ws), "link-fault", plan.name);
+    }
+  }
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> cloud;
+  for (const CloudOutage& f : plan.cloud) {
+    cloud.emplace_back(f.start.ns(), (f.start + f.duration).ns());
+  }
+  check_no_overlap(std::move(cloud), "cloud-outage", plan.name);
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> fcm;
+  for (const FcmFault& f : plan.fcm) {
+    fcm.emplace_back(f.start.ns(), (f.start + f.duration).ns());
+  }
+  check_no_overlap(std::move(fcm), "fcm-fault", plan.name);
+
+  std::map<int, std::vector<std::pair<std::int64_t, std::int64_t>>> devices;
+  for (const DeviceFault& f : plan.devices) {
+    devices[f.device].emplace_back(
+        f.start.ns(), f.duration.ns() == 0 ? -1 : (f.start + f.duration).ns());
+  }
+  for (auto& [dev, ws] : devices) {
+    check_no_overlap(std::move(ws), "device-fault", plan.name);
+  }
+
+  std::set<std::int64_t> restart_at;
+  for (const GuardRestart& f : plan.restarts) {
+    require(restart_at.insert(f.at.ns()).second,
+            "duplicate guard restart instant in plan '" + plan.name + "'");
   }
 }
 

@@ -28,6 +28,8 @@ struct LinkFault {
   sim::Duration duration{};
   net::GilbertElliott ge{};        // kBurst only
   sim::Duration extra_latency{};   // kLatencySpike only
+
+  friend bool operator==(const LinkFault&, const LinkFault&) = default;
 };
 
 /// The whole AVS pool goes dark: new connections are refused (RST) for the
@@ -36,6 +38,8 @@ struct CloudOutage {
   sim::Duration start{};
   sim::Duration duration{};
   bool rst_existing{true};
+
+  friend bool operator==(const CloudOutage&, const CloudOutage&) = default;
 };
 
 /// FCM degradation window: pushes are dropped with drop_prob and survivors
@@ -45,6 +49,8 @@ struct FcmFault {
   sim::Duration duration{};
   sim::Duration extra_delay{};
   double drop_prob{0};
+
+  friend bool operator==(const FcmFault&, const FcmFault&) = default;
 };
 
 /// An owner device stops answering measurement requests (battery dead, app
@@ -53,12 +59,16 @@ struct DeviceFault {
   int device{0};  // index into FaultInjector::Targets::devices
   sim::Duration start{};
   sim::Duration duration{};
+
+  friend bool operator==(const DeviceFault&, const DeviceFault&) = default;
 };
 
 /// The guard box crashes and restarts: all proxied flows abort, held packets
 /// and learned recognizer state are lost.
 struct GuardRestart {
   sim::Duration at{};
+
+  friend bool operator==(const GuardRestart&, const GuardRestart&) = default;
 };
 
 struct FaultPlan {
@@ -78,6 +88,8 @@ struct FaultPlan {
            restarts.empty();
   }
   [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 };
 
 /// One injected fault boundary, as it happened. Kind values are stable and

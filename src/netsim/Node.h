@@ -63,6 +63,8 @@ struct GilbertElliott {
   double p_exit_bad{0.35};
   double loss_good{0.0};
   double loss_bad{1.0};
+
+  friend bool operator==(const GilbertElliott&, const GilbertElliott&) = default;
 };
 
 /// A bidirectional point-to-point link with one-way latency, jitter and

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+#include "scenario/Scenario.h"
+
+/// \file Generator.h
+/// Seeded generative world fuzzer: Generator::generate(seed) deterministically
+/// samples one random-but-plausible scenario from a single u64 seed — a home
+/// (or minimal chain, or hand-shaped synthetic trace) with a command schedule,
+/// attacker script, guard degradation policy and an embedded fault plan. Every
+/// generated spec passes ScenarioLoader validation and round-trips through
+/// write_scn, so a failing fuzz seed can be checked in verbatim as a
+/// regression `.scn` (see EXPERIMENTS.md for the corpus policy) and reproduced
+/// with `vgscn run --seed N`.
+///
+/// Plausibility rules the samples obey:
+///  - at most one fault window per category/link/kind, so plans always pass
+///    the injector's overlap validation;
+///  - may_break_connections is labelled conservatively: flaps past the ~31 s
+///    TCP retransmit budget, cloud outages and guard restarts carry it, soft
+///    bursts / latency spikes / FCM & device faults do not — exactly the
+///    boundary the chaos invariants assert;
+///  - command gaps stay above the recognizer's 3 s idle gap and the drain
+///    window extends 60 s past the last command so every hold settles.
+
+namespace vg::scenario {
+
+class Generator {
+ public:
+  /// The spec for fuzz seed \p seed. Deterministic: same seed, same spec.
+  static ScenarioSpec generate(std::uint64_t seed);
+};
+
+}  // namespace vg::scenario

@@ -1,0 +1,115 @@
+#include "scenario/Scenario.h"
+
+namespace vg::scenario {
+
+std::string to_string(Kind k) {
+  switch (k) {
+    case Kind::kHome: return "home";
+    case Kind::kChain: return "chain";
+    case Kind::kSynthetic: return "synthetic";
+  }
+  return "?";
+}
+
+std::string to_string(Testbed t) {
+  switch (t) {
+    case Testbed::kHouse: return "house";
+    case Testbed::kApartment: return "apartment";
+    case Testbed::kOffice: return "office";
+  }
+  return "?";
+}
+
+std::string to_string(Speaker s) {
+  switch (s) {
+    case Speaker::kEchoDot: return "echo_dot";
+    case Speaker::kGoogleHomeMini: return "home_mini";
+  }
+  return "?";
+}
+
+std::optional<Kind> parse_kind(std::string_view s) {
+  if (s == "home") return Kind::kHome;
+  if (s == "chain") return Kind::kChain;
+  if (s == "synthetic") return Kind::kSynthetic;
+  return std::nullopt;
+}
+
+std::optional<Testbed> parse_testbed(std::string_view s) {
+  if (s == "house") return Testbed::kHouse;
+  if (s == "apartment") return Testbed::kApartment;
+  if (s == "office") return Testbed::kOffice;
+  return std::nullopt;
+}
+
+std::optional<Speaker> parse_speaker(std::string_view s) {
+  if (s == "echo_dot") return Speaker::kEchoDot;
+  if (s == "home_mini") return Speaker::kGoogleHomeMini;
+  return std::nullopt;
+}
+
+std::optional<guard::GuardMode> parse_guard_mode(std::string_view s) {
+  if (s == "voiceguard") return guard::GuardMode::kVoiceGuard;
+  if (s == "naive") return guard::GuardMode::kNaive;
+  if (s == "monitor") return guard::GuardMode::kMonitor;
+  return std::nullopt;
+}
+
+std::optional<guard::FailPolicy> parse_fail_policy(std::string_view s) {
+  if (s == "fail-closed") return guard::FailPolicy::kFailClosed;
+  if (s == "fail-open") return guard::FailPolicy::kFailOpen;
+  return std::nullopt;
+}
+
+std::optional<guard::SpikeClass> parse_spike_class(std::string_view s) {
+  if (s == "command") return guard::SpikeClass::kCommand;
+  if (s == "response") return guard::SpikeClass::kResponse;
+  if (s == "unknown") return guard::SpikeClass::kUnknown;
+  return std::nullopt;
+}
+
+std::optional<guard::MatchedRule> parse_matched_rule(std::string_view s) {
+  if (s == "none") return guard::MatchedRule::kNone;
+  if (s == "p-138") return guard::MatchedRule::kP138;
+  if (s == "p-75") return guard::MatchedRule::kP75;
+  if (s == "pattern-a") return guard::MatchedRule::kPatternA;
+  if (s == "pattern-b") return guard::MatchedRule::kPatternB;
+  if (s == "pattern-c") return guard::MatchedRule::kPatternC;
+  if (s == "p-77/p-33") return guard::MatchedRule::kResponsePair;
+  return std::nullopt;
+}
+
+std::string ScenarioSpec::summary() const {
+  std::string s = name + ": " + to_string(kind);
+  switch (kind) {
+    case Kind::kHome:
+      s += ", " + to_string(home.testbed) + ", " + to_string(speaker) + ", " +
+           std::to_string(home.owners) +
+           (home.owners == 1 ? " owner" : " owners");
+      if (scripted()) {
+        int attacks = 0;
+        for (const CommandStep& c : schedule.commands) attacks += c.attack;
+        s += ", scripted " + std::to_string(schedule.commands.size()) +
+             " commands (" + std::to_string(attacks) + " attacks), " +
+             guard::to_string(guard.mode) + "/" +
+             guard::to_string(guard.fail_policy);
+        if (!faults.empty()) s += ", faults: " + faults.to_string();
+      } else {
+        s += ", capture loop of " + std::to_string(schedule.loop_commands) +
+             " commands";
+      }
+      break;
+    case Kind::kChain:
+      s += ", " + to_string(speaker) + ", capture loop of " +
+           std::to_string(schedule.loop_commands) + " commands";
+      break;
+    case Kind::kSynthetic:
+      s += ", " + std::to_string(capture.size()) + " capture ops, " +
+           std::to_string(expected.size()) + " expected spikes";
+      break;
+  }
+  s += ", seed " + std::to_string(seed);
+  return s;
+}
+
+}  // namespace vg::scenario

@@ -1,0 +1,97 @@
+#include "scenario/ScnParser.h"
+
+namespace vg::scenario {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t' ||
+                        s.front() == '\r')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// Strips a trailing " # ..." comment. A '#' only opens a comment at the
+/// start of the line or after whitespace, so values themselves never contain
+/// one (tokens are whitespace-delimited anyway).
+std::string_view strip_comment(std::string_view s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '#') continue;
+    if (i == 0 || s[i - 1] == ' ' || s[i - 1] == '\t') {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<ScnEntry> parse_scn(std::string_view text) {
+  std::vector<ScnEntry> entries;
+  std::string section;
+  int line_no = 0;
+
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string_view raw =
+        text.substr(pos, eol == std::string_view::npos ? eol : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    const std::string_view line = trim(strip_comment(raw));
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']' || line.size() < 3) {
+        throw ScnError{line_no, "malformed section header '" +
+                                    std::string(line) + "'"};
+      }
+      section = std::string(trim(line.substr(1, line.size() - 2)));
+      if (section.empty()) {
+        throw ScnError{line_no, "empty section name"};
+      }
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      throw ScnError{line_no,
+                     "expected 'key = value', got '" + std::string(line) + "'"};
+    }
+    if (section.empty()) {
+      throw ScnError{line_no, "'" + std::string(trim(line.substr(0, eq))) +
+                                  "' appears before any [section] header"};
+    }
+    ScnEntry e;
+    e.section = section;
+    e.key = std::string(trim(line.substr(0, eq)));
+    e.value = std::string(trim(line.substr(eq + 1)));
+    e.line = line_no;
+    if (e.key.empty()) {
+      throw ScnError{line_no, "[" + section + "] empty key"};
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+std::vector<std::string> scn_tokens(std::string_view value) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < value.size()) {
+    while (i < value.size() && (value[i] == ' ' || value[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < value.size() && value[j] != ' ' && value[j] != '\t') ++j;
+    if (j > i) out.emplace_back(value.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+}  // namespace vg::scenario

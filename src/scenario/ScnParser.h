@@ -1,0 +1,64 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file ScnParser.h
+/// The lexical layer of the `.scn` scenario format: a flat, dependency-free
+/// text shape of `[section]` headers and `key = value` lines.
+///
+///   # comment (also allowed after a value, whitespace-separated)
+///   [scenario]
+///   name = lan-burst
+///   [faults]
+///   link = lan burst 20 120 loss_bad=0.8
+///
+/// Values are whitespace-separated token lists; repeating a key appends
+/// another entry (ordered), which is how lists (commands, faults, capture
+/// ops) are written. The parser only checks shape — unknown sections/keys,
+/// types and cross-field rules are the ScenarioLoader's job — but every
+/// entry keeps its 1-based line number so all later diagnostics can name
+/// the offending line.
+
+namespace vg::scenario {
+
+/// Every `.scn` diagnostic, lexical or semantic: what() always starts with
+/// "line N:" and names the section/key at fault.
+class ScnError : public std::runtime_error {
+ public:
+  ScnError(int line, const std::string& msg)
+      : std::runtime_error("line " + std::to_string(line) + ": " + msg),
+        line_(line) {}
+
+  /// Same diagnostic with the file path prepended (load_file).
+  static ScnError prefixed(const std::string& path, const ScnError& e) {
+    return ScnError{Raw{}, e.line(), path + ": " + e.what()};
+  }
+
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  struct Raw {};
+  ScnError(Raw, int line, const std::string& full)
+      : std::runtime_error(full), line_(line) {}
+
+  int line_;
+};
+
+struct ScnEntry {
+  std::string section;
+  std::string key;
+  std::string value;  // trimmed, inline comment stripped
+  int line{0};
+};
+
+/// Splits \p text into entries. Throws ScnError on malformed lines (text
+/// outside a section, missing '=', empty key, unterminated '[').
+std::vector<ScnEntry> parse_scn(std::string_view text);
+
+/// Splits \p value on whitespace.
+std::vector<std::string> scn_tokens(std::string_view value);
+
+}  // namespace vg::scenario

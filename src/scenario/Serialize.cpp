@@ -1,0 +1,206 @@
+#include "scenario/Serialize.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace vg::scenario {
+
+namespace {
+
+/// Shortest "%.Pg" rendering of \p v accepted by \p ok (round-trip search).
+/// Returns empty when even 17 significant digits fail.
+std::string shortest(double v, const std::function<bool(double)>& ok) {
+  char buf[48];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (ok(std::strtod(buf, nullptr))) return buf;
+  }
+  return {};
+}
+
+std::string fmt_double(double v) {
+  return shortest(v, [v](double x) { return x == v; });
+}
+
+std::string fmt_seconds(sim::Duration d) {
+  std::string s = shortest(
+      d.seconds(), [d](double x) { return sim::from_seconds(x) == d; });
+  if (s.empty()) s = std::to_string(d.ns()) + "ns";
+  return s;
+}
+
+std::string fmt_extra_ms(sim::Duration d) {
+  std::string s = shortest(
+      static_cast<double>(d.ns()) / 1e6,
+      [d](double x) { return sim::from_seconds(x / 1000.0) == d; });
+  if (s.empty()) s = std::to_string(d.ns()) + "ns";
+  return s;
+}
+
+void emit_schedule_loop(std::ostringstream& out, const ScheduleSpec& s) {
+  out << "\n[schedule]\n";
+  out << "commands = " << s.loop_commands << "\n";
+  out << "boot_s = " << fmt_seconds(s.boot) << "\n";
+  out << "gap_base_s = " << fmt_double(s.gap_base_s) << "\n";
+  out << "gap_jitter_s = " << fmt_double(s.gap_jitter_s) << "\n";
+  out << "tail_s = " << fmt_seconds(s.tail) << "\n";
+}
+
+void emit_faults(std::ostringstream& out, const faults::FaultPlan& p) {
+  if (p.empty() && !p.may_break_connections) return;
+  out << "\n[faults]\n";
+  for (const faults::LinkFault& f : p.links) {
+    out << "link = "
+        << (f.where == faults::LinkFault::Where::kLan ? "lan" : "wan") << " ";
+    switch (f.kind) {
+      case faults::LinkFault::Kind::kFlap: out << "flap"; break;
+      case faults::LinkFault::Kind::kBurst: out << "burst"; break;
+      case faults::LinkFault::Kind::kLatencySpike: out << "latency"; break;
+    }
+    out << " " << fmt_seconds(f.start) << " " << fmt_seconds(f.duration);
+    if (f.kind == faults::LinkFault::Kind::kBurst) {
+      out << " enter=" << fmt_double(f.ge.p_enter_bad)
+          << " exit=" << fmt_double(f.ge.p_exit_bad)
+          << " loss_good=" << fmt_double(f.ge.loss_good)
+          << " loss_bad=" << fmt_double(f.ge.loss_bad);
+    } else if (f.kind == faults::LinkFault::Kind::kLatencySpike) {
+      out << " extra_ms=" << fmt_extra_ms(f.extra_latency);
+    }
+    out << "\n";
+  }
+  for (const faults::CloudOutage& f : p.cloud) {
+    out << "cloud = " << fmt_seconds(f.start) << " " << fmt_seconds(f.duration)
+        << " " << (f.rst_existing ? "rst" : "norst") << "\n";
+  }
+  for (const faults::FcmFault& f : p.fcm) {
+    out << "fcm = " << fmt_seconds(f.start) << " " << fmt_seconds(f.duration)
+        << " delay_s=" << fmt_seconds(f.extra_delay)
+        << " drop=" << fmt_double(f.drop_prob) << "\n";
+  }
+  for (const faults::DeviceFault& f : p.devices) {
+    out << "device = " << f.device << " " << fmt_seconds(f.start) << " "
+        << fmt_seconds(f.duration) << "\n";
+  }
+  for (const faults::GuardRestart& f : p.restarts) {
+    out << "restart = " << fmt_seconds(f.at) << "\n";
+  }
+  if (p.may_break_connections) {
+    out << "may_break_connections = on\n";
+  }
+}
+
+void emit_capture(std::ostringstream& out, const ScenarioSpec& spec) {
+  out << "\n[capture]\n";
+  for (const CaptureOp& op : spec.capture) {
+    switch (op.kind) {
+      case CaptureOp::Kind::kDns:
+        out << "dns = " << (op.domain == 0 ? "avs" : "google") << " "
+            << op.ip.to_string() << " " << op.at_ms << "\n";
+        break;
+      case CaptureOp::Kind::kFlow:
+        out << "flow = "
+            << (op.proto == net::Protocol::kTcp ? "tcp" : "udp") << " "
+            << op.sport << " " << op.ip.to_string() << " " << op.dport << " "
+            << op.at_ms << "\n";
+        break;
+      case CaptureOp::Kind::kSignature:
+        out << "signature = " << op.flow << " " << op.at_ms << "\n";
+        break;
+      case CaptureOp::Kind::kTls:
+      case CaptureOp::Kind::kDatagram:
+        out << (op.kind == CaptureOp::Kind::kTls ? "tls = " : "datagram = ")
+            << op.flow << " " << (op.upstream ? "up" : "down") << " "
+            << op.len << " " << op.at_ms << "\n";
+        break;
+      case CaptureOp::Kind::kSpike:
+        out << "spike = " << op.flow << " " << op.at_ms;
+        for (const std::uint32_t len : op.lens) out << " " << len;
+        out << "\n";
+        break;
+    }
+  }
+  for (const ExpectedSpike& sp : spec.expected) {
+    out << "expect = " << sp.flow_id << " " << (sp.udp ? "udp" : "tcp") << " "
+        << sp.at_ms << " " << guard::to_string(sp.cls) << " "
+        << guard::to_string(sp.rule);
+    for (const std::uint32_t len : sp.prefix) out << " " << len;
+    out << "\n";
+  }
+}
+
+}  // namespace
+
+std::string write_scn(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "# " << spec.summary() << "\n";
+  out << "[scenario]\n";
+  out << "name = " << spec.name << "\n";
+  out << "kind = " << to_string(spec.kind) << "\n";
+  out << "seed = " << spec.seed << "\n";
+  out << "speaker = " << to_string(spec.speaker) << "\n";
+
+  switch (spec.kind) {
+    case Kind::kHome: {
+      out << "\n[home]\n";
+      out << "testbed = " << to_string(spec.home.testbed) << "\n";
+      out << "deployment = " << spec.home.deployment << "\n";
+      out << "owners = " << spec.home.owners << "\n";
+      out << "watch = " << (spec.home.watch ? "on" : "off") << "\n";
+      out << "motion_sensor = " << (spec.home.motion_sensor ? "on" : "off")
+          << "\n";
+      if (spec.scripted()) {
+        out << "\n[guard]\n";
+        out << "mode = " << guard::to_string(spec.guard.mode) << "\n";
+        out << "fail_policy = " << guard::to_string(spec.guard.fail_policy)
+            << "\n";
+        out << "verdict_timeout_s = " << fmt_seconds(spec.guard.verdict_timeout)
+            << "\n";
+        out << "hold_queue_cap = " << spec.guard.hold_queue_cap << "\n";
+        out << "fcm_max_retries = " << spec.guard.fcm_max_retries << "\n";
+        out << "fcm_retry_initial_s = "
+            << fmt_seconds(spec.guard.fcm_retry_initial) << "\n";
+        out << "\n[schedule]\n";
+        for (const CommandStep& c : spec.schedule.commands) {
+          out << "command = " << fmt_seconds(c.at) << " "
+              << (c.attack ? "attack" : "legit") << "\n";
+        }
+        out << "drain_s = " << fmt_seconds(spec.schedule.drain) << "\n";
+        emit_faults(out, spec.faults);
+      } else {
+        emit_schedule_loop(out, spec.schedule);
+      }
+      break;
+    }
+    case Kind::kChain: {
+      emit_schedule_loop(out, spec.schedule);
+      out << "\n[chain]\n";
+      out << "avs_migration_s = " << fmt_seconds(spec.chain.avs_migration_mean)
+          << "\n";
+      if (spec.chain.misc_connection_mean) {
+        out << "misc_connection_s = "
+            << fmt_seconds(*spec.chain.misc_connection_mean) << "\n";
+      }
+      if (spec.chain.quic_probability) {
+        out << "quic_probability = " << fmt_double(*spec.chain.quic_probability)
+            << "\n";
+      }
+      break;
+    }
+    case Kind::kSynthetic:
+      emit_capture(out, spec);
+      break;
+  }
+  return out.str();
+}
+
+void save_scn(const ScenarioSpec& spec, const std::string& path) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  if (!out) throw std::runtime_error{path + ": cannot open for writing"};
+  out << write_scn(spec);
+  if (!out.flush()) throw std::runtime_error{path + ": write failed"};
+}
+
+}  // namespace vg::scenario

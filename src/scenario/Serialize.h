@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "scenario/Scenario.h"
+
+/// \file Serialize.h
+/// Canonical `.scn` emission: write_scn produces text the ScenarioLoader
+/// parses back into an equal ScenarioSpec (round-trip pinned by test). The
+/// checked-in ports of the hand-written chaos/trace scenarios and `vgscn
+/// gen` both go through this, so the corpus stays in one canonical shape.
+///
+/// Durations are written as the shortest decimal-seconds literal whose
+/// parse reproduces the exact nanosecond count, with an explicit "<ns>ns"
+/// fallback when no decimal does (from_seconds truncates, so a pathological
+/// count could otherwise drift by one nanosecond per round-trip).
+
+namespace vg::scenario {
+
+/// Serializes \p spec into canonical `.scn` text.
+std::string write_scn(const ScenarioSpec& spec);
+
+/// write_scn + write to \p path. Throws std::runtime_error on I/O failure.
+void save_scn(const ScenarioSpec& spec, const std::string& path);
+
+}  // namespace vg::scenario

@@ -47,8 +47,13 @@ void GoogleHomeMiniModel::start_interaction(const CommandSpec& cmd,
     run_tcp(server_ip);
   }
 
+  // DNS can resolve arbitrarily late under cloud/latency faults, so the
+  // patience window may already be over by the time the interaction starts;
+  // never schedule the timeout into the past.
   pending_->timeout_timer = host_.sim().at(
-      pending_->command_end + opts_.response_timeout, [this] {
+      std::max(pending_->command_end + opts_.response_timeout,
+               host_.sim().now()),
+      [this] {
         if (pending_ && !pending_->response_start) {
           finish_interaction(false, false, /*timed_out=*/true);
         }
@@ -128,7 +133,10 @@ void GoogleHomeMiniModel::stream_command_tcp(std::uint64_t igen) {
 
   const int audio_records = std::clamp(
       static_cast<int>(pending_->cmd.speech_duration().seconds() * 4.0), 6, 40);
-  sim::TimePoint at = speech_end;
+  // Establishment can outlast the speech under link faults; the buffered
+  // audio then flushes as soon as the connection is up instead of being
+  // scheduled into the past.
+  sim::TimePoint at = std::max(speech_end, host_.sim().now());
   for (int i = 0; i < audio_records; ++i) {
     const bool last = (i == audio_records - 1);
     const auto len = static_cast<std::uint32_t>(rng.uniform_int(1100, 1380));
@@ -202,7 +210,8 @@ void GoogleHomeMiniModel::stream_command_quic(std::uint64_t igen,
 
   const int audio_records = std::clamp(
       static_cast<int>(pending_->cmd.speech_duration().seconds() * 4.0), 6, 40);
-  sim::TimePoint at = speech_end;
+  // Same late-establishment clamp as the TCP path.
+  sim::TimePoint at = std::max(speech_end, host_.sim().now());
   for (int i = 0; i < audio_records; ++i) {
     const bool last = (i == audio_records - 1);
     const auto len = static_cast<std::uint32_t>(rng.uniform_int(1000, 1350));

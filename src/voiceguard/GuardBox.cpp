@@ -206,6 +206,13 @@ void GuardBox::accept_lan_connection(net::TcpConnection& lan_conn) {
     flow->lan_closed = true;
     // A dead speaker connection has nothing left to release, and any
     // outstanding verdict no longer applies.
+    if (mon->state == Monitor::State::kObserving && mon->event_index >= 0 &&
+        events_[mon->event_index].outcome == SpikeOutcome::kPending) {
+      // Conclude the observation the way the classify timer would have: the
+      // offline replayer finalizes on its mirrored deadline and must agree.
+      events_[mon->event_index].cls = mon->classifier.finalize();
+      events_[mon->event_index].rule = mon->classifier.matched_rule();
+    }
     terminalize(*mon,
                 mon->state == Monitor::State::kObserving
                     ? SpikeOutcome::kObserved
@@ -242,14 +249,16 @@ void GuardBox::accept_lan_connection(net::TcpConnection& lan_conn) {
   };
   wan_cbs.on_closed = [this, flow, mon](net::TcpCloseReason reason) {
     flow->wan_closed = true;
-    terminalize(*mon,
-                mon->state == Monitor::State::kObserving
-                    ? SpikeOutcome::kObserved
-                    : SpikeOutcome::kDropped,
-                /*forced=*/false);
-    drop(*mon);
-    ++mon->spike_gen;
-    mon->state = Monitor::State::kPass;
+    // In monitor mode nothing is held, and speaker-side records remain
+    // observable until the LAN arm closes moments later — so a mid-spike
+    // server close must not cut the observation short (the trace carries no
+    // close events, so the offline replayer cannot mirror such a cut).
+    if (mon->state != Monitor::State::kObserving) {
+      terminalize(*mon, SpikeOutcome::kDropped, /*forced=*/false);
+      drop(*mon);
+      ++mon->spike_gen;
+      mon->state = Monitor::State::kPass;
+    }
     if (flow->wan != nullptr) {
       flows_by_wan_.erase(flow->wan);
       flow->wan = nullptr;

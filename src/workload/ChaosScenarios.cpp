@@ -1,37 +1,12 @@
 #include "workload/ChaosScenarios.h"
 
-#include <memory>
 #include <stdexcept>
 
-#include "faults/FaultInjector.h"
-#include "trace/TraceTap.h"
-#include "workload/Corpus.h"
-#include "workload/World.h"
+#include "workload/ScenarioRun.h"
 
 namespace vg::workload {
 
 namespace {
-
-/// A device-height spot at the centre of the room farthest from the speaker:
-/// where the scripted "attack" commands are issued from (the owner's device is
-/// far away, so the RSSI verdict must come back malicious).
-radio::Vec3 farthest_room_spot(const SmartHomeWorld& world) {
-  const auto& plan = world.testbed().plan();
-  const radio::Vec3 spk =
-      world.testbed().speaker_position(world.config().deployment);
-  radio::Vec3 best{};
-  double best_d = -1.0;
-  for (const auto& room : plan.rooms()) {
-    const radio::Vec2 c = room.bounds.center();
-    const radio::Vec3 p{c.x, c.y, plan.device_height(room.floor)};
-    const double d = radio::distance(p, spk);
-    if (d > best_d) {
-      best_d = d;
-      best = p;
-    }
-  }
-  return best;
-}
 
 std::vector<faults::FaultPlan> build_plans() {
   using faults::CloudOutage;
@@ -156,113 +131,37 @@ std::vector<ChaosSpec> chaos_matrix(std::uint64_t seed0,
   return specs;
 }
 
-ChaosResult run_chaos(const ChaosSpec& spec, trace::TraceWriter* writer) {
-  const faults::FaultPlan& plan = chaos_plan(spec.plan);
-
-  WorldConfig cfg;
-  cfg.testbed = WorldConfig::TestbedKind::kApartment;
-  cfg.owner_count = 1;
-  cfg.mode = spec.mode;
-  cfg.seed = spec.seed;
-  cfg.fail_policy = spec.fail_policy;
+scenario::ScenarioSpec chaos_scenario_spec(const ChaosSpec& spec) {
+  scenario::ScenarioSpec s;
+  s.name = spec.plan;
+  s.kind = scenario::Kind::kHome;
+  s.seed = spec.seed;
+  s.speaker = scenario::Speaker::kEchoDot;
+  s.home.testbed = scenario::Testbed::kApartment;
+  s.home.owners = 1;
+  s.guard.mode = spec.mode;
+  s.guard.fail_policy = spec.fail_policy;
   // Below the decision module's 6 s device timeout on purpose: a dead device
   // or a badly delayed FCM push must resolve through the guard's fail policy,
   // not the decision module's own give-up path.
-  cfg.verdict_timeout = sim::seconds(5);
-  cfg.hold_queue_cap = 64;
-  cfg.fcm_max_retries = 2;
-  SmartHomeWorld world{cfg};
-
-  std::unique_ptr<trace::TraceTap> tap;
-  if (writer != nullptr) {
-    tap = std::make_unique<trace::TraceTap>(*writer);
-    world.guard().set_wire_tap(tap.get());
+  s.guard.verdict_timeout = sim::seconds(5);
+  s.guard.hold_queue_cap = 64;
+  s.guard.fcm_max_retries = 2;
+  // Six commands, odd ones issued while the owner (and their phone) is in the
+  // farthest room — ground-truth "unauthorized".
+  for (int i = 0; i < 6; ++i) {
+    scenario::CommandStep step;
+    step.at = sim::seconds(10 + 30 * i);
+    step.attack = (i % 2) == 1;
+    s.schedule.commands.push_back(step);
   }
+  s.schedule.drain = sim::seconds(215);
+  s.faults = chaos_plan(spec.plan);
+  return s;
+}
 
-  world.calibrate();
-
-  faults::FaultInjector::Targets targets;
-  targets.lan = &world.lan_link();
-  targets.wan = &world.wan_link();
-  targets.cloud = &world.cloud();
-  targets.fcm = &world.fcm();
-  targets.devices = {&world.device(0)};
-  targets.guard = &world.guard();
-  faults::FaultInjector injector{world.sim(), targets};
-  if (writer != nullptr) {
-    injector.set_observer([writer](const faults::FaultEvent& ev) {
-      writer->fault(static_cast<std::uint8_t>(ev.kind), ev.param, ev.when);
-    });
-  }
-  const sim::TimePoint t0 = world.sim().now();
-  injector.arm(plan);
-
-  // The scripted workload: six commands, odd ones issued while the owner
-  // (and their phone) is in the farthest room — ground-truth "unauthorized".
-  const radio::Vec3 attack_spot = farthest_room_spot(world);
-  const CommandCorpus& corpus = CommandCorpus::alexa();
-  sim::Rng& rng = world.sim().rng("chaos.script");
-  constexpr int kCommands = 6;
-  constexpr double kOffsets[kCommands] = {10, 40, 70, 100, 130, 160};
-  for (int i = 0; i < kCommands; ++i) {
-    world.sim().run_until(t0 + sim::from_seconds(kOffsets[i] - 1.0));
-    const bool attack = (i % 2) == 1;
-    world.owner(0).teleport(attack ? attack_spot
-                                   : world.random_legit_spot(rng));
-    world.sim().run_until(t0 + sim::from_seconds(kOffsets[i]));
-    world.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
-  }
-  // Long enough past the last command for every hold, timeout, retransmit
-  // and reconnect to drain.
-  world.sim().run_until(t0 + sim::seconds(215));
-
-  if (writer != nullptr) world.guard().set_wire_tap(nullptr);
-
-  ChaosResult r;
-  r.label = plan.name + "/" + guard::to_string(spec.mode) + "/" +
-            guard::to_string(spec.fail_policy);
-  r.may_break_connections = plan.may_break_connections;
-
-  guard::GuardBox& g = world.guard();
-  r.spikes = g.spike_events().size();
-  r.unresolved_spikes = g.unresolved_spikes();
-  r.held_outstanding = g.held_outstanding();
-  r.released = g.commands_released();
-  r.blocked = g.commands_blocked();
-  r.forced_open = g.forced_open();
-  r.forced_closed = g.forced_closed();
-  r.hold_overflows = g.hold_overflows();
-  r.guard_restarts = g.restarts();
-
-  r.link_dropped =
-      world.lan_link().dropped_packets() + world.wan_link().dropped_packets();
-  r.flap_dropped =
-      world.lan_link().flap_dropped() + world.wan_link().flap_dropped();
-  r.burst_dropped =
-      world.lan_link().burst_dropped() + world.wan_link().burst_dropped();
-
-  r.seq_violations = world.cloud().total_sequence_violations();
-  r.sessions_killed = world.cloud().total_sessions_killed();
-  r.outage_refused = world.cloud().total_outage_refused();
-  r.fcm_pushes = world.fcm().pushes_sent();
-  r.fcm_dropped = world.fcm().pushes_dropped();
-  r.fcm_retries = world.decision().fcm_retries();
-  r.late_reports = world.decision().late_reports();
-  r.device_ignored = world.device(0).ignored_requests();
-
-  for (const auto& it : world.interactions()) {
-    ++r.interactions;
-    if (it.response_received) ++r.responses;
-    if (it.connection_error) ++r.connection_errors;
-  }
-  r.reconnects = world.echo() != nullptr ? world.echo()->reconnects() : 0;
-  for (int i = 0; i < kCommands; ++i) {
-    if (world.command_executed(static_cast<std::uint64_t>(i) + 1)) {
-      ++r.commands_executed;
-    }
-  }
-  r.faults_injected = injector.injected();
-  return r;
+ChaosResult run_chaos(const ChaosSpec& spec, trace::TraceWriter* writer) {
+  return run_scenario_scripted(chaos_scenario_spec(spec), writer);
 }
 
 std::vector<ChaosResult> run_chaos_serial(const std::vector<ChaosSpec>& specs) {
@@ -305,6 +204,7 @@ std::uint64_t ChaosResult::fingerprint() const {
   mix(seq_violations);
   mix(sessions_killed);
   mix(outage_refused);
+  mix(avs_migrations);
   mix(fcm_pushes);
   mix(fcm_dropped);
   mix(fcm_retries);

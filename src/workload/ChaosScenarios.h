@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "faults/FaultPlan.h"
+#include "scenario/Scenario.h"
 #include "simcore/BatchRunner.h"
 #include "trace/TraceWriter.h"
 #include "voiceguard/GuardBox.h"
@@ -56,6 +57,10 @@ struct ChaosResult {
   std::uint64_t seq_violations{0};
   std::uint64_t sessions_killed{0};
   std::uint64_t outage_refused{0};
+  /// AVS IP migrations during the run; each orderly-closes the live session,
+  /// so one reconnect (and possibly one mid-interaction error) per migration
+  /// is expected even under an empty fault plan.
+  std::uint64_t avs_migrations{0};
   std::uint64_t fcm_pushes{0};
   std::uint64_t fcm_dropped{0};
   std::uint64_t fcm_retries{0};
@@ -88,6 +93,13 @@ const faults::FaultPlan& chaos_plan(const std::string& name);
 /// is covered by dedicated tests).
 std::vector<ChaosSpec> chaos_matrix(std::uint64_t seed0,
                                     guard::FailPolicy policy);
+
+/// The declarative scenario behind one chaos cell: apartment testbed, one
+/// owner, six scripted commands (odd ones attacks), the cell's guard mode /
+/// fail policy, and the named plan embedded as the fault section. run_chaos
+/// is exactly run_scenario_scripted over this spec, and the checked-in
+/// `.scn` ports under tests/data/scenarios/ are pinned equal to it by test.
+scenario::ScenarioSpec chaos_scenario_spec(const ChaosSpec& spec);
 
 /// Runs one chaos cell to completion. When \p writer is set, a TraceTap is
 /// attached to the guard for the scripted phase and every injected fault

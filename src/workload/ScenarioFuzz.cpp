@@ -1,0 +1,350 @@
+#include "workload/ScenarioFuzz.h"
+
+#include <optional>
+#include <span>
+#include <sstream>
+
+#include "scenario/Generator.h"
+#include "scenario/ScenarioLoader.h"
+#include "scenario/ScnParser.h"
+#include "scenario/Serialize.h"
+#include "trace/BatchDecoder.h"
+#include "trace/BatchReplayer.h"
+#include "trace/Replayer.h"
+#include "trace/TraceReader.h"
+#include "workload/ScenarioRun.h"
+
+namespace vg::workload {
+
+namespace {
+
+using Violations = std::vector<std::string>;
+
+struct Outcome {
+  Violations violations;
+  std::uint64_t spikes{0};
+  std::uint64_t faults{0};
+};
+
+void fail(Violations& out, const std::string& msg) { out.push_back(msg); }
+
+/// Serializer/loader round-trip: the generated spec must pass validation and
+/// come back equal — the property that lets a failing seed be checked in
+/// verbatim as a regression `.scn`.
+void check_roundtrip(const scenario::ScenarioSpec& spec, Violations& out) {
+  try {
+    const scenario::ScenarioSpec reparsed =
+        scenario::ScenarioLoader::load(scenario::write_scn(spec));
+    if (!(reparsed == spec)) {
+      fail(out, "scn round-trip: reparsed spec differs from the generated one");
+    }
+  } catch (const scenario::ScnError& e) {
+    fail(out, std::string{"scn round-trip: "} + e.what());
+  }
+}
+
+bool spikes_equal(const trace::ReplaySpike& a, const trace::ReplaySpike& b) {
+  return a.flow_id == b.flow_id && a.udp == b.udp && a.start == b.start &&
+         a.prefix == b.prefix && a.cls == b.cls && a.rule == b.rule;
+}
+
+void check_replay_equal(const trace::ReplayResult& want,
+                        const trace::ReplayResult& got, const char* what,
+                        Violations& out) {
+  if (want.spikes.size() != got.spikes.size()) {
+    fail(out, std::string{what} + ": spike count " +
+                  std::to_string(got.spikes.size()) + " != " +
+                  std::to_string(want.spikes.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < want.spikes.size(); ++i) {
+    if (!spikes_equal(want.spikes[i], got.spikes[i])) {
+      fail(out,
+           std::string{what} + ": spike " + std::to_string(i) + " differs");
+      return;
+    }
+  }
+  const bool counters_equal =
+      want.frames == got.frames && want.flows == got.flows &&
+      want.avs_flows == got.avs_flows &&
+      want.google_flows == got.google_flows &&
+      want.unmonitored_flows == got.unmonitored_flows &&
+      want.tls_records == got.tls_records &&
+      want.datagrams == got.datagrams &&
+      want.dns_answers == got.dns_answers &&
+      want.fault_frames == got.fault_frames &&
+      want.heartbeats == got.heartbeats &&
+      want.avs_dns_updates == got.avs_dns_updates &&
+      want.avs_signature_updates == got.avs_signature_updates &&
+      want.commands == got.commands && want.responses == got.responses &&
+      want.unknowns == got.unknowns && want.end_time == got.end_time;
+  if (!counters_equal) {
+    fail(out, std::string{what} + ": tally counters diverge");
+  }
+}
+
+/// Trace round-trip on \p bytes: parse, column-decode parity against the
+/// per-record reader, and per-record Replayer vs columnar BatchReplayer
+/// verdict equivalence. Returns the per-record replay for further checks,
+/// or nothing if the trace didn't even parse.
+std::optional<trace::ReplayResult> check_trace(
+    const std::vector<std::uint8_t>& bytes, Violations& out) {
+  std::optional<trace::TraceReader> parsed;
+  try {
+    parsed = trace::TraceReader::parse(bytes);
+  } catch (const trace::TraceError& e) {
+    fail(out, std::string{"trace re-parse: "} + e.what());
+    return std::nullopt;
+  }
+  const trace::TraceReader& reader = *parsed;
+  const trace::ReplayResult replay = trace::Replayer{}.run(reader);
+
+  trace::ColumnBatch batch;
+  try {
+    batch = trace::BatchDecoder::decode(
+        std::span<const std::uint8_t>{bytes.data(), bytes.size()});
+  } catch (const trace::TraceError& e) {
+    fail(out, std::string{"batch decode: "} + e.what());
+    return replay;
+  }
+  if (batch.size() != reader.records().size() ||
+      batch.flows.size() != reader.flows().size() ||
+      batch.end_time != reader.end_time()) {
+    fail(out, "batch decode: column shape differs from TraceReader");
+    return replay;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const trace::TraceRecord& want = reader.records()[i];
+    const trace::TraceRecord got = batch.record(i);
+    if (got.kind != want.kind || got.when != want.when ||
+        got.flow != want.flow || got.upstream != want.upstream ||
+        got.tls_type != want.tls_type || got.length != want.length ||
+        got.domain_code != want.domain_code ||
+        got.dns_answer != want.dns_answer ||
+        got.fault_code != want.fault_code ||
+        got.fault_param != want.fault_param) {
+      fail(out, "batch decode: record " + std::to_string(i) +
+                    " differs from TraceReader");
+      return replay;
+    }
+  }
+  const trace::ReplayResult columnar =
+      trace::BatchReplayer{}.run(batch).to_replay_result();
+  check_replay_equal(replay, columnar, "columnar replay", out);
+  return replay;
+}
+
+void check_scripted(const scenario::ScenarioSpec& spec, Outcome& o) {
+  trace::TraceWriter writer{{spec.name, spec.seed}};
+  ChaosResult r;
+  try {
+    r = run_scenario_scripted(spec, &writer);
+  } catch (const std::exception& e) {
+    fail(o.violations, std::string{"scripted run threw: "} + e.what());
+    return;
+  }
+  o.spikes += r.spikes;
+  o.faults += r.faults_injected;
+  const std::uint64_t n_commands = spec.schedule.commands.size();
+
+  // The PR-4 chaos invariants, generalized to an arbitrary script length.
+  std::uint64_t held = r.held_outstanding;
+  std::uint64_t unresolved = r.unresolved_spikes;
+  if (held != 0 || unresolved != 0) {
+    // A spike can begin moments before the horizon (late retransmits after a
+    // fault window, background traffic), leaving its verdict genuinely in
+    // flight when the clock stops. That is truncation, not a leak: extend the
+    // drain and require the world to settle. A real hold leak survives any
+    // extension.
+    scenario::ScenarioSpec longer = spec;
+    for (int ext = 0; ext < 2 && (held != 0 || unresolved != 0); ++ext) {
+      longer.schedule.drain = longer.schedule.drain + sim::seconds(30);
+      try {
+        const ChaosResult rl = run_scenario_scripted(longer, nullptr);
+        held = rl.held_outstanding;
+        unresolved = rl.unresolved_spikes;
+      } catch (const std::exception& e) {
+        fail(o.violations,
+             std::string{"extended-drain rerun threw: "} + e.what());
+        break;
+      }
+    }
+    if (held != 0) {
+      fail(o.violations, "held packet leak (persists past extended drain): "
+                         "held_outstanding = " +
+                             std::to_string(held));
+    }
+    if (unresolved != 0) {
+      fail(o.violations, "non-terminal spike (persists past extended drain): "
+                         "unresolved_spikes = " +
+                             std::to_string(unresolved));
+    }
+  }
+  if (r.interactions > n_commands) {
+    fail(o.violations, "more interactions (" + std::to_string(r.interactions) +
+                           ") than scripted commands (" +
+                           std::to_string(n_commands) + ")");
+  }
+  if (r.responses + r.connection_errors > r.interactions) {
+    fail(o.violations, "interaction accounting: responses + errors exceed "
+                       "interactions");
+  } else if (!r.may_break_connections) {
+    // Connections die only as the visible consequence of an intentional
+    // drop, never because a fault reset them behind everyone's back.
+    if (r.sessions_killed > r.blocked + r.forced_closed) {
+      fail(o.violations,
+           "connection broke under a may_break=off plan: sessions_killed " +
+               std::to_string(r.sessions_killed) + " > blocked+forced " +
+               std::to_string(r.blocked + r.forced_closed));
+    }
+    // Every reconnect needs an enumerable cause: a blocked or force-closed
+    // spike, a hold-queue overflow (the guard sheds the spike like a block),
+    // an interaction the speaker gave up on, a deliberately disturbed link
+    // (at most one live session death per fault window), or an AVS IP
+    // migration (the old server orderly-closes the session).
+    const std::uint64_t explained = r.blocked + r.forced_closed +
+                                    r.hold_overflows +
+                                    (r.interactions - r.responses) +
+                                    spec.faults.links.size() +
+                                    r.avs_migrations;
+    if (r.reconnects > explained) {
+      fail(o.violations,
+           "unexplained reconnects under a may_break=off plan: " +
+               std::to_string(r.reconnects) + " > " +
+               std::to_string(explained) + " (" + r.to_string() + ")");
+    }
+    if (spec.guard.mode == guard::GuardMode::kMonitor) {
+      if (r.blocked != 0 || r.forced_closed != 0 || r.sessions_killed != 0) {
+        fail(o.violations,
+             "monitor mode dropped traffic: blocked/forced/killed = " +
+                 std::to_string(r.blocked) + "/" +
+                 std::to_string(r.forced_closed) + "/" +
+                 std::to_string(r.sessions_killed));
+      }
+      // A link-fault window can swallow a wake instant (the speaker sees
+      // itself disconnected); with an untouched network the monitor guard
+      // must be fully transparent — except when an AVS migration closes the
+      // session out from under a command already in flight.
+      if (spec.faults.links.empty() &&
+          r.connection_errors > r.avs_migrations) {
+        fail(o.violations, "monitor mode saw connection errors on healthy "
+                           "links: " +
+                               std::to_string(r.connection_errors) +
+                               " with only " +
+                               std::to_string(r.avs_migrations) +
+                               " AVS migrations");
+      }
+    }
+  }
+  if (spec.faults.empty()) {
+    if (r.faults_injected != 0 || r.link_dropped != 0) {
+      fail(o.violations, "faults fired under an empty plan");
+    }
+  } else if (r.faults_injected == 0) {
+    fail(o.violations, "a non-empty plan injected nothing");
+  }
+
+  // Trace round-trip on the capture, including the kFault annotations.
+  const auto replay = check_trace(writer.finish(), o.violations);
+  if (replay && replay->fault_frames != r.faults_injected) {
+    fail(o.violations,
+         "capture lost fault annotations: " +
+             std::to_string(replay->fault_frames) + " frames for " +
+             std::to_string(r.faults_injected) + " injected");
+  }
+}
+
+void check_capture(const scenario::ScenarioSpec& spec, Outcome& o) {
+  TraceScenarioResult res;
+  try {
+    res = run_scenario_capture(spec);
+  } catch (const std::exception& e) {
+    fail(o.violations, std::string{"capture run threw: "} + e.what());
+    return;
+  }
+  const auto replay = check_trace(res.bytes, o.violations);
+  if (!replay) return;
+  o.spikes += replay->spikes.size();
+  if (res.synthetic) return;  // generated synthetics carry no ground truth
+
+  // Live monitor-mode guard vs offline replay: verdict for verdict.
+  if (replay->spikes.size() != res.live_spikes.size()) {
+    fail(o.violations,
+         "replay recognized " + std::to_string(replay->spikes.size()) +
+             " spikes, live guard " + std::to_string(res.live_spikes.size()));
+    return;
+  }
+  for (std::size_t i = 0; i < replay->spikes.size(); ++i) {
+    const trace::ReplaySpike& got = replay->spikes[i];
+    const guard::SpikeEvent& want = res.live_spikes[i];
+    if (got.flow_id != want.flow_id || got.udp != want.udp ||
+        got.start != want.start || got.prefix != want.prefix ||
+        got.cls != want.cls || got.rule != want.rule) {
+      fail(o.violations,
+           "replay spike " + std::to_string(i) + " differs from live guard");
+      return;
+    }
+  }
+}
+
+Outcome check_impl(const scenario::ScenarioSpec& spec) {
+  Outcome o;
+  check_roundtrip(spec, o.violations);
+  if (spec.scripted()) {
+    check_scripted(spec, o);
+  } else {
+    check_capture(spec, o);
+  }
+  return o;
+}
+
+}  // namespace
+
+std::vector<std::string> check_scenario(const scenario::ScenarioSpec& spec) {
+  return check_impl(spec).violations;
+}
+
+FuzzReport fuzz_scenarios(std::uint64_t first_seed, std::uint64_t count) {
+  FuzzReport report;
+  report.first_seed = first_seed;
+  report.count = count;
+  for (std::uint64_t seed = first_seed; seed < first_seed + count; ++seed) {
+    const scenario::ScenarioSpec spec = scenario::Generator::generate(seed);
+    if (spec.scripted()) {
+      ++report.scripted;
+    } else if (spec.kind == scenario::Kind::kHome) {
+      ++report.home_captures;
+    } else if (spec.kind == scenario::Kind::kChain) {
+      ++report.chain_captures;
+    } else {
+      ++report.synthetic;
+    }
+    const Outcome o = check_impl(spec);
+    report.faults_injected += o.faults;
+    report.replayed_spikes += o.spikes;
+    if (!o.violations.empty()) {
+      FuzzFailure f;
+      f.seed = seed;
+      std::ostringstream msg;
+      msg << "seed " << seed << " (" << spec.summary() << "):";
+      for (const std::string& v : o.violations) msg << "\n  - " << v;
+      msg << "\n  repro: vgscn run --seed " << seed;
+      f.message = msg.str();
+      report.failures.push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+std::string FuzzReport::to_string() const {
+  std::ostringstream out;
+  out << "fuzzed seeds [" << first_seed << ", " << (first_seed + count)
+      << "): " << scripted << " scripted, " << home_captures
+      << " home captures, " << chain_captures << " chain captures, "
+      << synthetic << " synthetic; " << faults_injected
+      << " faults injected, " << replayed_spikes << " spikes replayed; "
+      << failures.size() << " failing seed(s)";
+  return out.str();
+}
+
+}  // namespace vg::workload

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/Scenario.h"
+
+/// \file ScenarioFuzz.h
+/// The generative invariant harness: for each fuzz seed, generate a scenario
+/// (scenario::Generator), round-trip it through the `.scn` serializer +
+/// loader, run it, and assert the chaos/degradation invariants plus trace
+/// round-trip equivalence (TraceReader vs BatchDecoder column parity,
+/// per-record Replayer vs columnar BatchReplayer, live guard vs replay).
+/// A failing seed reports a one-line repro: `vgscn run --seed N`.
+
+namespace vg::workload {
+
+/// Every invariant violation found while checking \p spec (empty = clean).
+/// Each entry is a single human-readable sentence naming the violated
+/// invariant and the observed values.
+std::vector<std::string> check_scenario(const scenario::ScenarioSpec& spec);
+
+struct FuzzFailure {
+  std::uint64_t seed{0};
+  std::string message;  // violations joined, with the vgscn repro line
+};
+
+struct FuzzReport {
+  std::uint64_t first_seed{0};
+  std::uint64_t count{0};
+  // Coverage tallies, so a distribution regression in the generator (e.g.
+  // every seed collapsing to one shape) is visible in test logs.
+  std::uint64_t scripted{0};
+  std::uint64_t home_captures{0};
+  std::uint64_t chain_captures{0};
+  std::uint64_t synthetic{0};
+  std::uint64_t faults_injected{0};
+  std::uint64_t replayed_spikes{0};
+  std::vector<FuzzFailure> failures;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Generates and checks seeds [first_seed, first_seed + count), serially.
+FuzzReport fuzz_scenarios(std::uint64_t first_seed, std::uint64_t count);
+
+}  // namespace vg::workload

@@ -1,0 +1,392 @@
+#include "workload/ScenarioRun.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "cloud/CloudFarm.h"
+#include "faults/FaultInjector.h"
+#include "netsim/Router.h"
+#include "speaker/EchoDot.h"
+#include "speaker/GoogleHomeMini.h"
+#include "trace/TraceTap.h"
+#include "voiceguard/Decision.h"
+#include "workload/Corpus.h"
+#include "workload/World.h"
+
+namespace vg::workload {
+
+namespace {
+
+WorldConfig::TestbedKind testbed_kind(scenario::Testbed t) {
+  switch (t) {
+    case scenario::Testbed::kHouse: return WorldConfig::TestbedKind::kHouse;
+    case scenario::Testbed::kApartment:
+      return WorldConfig::TestbedKind::kApartment;
+    case scenario::Testbed::kOffice: return WorldConfig::TestbedKind::kOffice;
+  }
+  throw std::logic_error{"bad testbed"};
+}
+
+WorldConfig::SpeakerType speaker_type(scenario::Speaker s) {
+  return s == scenario::Speaker::kEchoDot
+             ? WorldConfig::SpeakerType::kEchoDot
+             : WorldConfig::SpeakerType::kGoogleHomeMini;
+}
+
+WorldConfig world_config(const scenario::ScenarioSpec& spec) {
+  WorldConfig cfg;
+  cfg.testbed = testbed_kind(spec.home.testbed);
+  cfg.deployment = spec.home.deployment;
+  cfg.speaker = speaker_type(spec.speaker);
+  cfg.owner_count = spec.home.owners;
+  cfg.use_watch = spec.home.watch;
+  cfg.motion_sensor = spec.home.motion_sensor;
+  cfg.seed = spec.seed;
+  cfg.mode = spec.guard.mode;
+  cfg.fail_policy = spec.guard.fail_policy;
+  cfg.verdict_timeout = spec.guard.verdict_timeout;
+  cfg.hold_queue_cap = static_cast<std::size_t>(spec.guard.hold_queue_cap);
+  cfg.fcm_max_retries = spec.guard.fcm_max_retries;
+  cfg.fcm_retry_initial = spec.guard.fcm_retry_initial;
+  return cfg;
+}
+
+const CommandCorpus& corpus_for(scenario::Speaker s) {
+  return s == scenario::Speaker::kEchoDot ? CommandCorpus::alexa()
+                                          : CommandCorpus::google();
+}
+
+/// A device-height spot at the centre of the room farthest from the speaker:
+/// where the scripted "attack" commands are issued from (the owner's device is
+/// far away, so the RSSI verdict must come back malicious).
+radio::Vec3 farthest_room_spot(const SmartHomeWorld& world) {
+  const auto& plan = world.testbed().plan();
+  const radio::Vec3 spk =
+      world.testbed().speaker_position(world.config().deployment);
+  radio::Vec3 best{};
+  double best_d = -1.0;
+  for (const auto& room : plan.rooms()) {
+    const radio::Vec2 c = room.bounds.center();
+    const radio::Vec3 p{c.x, c.y, plan.device_height(room.floor)};
+    const double d = radio::distance(p, spk);
+    if (d > best_d) {
+      best_d = d;
+      best = p;
+    }
+  }
+  return best;
+}
+
+trace::TraceWriter::Meta meta_for(const std::string& name, std::uint64_t seed) {
+  trace::TraceWriter::Meta m;
+  m.scenario = name;
+  m.seed = seed;
+  return m;
+}
+
+TraceScenarioResult finish(trace::TraceWriter& writer,
+                           std::vector<guard::SpikeEvent> live_spikes) {
+  TraceScenarioResult out;
+  out.meta = writer.meta();
+  out.bytes = writer.finish();
+  out.live_spikes = std::move(live_spikes);
+  return out;
+}
+
+// --- full-world capture loop ------------------------------------------------
+
+TraceScenarioResult run_home_capture(const scenario::ScenarioSpec& spec) {
+  WorldConfig cfg = world_config(spec);
+  cfg.mode = guard::GuardMode::kMonitor;  // recognition only, no calibration
+  SmartHomeWorld world{cfg};
+
+  trace::TraceWriter writer{meta_for(spec.name, cfg.seed)};
+  trace::TraceTap tap{writer};
+  world.guard().set_wire_tap(&tap);  // before the first packet flows
+
+  world.run_for(spec.schedule.boot);  // boot: DNS, connect, establishment
+  const CommandCorpus& corpus = corpus_for(spec.speaker);
+  sim::Rng& rng = world.sim().rng("trace.scenario");
+  for (int i = 0; i < spec.schedule.loop_commands; ++i) {
+    world.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
+    // Long enough for the interaction plus a >3 s idle gap before the next.
+    world.run_for(sim::from_seconds(
+        spec.schedule.gap_base_s +
+        rng.uniform(0.0, spec.schedule.gap_jitter_s)));
+  }
+  world.run_for(spec.schedule.tail);  // close out trailing spikes
+  world.guard().set_wire_tap(nullptr);
+  return finish(writer, world.guard().spike_events());
+}
+
+// --- minimal-chain capture --------------------------------------------------
+
+/// speaker -- guard -- router -- cloud, like the traffic benches: no people,
+/// no radio, so long captures stay cheap.
+struct ChainHarness {
+  sim::Simulation sim;
+  net::Network net{sim};
+  net::Router router{"router"};
+  cloud::CloudFarm farm;
+  net::Host speaker_host{net, "speaker", net::IpAddress(192, 168, 1, 200)};
+  guard::FixedDecisionModule decision;
+  guard::GuardBox guard;
+
+  ChainHarness(std::uint64_t seed, cloud::CloudFarm::Options farm_opts)
+      : sim(seed),
+        farm(net, router, farm_opts),
+        decision(sim, true, sim::milliseconds(1)),
+        guard(net, "guard", decision, [] {
+          guard::GuardBox::Options o;
+          o.speaker_ips = {net::IpAddress(192, 168, 1, 200)};
+          o.mode = guard::GuardMode::kMonitor;
+          return o;
+        }()) {
+    net::Link& lan = net.add_link(speaker_host, guard, sim::milliseconds(2));
+    speaker_host.attach(lan);
+    guard.set_lan_link(lan);
+    net::Link& up = net.add_link(guard, router, sim::milliseconds(2));
+    guard.set_wan_link(up);
+    router.add_route(speaker_host.ip(), up);
+  }
+
+  void run_until_gap(sim::Duration d) { sim.run_until(sim.now() + d); }
+};
+
+TraceScenarioResult run_chain_capture(const scenario::ScenarioSpec& spec) {
+  cloud::CloudFarm::Options fo;
+  fo.avs_migration_mean = spec.chain.avs_migration_mean;
+  ChainHarness h{spec.seed, fo};
+
+  trace::TraceWriter writer{meta_for(spec.name, spec.seed)};
+  trace::TraceTap tap{writer};
+  h.guard.set_wire_tap(&tap);
+
+  std::unique_ptr<speaker::EchoDotModel> echo;
+  std::unique_ptr<speaker::GoogleHomeMiniModel> ghm;
+  if (spec.speaker == scenario::Speaker::kEchoDot) {
+    speaker::EchoDotModel::Options eo;
+    if (spec.chain.misc_connection_mean) {
+      eo.misc_connection_mean = *spec.chain.misc_connection_mean;
+    }
+    echo = std::make_unique<speaker::EchoDotModel>(
+        h.speaker_host, h.farm.dns_endpoint(),
+        [&h] { return h.farm.current_avs_ip(); }, eo);
+    echo->power_on();
+  } else {
+    speaker::GoogleHomeMiniModel::Options go;
+    if (spec.chain.quic_probability) {
+      go.quic_probability = *spec.chain.quic_probability;
+    }
+    ghm = std::make_unique<speaker::GoogleHomeMiniModel>(
+        h.speaker_host, h.farm.dns_endpoint(), go);
+    ghm->power_on();
+  }
+  h.run_until_gap(spec.schedule.boot);
+
+  const CommandCorpus& corpus = corpus_for(spec.speaker);
+  sim::Rng& rng = h.sim.rng("trace.scenario");
+  for (int i = 0; i < spec.schedule.loop_commands; ++i) {
+    const speaker::CommandSpec& cmd =
+        corpus.sample(rng, static_cast<std::uint64_t>(i) + 1);
+    if (echo != nullptr) {
+      echo->hear_command(cmd);
+    } else {
+      ghm->hear_command(cmd);
+    }
+    h.run_until_gap(sim::from_seconds(
+        spec.schedule.gap_base_s +
+        rng.uniform(0.0, spec.schedule.gap_jitter_s)));
+  }
+  h.run_until_gap(spec.schedule.tail);
+  h.guard.set_wire_tap(nullptr);
+  return finish(writer, h.guard.spike_events());
+}
+
+// --- synthetic capture ------------------------------------------------------
+
+constexpr sim::TimePoint at_ms(std::int64_t ms) {
+  return sim::TimePoint{ms * 1'000'000};
+}
+
+TraceScenarioResult run_synthetic_capture(const scenario::ScenarioSpec& spec) {
+  trace::TraceWriter w{meta_for(spec.name, spec.seed)};
+  const net::IpAddress speaker_ip{192, 168, 1, 200};
+  const auto app = net::TlsContentType::kApplicationData;
+  const std::vector<std::uint32_t>& sig = guard::GuardBox::avs_signature();
+
+  std::vector<int> flows;  // dense spec index -> writer flow handle
+  for (const scenario::CaptureOp& op : spec.capture) {
+    switch (op.kind) {
+      case scenario::CaptureOp::Kind::kDns:
+        w.dns_answer(op.domain, op.ip, at_ms(op.at_ms));
+        break;
+      case scenario::CaptureOp::Kind::kFlow:
+        flows.push_back(w.add_flow(
+            op.proto, net::Endpoint{speaker_ip, net::Port{op.sport}},
+            net::Endpoint{op.ip, net::Port{op.dport}}, at_ms(op.at_ms)));
+        break;
+      case scenario::CaptureOp::Kind::kSignature:
+        for (std::size_t i = 0; i < sig.size(); ++i) {
+          w.tls_record(flows.at(static_cast<std::size_t>(op.flow)), true, app,
+                       sig[i],
+                       at_ms(op.at_ms + 10 * static_cast<std::int64_t>(i)));
+        }
+        break;
+      case scenario::CaptureOp::Kind::kTls:
+        w.tls_record(flows.at(static_cast<std::size_t>(op.flow)), op.upstream,
+                     app, op.len, at_ms(op.at_ms));
+        break;
+      case scenario::CaptureOp::Kind::kSpike: {
+        std::int64_t t = op.at_ms;
+        for (const std::uint32_t len : op.lens) {
+          w.tls_record(flows.at(static_cast<std::size_t>(op.flow)), true, app,
+                       len, at_ms(t));
+          t += 10;
+        }
+        break;
+      }
+      case scenario::CaptureOp::Kind::kDatagram:
+        w.datagram(flows.at(static_cast<std::size_t>(op.flow)), op.upstream,
+                   op.len, at_ms(op.at_ms));
+        break;
+    }
+  }
+
+  TraceScenarioResult out;
+  out.meta = w.meta();
+  out.bytes = w.finish();
+  out.synthetic = true;
+  out.expected_spikes.reserve(spec.expected.size());
+  for (const scenario::ExpectedSpike& e : spec.expected) {
+    trace::ReplaySpike sp;
+    sp.flow_id = e.flow_id;
+    sp.udp = e.udp;
+    sp.start = at_ms(e.at_ms);
+    sp.prefix = e.prefix;
+    sp.cls = e.cls;
+    sp.rule = e.rule;
+    out.expected_spikes.push_back(std::move(sp));
+  }
+  return out;
+}
+
+}  // namespace
+
+ChaosResult run_scenario_scripted(const scenario::ScenarioSpec& spec,
+                                  trace::TraceWriter* writer) {
+  if (!spec.scripted()) {
+    throw std::invalid_argument{"scenario '" + spec.name +
+                                "' is not a scripted home scenario"};
+  }
+  SmartHomeWorld world{world_config(spec)};
+
+  std::unique_ptr<trace::TraceTap> tap;
+  if (writer != nullptr) {
+    tap = std::make_unique<trace::TraceTap>(*writer);
+    world.guard().set_wire_tap(tap.get());
+  }
+
+  world.calibrate();
+
+  faults::FaultInjector::Targets targets;
+  targets.lan = &world.lan_link();
+  targets.wan = &world.wan_link();
+  targets.cloud = &world.cloud();
+  targets.fcm = &world.fcm();
+  for (int i = 0; i < world.owner_count(); ++i) {
+    targets.devices.push_back(&world.device(i));
+  }
+  targets.guard = &world.guard();
+  faults::FaultInjector injector{world.sim(), targets};
+  if (writer != nullptr) {
+    injector.set_observer([writer](const faults::FaultEvent& ev) {
+      writer->fault(static_cast<std::uint8_t>(ev.kind), ev.param, ev.when);
+    });
+  }
+  const sim::TimePoint t0 = world.sim().now();
+  injector.arm(spec.faults);
+
+  // The scripted workload: commands at fixed offsets, attack steps issued
+  // while the owner (and their phone) is in the farthest room — ground-truth
+  // "unauthorized".
+  const radio::Vec3 attack_spot = farthest_room_spot(world);
+  const CommandCorpus& corpus = corpus_for(spec.speaker);
+  sim::Rng& rng = world.sim().rng("chaos.script");
+  const std::size_t n_commands = spec.schedule.commands.size();
+  for (std::size_t i = 0; i < n_commands; ++i) {
+    const scenario::CommandStep& step = spec.schedule.commands[i];
+    world.sim().run_until(t0 + step.at - sim::seconds(1));
+    world.owner(0).teleport(step.attack ? attack_spot
+                                        : world.random_legit_spot(rng));
+    world.sim().run_until(t0 + step.at);
+    world.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
+  }
+  // Long enough past the last command for every hold, timeout, retransmit
+  // and reconnect to drain.
+  world.sim().run_until(t0 + spec.schedule.drain);
+
+  if (writer != nullptr) world.guard().set_wire_tap(nullptr);
+
+  ChaosResult r;
+  r.label = spec.faults.name + "/" + guard::to_string(spec.guard.mode) + "/" +
+            guard::to_string(spec.guard.fail_policy);
+  r.may_break_connections = spec.faults.may_break_connections;
+
+  guard::GuardBox& g = world.guard();
+  r.spikes = g.spike_events().size();
+  r.unresolved_spikes = g.unresolved_spikes();
+  r.held_outstanding = g.held_outstanding();
+  r.released = g.commands_released();
+  r.blocked = g.commands_blocked();
+  r.forced_open = g.forced_open();
+  r.forced_closed = g.forced_closed();
+  r.hold_overflows = g.hold_overflows();
+  r.guard_restarts = g.restarts();
+
+  r.link_dropped =
+      world.lan_link().dropped_packets() + world.wan_link().dropped_packets();
+  r.flap_dropped =
+      world.lan_link().flap_dropped() + world.wan_link().flap_dropped();
+  r.burst_dropped =
+      world.lan_link().burst_dropped() + world.wan_link().burst_dropped();
+
+  r.seq_violations = world.cloud().total_sequence_violations();
+  r.sessions_killed = world.cloud().total_sessions_killed();
+  r.outage_refused = world.cloud().total_outage_refused();
+  r.avs_migrations = world.cloud().migrations();
+  r.fcm_pushes = world.fcm().pushes_sent();
+  r.fcm_dropped = world.fcm().pushes_dropped();
+  r.fcm_retries = world.decision().fcm_retries();
+  r.late_reports = world.decision().late_reports();
+  r.device_ignored = world.device(0).ignored_requests();
+
+  for (const auto& it : world.interactions()) {
+    ++r.interactions;
+    if (it.response_received) ++r.responses;
+    if (it.connection_error) ++r.connection_errors;
+  }
+  r.reconnects = world.echo() != nullptr ? world.echo()->reconnects() : 0;
+  for (std::size_t i = 0; i < n_commands; ++i) {
+    if (world.command_executed(static_cast<std::uint64_t>(i) + 1)) {
+      ++r.commands_executed;
+    }
+  }
+  r.faults_injected = injector.injected();
+  return r;
+}
+
+TraceScenarioResult run_scenario_capture(const scenario::ScenarioSpec& spec) {
+  if (spec.scripted()) {
+    throw std::invalid_argument{"scenario '" + spec.name +
+                                "' is scripted; use run_scenario_scripted"};
+  }
+  switch (spec.kind) {
+    case scenario::Kind::kHome: return run_home_capture(spec);
+    case scenario::Kind::kChain: return run_chain_capture(spec);
+    case scenario::Kind::kSynthetic: return run_synthetic_capture(spec);
+  }
+  throw std::logic_error{"bad scenario kind"};
+}
+
+}  // namespace vg::workload

@@ -1,0 +1,37 @@
+#pragma once
+
+#include "scenario/Scenario.h"
+#include "workload/ChaosScenarios.h"
+#include "workload/TraceScenarios.h"
+
+/// \file ScenarioRun.h
+/// The generalized scenario runner: installs a scenario::ScenarioSpec into a
+/// live testbed and drives it. The hand-written chaos/trace scenarios are thin
+/// wrappers over these two entry points (they build a spec and delegate), so
+/// a checked-in `.scn` port of a scenario runs byte-for-byte the same code
+/// path as the original C++ constructor — the equivalence the port tests pin.
+
+namespace vg::workload {
+
+/// Runs a scripted home scenario (spec.scripted()): full SmartHomeWorld,
+/// calibration, FaultInjector armed with the embedded plan, the command
+/// script (attack steps issued from the farthest room), then the drain
+/// window. Counters come back in the same ChaosResult the chaos invariants
+/// assert on. When \p writer is set, a TraceTap captures the guard's wire
+/// view and every injected fault boundary is annotated as a kFault frame.
+///
+/// Throws std::invalid_argument if the spec is not a scripted home scenario.
+ChaosResult run_scenario_scripted(const scenario::ScenarioSpec& spec,
+                                  trace::TraceWriter* writer = nullptr);
+
+/// Runs a capture scenario: a home capture loop (monitor-mode guard, no
+/// calibration), a minimal speaker--guard--router--cloud chain, or a
+/// synthetic hand-built trace, per spec.kind. Returns the serialized trace
+/// plus the live guard's spike events (or the spec's hand-derived ground
+/// truth for synthetic captures).
+///
+/// Throws std::invalid_argument for a scripted spec (use
+/// run_scenario_scripted, which owns the fault plumbing).
+TraceScenarioResult run_scenario_capture(const scenario::ScenarioSpec& spec);
+
+}  // namespace vg::workload

@@ -2,166 +2,72 @@
 
 #include <stdexcept>
 
-#include "cloud/CloudFarm.h"
-#include "netsim/Router.h"
-#include "speaker/EchoDot.h"
-#include "speaker/GoogleHomeMini.h"
-#include "trace/TraceTap.h"
-#include "voiceguard/Decision.h"
-#include "workload/Corpus.h"
-#include "workload/World.h"
+#include "trace/TraceFormat.h"
+#include "workload/ScenarioRun.h"
 
 namespace vg::workload {
 
 namespace {
 
-trace::TraceWriter::Meta meta_for(const std::string& name, std::uint64_t seed) {
-  trace::TraceWriter::Meta m;
-  m.scenario = name;
-  m.seed = seed;
-  return m;
+using scenario::CaptureOp;
+using scenario::ExpectedSpike;
+
+CaptureOp dns_op(std::uint8_t domain, net::IpAddress ip, std::int64_t at_ms) {
+  CaptureOp op;
+  op.kind = CaptureOp::Kind::kDns;
+  op.domain = domain;
+  op.ip = ip;
+  op.at_ms = at_ms;
+  return op;
 }
 
-TraceScenarioResult finish(trace::TraceWriter& writer,
-                           std::vector<guard::SpikeEvent> live_spikes) {
-  TraceScenarioResult out;
-  out.meta = writer.meta();
-  out.bytes = writer.finish();
-  out.live_spikes = std::move(live_spikes);
-  return out;
+CaptureOp flow_op(net::Protocol proto, std::uint16_t sport, net::IpAddress ip,
+                  std::int64_t at_ms) {
+  CaptureOp op;
+  op.kind = CaptureOp::Kind::kFlow;
+  op.proto = proto;
+  op.sport = sport;
+  op.ip = ip;
+  op.at_ms = at_ms;
+  return op;
 }
 
-// --- full-world scenarios ---------------------------------------------------
-
-TraceScenarioResult run_world(const std::string& name, WorldConfig cfg,
-                              int commands) {
-  cfg.mode = guard::GuardMode::kMonitor;  // recognition only, no calibration
-  SmartHomeWorld world{cfg};
-
-  trace::TraceWriter writer{meta_for(name, cfg.seed)};
-  trace::TraceTap tap{writer};
-  world.guard().set_wire_tap(&tap);  // before the first packet flows
-
-  world.run_for(sim::seconds(10));  // boot: DNS, connect, establishment
-  const CommandCorpus& corpus =
-      cfg.speaker == WorldConfig::SpeakerType::kEchoDot
-          ? CommandCorpus::alexa()
-          : CommandCorpus::google();
-  sim::Rng& rng = world.sim().rng("trace.scenario");
-  for (int i = 0; i < commands; ++i) {
-    world.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
-    // Long enough for the interaction plus a >3 s idle gap before the next.
-    world.run_for(sim::from_seconds(24.0 + rng.uniform(0.0, 8.0)));
-  }
-  world.run_for(sim::seconds(8));  // close out trailing spikes
-  world.guard().set_wire_tap(nullptr);
-  return finish(writer, world.guard().spike_events());
+CaptureOp sig_op(int flow, std::int64_t at_ms) {
+  CaptureOp op;
+  op.kind = CaptureOp::Kind::kSignature;
+  op.flow = flow;
+  op.at_ms = at_ms;
+  return op;
 }
 
-// --- minimal-chain scenarios ------------------------------------------------
-
-/// speaker -- guard -- router -- cloud, like the traffic benches: no people,
-/// no radio, so long captures stay cheap.
-struct ChainHarness {
-  sim::Simulation sim;
-  net::Network net{sim};
-  net::Router router{"router"};
-  cloud::CloudFarm farm;
-  net::Host speaker_host{net, "speaker", net::IpAddress(192, 168, 1, 200)};
-  guard::FixedDecisionModule decision;
-  guard::GuardBox guard;
-
-  ChainHarness(std::uint64_t seed, cloud::CloudFarm::Options farm_opts)
-      : sim(seed),
-        farm(net, router, farm_opts),
-        decision(sim, true, sim::milliseconds(1)),
-        guard(net, "guard", decision, [] {
-          guard::GuardBox::Options o;
-          o.speaker_ips = {net::IpAddress(192, 168, 1, 200)};
-          o.mode = guard::GuardMode::kMonitor;
-          return o;
-        }()) {
-    net::Link& lan = net.add_link(speaker_host, guard, sim::milliseconds(2));
-    speaker_host.attach(lan);
-    guard.set_lan_link(lan);
-    net::Link& up = net.add_link(guard, router, sim::milliseconds(2));
-    guard.set_wan_link(up);
-    router.add_route(speaker_host.ip(), up);
-  }
-
-  void run_for(double secs) {
-    sim.run_until(sim.now() + sim::from_seconds(secs));
-  }
-};
-
-TraceScenarioResult run_echo_dot_tcp(std::uint64_t seed) {
-  cloud::CloudFarm::Options fo;
-  // Frequent AVS migrations force reconnects, some without DNS: the capture
-  // exercises signature-based IP adoption and unmonitored misc flows.
-  fo.avs_migration_mean = sim::seconds(90);
-  ChainHarness h{seed, fo};
-
-  trace::TraceWriter writer{meta_for("echo_dot_tcp", seed)};
-  trace::TraceTap tap{writer};
-  h.guard.set_wire_tap(&tap);
-
-  speaker::EchoDotModel::Options eo;
-  eo.misc_connection_mean = sim::minutes(2);
-  speaker::EchoDotModel echo{h.speaker_host, h.farm.dns_endpoint(),
-                             [&h] { return h.farm.current_avs_ip(); }, eo};
-  echo.power_on();
-  h.run_for(10);
-
-  const CommandCorpus& corpus = CommandCorpus::alexa();
-  sim::Rng& rng = h.sim.rng("trace.scenario");
-  for (int i = 0; i < 12; ++i) {
-    echo.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
-    h.run_for(20.0 + rng.uniform(0.0, 10.0));
-  }
-  h.run_for(8);
-  h.guard.set_wire_tap(nullptr);
-  return finish(writer, h.guard.spike_events());
+CaptureOp rec_op(CaptureOp::Kind kind, int flow, bool upstream,
+                 std::uint32_t len, std::int64_t at_ms) {
+  CaptureOp op;
+  op.kind = kind;
+  op.flow = flow;
+  op.upstream = upstream;
+  op.len = len;
+  op.at_ms = at_ms;
+  return op;
 }
 
-TraceScenarioResult run_home_mini_quic(std::uint64_t seed) {
-  cloud::CloudFarm::Options fo;
-  fo.avs_migration_mean = sim::Duration{0};
-  ChainHarness h{seed, fo};
-
-  trace::TraceWriter writer{meta_for("home_mini_quic", seed)};
-  trace::TraceTap tap{writer};
-  h.guard.set_wire_tap(&tap);
-
-  speaker::GoogleHomeMiniModel::Options go;
-  go.quic_probability = 1.0;  // every interaction rides QUIC datagrams
-  speaker::GoogleHomeMiniModel ghm{h.speaker_host, h.farm.dns_endpoint(), go};
-  ghm.power_on();
-  h.run_for(10);
-
-  const CommandCorpus& corpus = CommandCorpus::google();
-  sim::Rng& rng = h.sim.rng("trace.scenario");
-  for (int i = 0; i < 10; ++i) {
-    ghm.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
-    h.run_for(18.0 + rng.uniform(0.0, 8.0));
-  }
-  h.run_for(8);
-  h.guard.set_wire_tap(nullptr);
-  return finish(writer, h.guard.spike_events());
+CaptureOp spike_op(int flow, std::int64_t at_ms,
+                   std::vector<std::uint32_t> lens) {
+  CaptureOp op;
+  op.kind = CaptureOp::Kind::kSpike;
+  op.flow = flow;
+  op.at_ms = at_ms;
+  op.lens = std::move(lens);
+  return op;
 }
 
-// --- synthetic fallback-pattern scenario ------------------------------------
-
-constexpr sim::TimePoint at_ms(std::int64_t ms) {
-  return sim::TimePoint{ms * 1'000'000};
-}
-
-trace::ReplaySpike expect(std::uint64_t flow_id, bool udp, std::int64_t ms,
-                          std::vector<std::uint32_t> prefix,
-                          guard::SpikeClass cls, guard::MatchedRule rule) {
-  trace::ReplaySpike sp;
+ExpectedSpike expect(std::uint64_t flow_id, bool udp, std::int64_t at_ms,
+                     std::vector<std::uint32_t> prefix, guard::SpikeClass cls,
+                     guard::MatchedRule rule) {
+  ExpectedSpike sp;
   sp.flow_id = flow_id;
   sp.udp = udp;
-  sp.start = at_ms(ms);
+  sp.at_ms = at_ms;
   sp.prefix = std::move(prefix);
   sp.cls = cls;
   sp.rule = rule;
@@ -174,83 +80,55 @@ trace::ReplaySpike expect(std::uint64_t flow_id, bool udp, std::int64_t ms,
 /// AVS adoption and a QUIC flow. Ground truth is derived by hand, so this
 /// scenario cross-checks the Replayer itself (not just live-vs-replay
 /// agreement).
-TraceScenarioResult build_fallback_patterns(std::uint64_t seed) {
-  trace::TraceWriter w{meta_for("fallback_patterns", seed)};
-  const net::IpAddress speaker_ip{192, 168, 1, 200};
+void build_fallback_patterns(scenario::ScenarioSpec& s) {
   const net::IpAddress avs1{10, 0, 0, 1};
   const net::IpAddress avs2{10, 0, 0, 2};
   const net::IpAddress misc{10, 9, 9, 9};
   const net::IpAddress goog{10, 0, 0, 9};
-  const net::Port https{443};
-  const auto app = net::TlsContentType::kApplicationData;
-  const std::vector<std::uint32_t>& sig = guard::GuardBox::avs_signature();
+  const auto kTcp = net::Protocol::kTcp;
+  const auto kTls = CaptureOp::Kind::kTls;
+  const auto kDg = CaptureOp::Kind::kDatagram;
 
-  w.dns_answer(trace::kDomainAvs, avs1, at_ms(1000));
-  const int f0 = w.add_flow(net::Protocol::kTcp,
-                            net::Endpoint{speaker_ip, net::Port{50001}},
-                            net::Endpoint{avs1, https}, at_ms(1100));
+  s.capture.push_back(dns_op(trace::kDomainAvs, avs1, 1000));
+  s.capture.push_back(flow_op(kTcp, 50001, avs1, 1100));  // flow 0
   // Establishment burst (exempt from spike detection) plus two downstream
   // records the recognizer must observe without classifying.
-  for (std::size_t i = 0; i < sig.size(); ++i) {
-    w.tls_record(f0, true, app, sig[i],
-                 at_ms(1110 + 10 * static_cast<std::int64_t>(i)));
-  }
-  w.tls_record(f0, false, app, 1200, at_ms(1300));
-  w.tls_record(f0, false, app, 850, at_ms(1320));
+  s.capture.push_back(sig_op(0, 1110));
+  s.capture.push_back(rec_op(kTls, 0, false, 1200, 1300));
+  s.capture.push_back(rec_op(kTls, 0, false, 850, 1320));
 
-  const auto spike = [&](int flow, std::int64_t ms,
-                         std::initializer_list<std::uint32_t> lens) {
-    std::int64_t t = ms;
-    for (std::uint32_t len : lens) {
-      w.tls_record(flow, true, app, len, at_ms(t));
-      t += 10;
-    }
-  };
-  spike(f0, 5000, {277, 131, 277, 131, 113});   // fixed pattern A
-  spike(f0, 10000, {250, 131, 113, 113, 113});  // fixed pattern B
-  spike(f0, 15000, {650, 131, 121, 277, 131});  // fixed pattern C
-  spike(f0, 20000, {138});                      // frequent p-138
-  spike(f0, 25000, {500, 75});                  // frequent p-75
-  spike(f0, 30000, {200, 77, 33});              // response pair
-  spike(f0, 35000, {41});                       // heartbeat: ignored
-  spike(f0, 36000, {41});                       // heartbeat: ignored
-  spike(f0, 40000, {99, 98, 97});               // matches nothing
+  s.capture.push_back(spike_op(0, 5000, {277, 131, 277, 131, 113}));   // A
+  s.capture.push_back(spike_op(0, 10000, {250, 131, 113, 113, 113}));  // B
+  s.capture.push_back(spike_op(0, 15000, {650, 131, 121, 277, 131}));  // C
+  s.capture.push_back(spike_op(0, 20000, {138}));      // frequent p-138
+  s.capture.push_back(spike_op(0, 25000, {500, 75}));  // frequent p-75
+  s.capture.push_back(spike_op(0, 30000, {200, 77, 33}));  // response pair
+  s.capture.push_back(spike_op(0, 35000, {41}));  // heartbeat: ignored
+  s.capture.push_back(spike_op(0, 36000, {41}));  // heartbeat: ignored
+  s.capture.push_back(spike_op(0, 40000, {99, 98, 97}));  // matches nothing
 
   // A short-lived non-AVS flow: its first record already breaks the
   // signature, so it stays unmonitored and produces no spikes.
-  const int f1 = w.add_flow(net::Protocol::kTcp,
-                            net::Endpoint{speaker_ip, net::Port{50002}},
-                            net::Endpoint{misc, https}, at_ms(45000));
-  spike(f1, 45010, {100, 200});
+  s.capture.push_back(flow_op(kTcp, 50002, misc, 45000));  // flow 1
+  s.capture.push_back(spike_op(1, 45010, {100, 200}));
 
   // The AVS server moved without a visible DNS query: the establishment
   // signature re-identifies it, and the next spike is classified normally.
-  const int f2 = w.add_flow(net::Protocol::kTcp,
-                            net::Endpoint{speaker_ip, net::Port{50003}},
-                            net::Endpoint{avs2, https}, at_ms(50000));
-  for (std::size_t i = 0; i < sig.size(); ++i) {
-    w.tls_record(f2, true, app, sig[i],
-                 at_ms(50010 + 10 * static_cast<std::int64_t>(i)));
-  }
-  spike(f2, 55000, {138});
+  s.capture.push_back(flow_op(kTcp, 50003, avs2, 50000));  // flow 2
+  s.capture.push_back(sig_op(2, 50010));
+  s.capture.push_back(spike_op(2, 55000, {138}));
 
   // A Google QUIC flow: datagram frames, classified like any other spike.
-  w.dns_answer(trace::kDomainGoogle, goog, at_ms(58000));
-  const int f3 = w.add_flow(net::Protocol::kUdp,
-                            net::Endpoint{speaker_ip, net::Port{40000}},
-                            net::Endpoint{goog, https}, at_ms(60000));
-  w.datagram(f3, true, 300, at_ms(60010));
-  w.datagram(f3, true, 1350, at_ms(60020));
-  w.datagram(f3, true, 600, at_ms(60030));
-  w.datagram(f3, false, 1350, at_ms(60200));
+  s.capture.push_back(dns_op(trace::kDomainGoogle, goog, 58000));
+  s.capture.push_back(flow_op(net::Protocol::kUdp, 40000, goog, 60000));  // 3
+  s.capture.push_back(rec_op(kDg, 3, true, 300, 60010));
+  s.capture.push_back(rec_op(kDg, 3, true, 1350, 60020));
+  s.capture.push_back(rec_op(kDg, 3, true, 600, 60030));
+  s.capture.push_back(rec_op(kDg, 3, false, 1350, 60200));
 
-  TraceScenarioResult out;
-  out.meta = w.meta();
-  out.bytes = w.finish();
-  out.synthetic = true;
   using SC = guard::SpikeClass;
   using MR = guard::MatchedRule;
-  out.expected_spikes = {
+  s.expected = {
       expect(1, false, 5000, {277, 131, 277, 131, 113}, SC::kCommand,
              MR::kPatternA),
       expect(1, false, 10000, {250, 131, 113, 113, 113}, SC::kCommand,
@@ -264,7 +142,6 @@ TraceScenarioResult build_fallback_patterns(std::uint64_t seed) {
       expect(3, false, 55000, {138}, SC::kCommand, MR::kP138),
       expect(4, true, 60010, {300, 1350, 600}, SC::kUnknown, MR::kNone),
   };
-  return out;
 }
 
 }  // namespace
@@ -287,31 +164,64 @@ const std::vector<TraceScenario>& trace_scenarios() {
   return kScenarios;
 }
 
-TraceScenarioResult run_trace_scenario(const std::string& name,
-                                       std::uint64_t seed) {
-  WorldConfig cfg;
-  cfg.seed = seed;
+scenario::ScenarioSpec trace_scenario_spec(const std::string& name,
+                                           std::uint64_t seed) {
+  scenario::ScenarioSpec s;
+  s.name = name;
+  s.seed = seed;
+  // Mirrors ScenarioLoader::validate so constructed specs compare equal to
+  // their loaded `.scn` ports (captures never arm the plan, but the embedded
+  // name still follows the scenario).
+  s.faults.name = name;
   if (name == "house_echo") {
-    cfg.testbed = WorldConfig::TestbedKind::kHouse;
-    cfg.speaker = WorldConfig::SpeakerType::kEchoDot;
-    return run_world(name, cfg, 8);
+    s.schedule.loop_commands = 8;
+    return s;
   }
   if (name == "apartment_ghm") {
-    cfg.testbed = WorldConfig::TestbedKind::kApartment;
-    cfg.speaker = WorldConfig::SpeakerType::kGoogleHomeMini;
-    return run_world(name, cfg, 8);
+    s.home.testbed = scenario::Testbed::kApartment;
+    s.speaker = scenario::Speaker::kGoogleHomeMini;
+    s.schedule.loop_commands = 8;
+    return s;
   }
   if (name == "office_echo") {
-    cfg.testbed = WorldConfig::TestbedKind::kOffice;
-    cfg.speaker = WorldConfig::SpeakerType::kEchoDot;
-    cfg.owner_count = 1;
-    cfg.use_watch = true;
-    return run_world(name, cfg, 8);
+    s.home.testbed = scenario::Testbed::kOffice;
+    s.home.owners = 1;
+    s.home.watch = true;
+    s.schedule.loop_commands = 8;
+    return s;
   }
-  if (name == "echo_dot_tcp") return run_echo_dot_tcp(seed);
-  if (name == "home_mini_quic") return run_home_mini_quic(seed);
-  if (name == "fallback_patterns") return build_fallback_patterns(seed);
+  if (name == "echo_dot_tcp") {
+    s.kind = scenario::Kind::kChain;
+    // Frequent AVS migrations force reconnects, some without DNS: the capture
+    // exercises signature-based IP adoption and unmonitored misc flows.
+    s.chain.avs_migration_mean = sim::seconds(90);
+    s.chain.misc_connection_mean = sim::minutes(2);
+    s.schedule.loop_commands = 12;
+    s.schedule.gap_base_s = 20.0;
+    s.schedule.gap_jitter_s = 10.0;
+    return s;
+  }
+  if (name == "home_mini_quic") {
+    s.kind = scenario::Kind::kChain;
+    s.speaker = scenario::Speaker::kGoogleHomeMini;
+    s.chain.avs_migration_mean = sim::Duration{0};
+    s.chain.quic_probability = 1.0;  // every interaction rides QUIC datagrams
+    s.schedule.loop_commands = 10;
+    s.schedule.gap_base_s = 18.0;
+    s.schedule.gap_jitter_s = 8.0;
+    return s;
+  }
+  if (name == "fallback_patterns") {
+    s.kind = scenario::Kind::kSynthetic;
+    build_fallback_patterns(s);
+    return s;
+  }
   throw std::invalid_argument{"unknown trace scenario: " + name};
+}
+
+TraceScenarioResult run_trace_scenario(const std::string& name,
+                                       std::uint64_t seed) {
+  return run_scenario_capture(trace_scenario_spec(name, seed));
 }
 
 TraceScenarioResult run_trace_scenario(const std::string& name) {

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "scenario/Scenario.h"
 #include "trace/Replayer.h"
 #include "trace/TraceWriter.h"
 #include "voiceguard/GuardBox.h"
@@ -41,6 +42,15 @@ struct TraceScenarioResult {
   bool synthetic{false};
   std::vector<trace::ReplaySpike> expected_spikes;
 };
+
+/// The declarative scenario behind capture \p name: a home capture loop, a
+/// minimal chain, or the synthetic fallback-pattern op list, with \p seed
+/// baked in. run_trace_scenario is exactly run_scenario_capture over this
+/// spec, and the checked-in `.scn` ports under tests/data/scenarios/ are
+/// pinned equal to it by test. Throws std::invalid_argument for an unknown
+/// name.
+scenario::ScenarioSpec trace_scenario_spec(const std::string& name,
+                                           std::uint64_t seed);
 
 /// Runs scenario \p name with \p seed (monitor-mode guard, fixed workload).
 /// Throws std::invalid_argument for an unknown name.

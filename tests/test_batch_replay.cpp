@@ -271,6 +271,124 @@ TEST(BatchDecoder, VarintBoundaryLengthsAndFaults) {
   expect_decoder_parity(w.finish(), "boundaries");
 }
 
+/// Decoder parity plus batch-vs-oracle replay parity in one shot, for the
+/// hand-built boundary traces below. Returns the oracle result so callers
+/// can pin absolute expectations on top of the equivalence.
+trace::ReplayResult boundary_parity(const std::vector<std::uint8_t>& bytes,
+                                    const std::string& context) {
+  expect_decoder_parity(bytes, context);
+  const trace::ReplayResult want =
+      trace::Replayer{}.run(TraceReader::parse(bytes));
+  const ColumnBatch batch = BatchDecoder::decode(
+      std::span<const std::uint8_t>{bytes.data(), bytes.size()});
+  trace::BatchReplayResult result;
+  BatchReplayer{}.run(batch, result);
+  expect_equal_results(want, result.to_replay_result(), context);
+  return want;
+}
+
+TEST(BatchDecoder, EmptyTraceDecodesAndReplaysToNothing) {
+  TraceWriter::Meta meta;
+  meta.scenario = "empty";
+  meta.seed = 3;
+  const std::vector<std::uint8_t> bytes = TraceWriter{meta}.finish();
+
+  const ColumnBatch batch = BatchDecoder::decode(
+      std::span<const std::uint8_t>{bytes.data(), bytes.size()});
+  EXPECT_EQ(batch.size(), 0u);
+  EXPECT_TRUE(batch.flows.empty());
+  EXPECT_TRUE(batch.attention.empty());
+  // The counting-sort prefix sums must still be well-formed over zero flows.
+  ASSERT_EQ(batch.up_offsets.size(), 1u);
+  EXPECT_EQ(batch.up_offsets[0], 0u);
+
+  const trace::ReplayResult r = boundary_parity(bytes, "empty");
+  EXPECT_EQ(r.frames, 0u);
+  EXPECT_EQ(r.flows, 0u);
+  EXPECT_TRUE(r.spikes.empty());
+}
+
+TEST(BatchDecoder, SingleRecordTraces) {
+  {  // Just one flow-begin frame: a flow with no traffic at all.
+    TraceWriter::Meta meta;
+    meta.scenario = "one-flow";
+    meta.seed = 4;
+    TraceWriter w{meta};
+    w.add_flow(net::Protocol::kTcp, net::Endpoint{kSpeaker, net::Port{50001}},
+               net::Endpoint{kAvsIp, net::Port{443}}, at_ms(5));
+    const std::vector<std::uint8_t> bytes = w.finish();
+
+    const ColumnBatch batch = BatchDecoder::decode(
+        std::span<const std::uint8_t>{bytes.data(), bytes.size()});
+    ASSERT_EQ(batch.size(), 1u);
+    ASSERT_EQ(batch.flows.size(), 1u);
+    ASSERT_EQ(batch.flow_begin_at.size(), 1u);
+    EXPECT_EQ(batch.flow_begin_at[0], 0u);
+    ASSERT_EQ(batch.up_offsets.size(), 2u);
+    EXPECT_EQ(batch.up_offsets[1], 0u);  // no upstream data records
+
+    const trace::ReplayResult r = boundary_parity(bytes, "one-flow");
+    EXPECT_EQ(r.frames, 1u);
+    EXPECT_EQ(r.flows, 1u);
+    EXPECT_TRUE(r.spikes.empty());
+  }
+  {  // Just one DNS answer: no flows anywhere in the trace.
+    TraceWriter::Meta meta;
+    meta.scenario = "one-dns";
+    meta.seed = 5;
+    TraceWriter w{meta};
+    w.dns_answer(trace::kDomainAvs, kAvsIp, at_ms(5));
+    const std::vector<std::uint8_t> bytes = w.finish();
+
+    const ColumnBatch batch = BatchDecoder::decode(
+        std::span<const std::uint8_t>{bytes.data(), bytes.size()});
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_TRUE(batch.flows.empty());
+    ASSERT_EQ(batch.dns.size(), 1u);
+    EXPECT_EQ(batch.dns[0].index, 0u);
+
+    const trace::ReplayResult r = boundary_parity(bytes, "one-dns");
+    EXPECT_EQ(r.dns_answers, 1u);
+    EXPECT_EQ(r.avs_dns_updates, 1u);
+  }
+}
+
+TEST(BatchDecoder, FinalFrameFaultEndsTheTraceCleanly) {
+  // A spike is still accumulating when the last frame arrives, and that last
+  // frame is a fault annotation: flowless, skipped by the attention mask,
+  // yet it defines end_time and the spike must still finalize at end of
+  // trace exactly like the oracle.
+  TraceWriter::Meta meta;
+  meta.scenario = "tail-fault";
+  meta.seed = 6;
+  TraceWriter w{meta};
+  w.dns_answer(trace::kDomainAvs, kAvsIp, at_ms(1));
+  const int f = w.add_flow(net::Protocol::kTcp,
+                           net::Endpoint{kSpeaker, net::Port{50002}},
+                           net::Endpoint{kAvsIp, net::Port{443}}, at_ms(2));
+  // Past the 1.5 s establishment window, so the records open a spike rather
+  // than feeding the signature learner.
+  w.tls_record(f, true, net::TlsContentType::kApplicationData, 75,
+               at_ms(2000));
+  w.tls_record(f, true, net::TlsContentType::kApplicationData, 77,
+               at_ms(2001));
+  w.fault(0, 1, at_ms(2002));
+  const std::vector<std::uint8_t> bytes = w.finish();
+
+  const ColumnBatch batch = BatchDecoder::decode(
+      std::span<const std::uint8_t>{bytes.data(), bytes.size()});
+  ASSERT_EQ(batch.faults.size(), 1u);
+  EXPECT_EQ(batch.faults[0].index, batch.size() - 1);
+  // The tail fault contributes tallies but no recognition work.
+  EXPECT_EQ((batch.attention.back() >> ((batch.size() - 1) % 64)) & 1, 0u);
+  EXPECT_EQ(batch.end_time, at_ms(2002));
+
+  const trace::ReplayResult r = boundary_parity(bytes, "tail-fault");
+  EXPECT_EQ(r.fault_frames, 1u);
+  EXPECT_EQ(r.end_time, at_ms(2002));
+  ASSERT_EQ(r.spikes.size(), 1u);
+}
+
 TEST(BatchDecoder, MatchesTraceReaderOnRandomTraces) {
   for (std::uint64_t seed = 0; seed < 300; ++seed) {
     expect_decoder_parity(random_trace(seed).bytes,

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Exit-code contract test for the vgscn and vgtrace CLIs.
+#
+# Both tools promise the same scheme — 0 success, 1 runtime error or
+# invariant/diff failure, 2 usage, 3 I/O, 4 corrupt trace / invalid
+# scenario — and CI scripts branch on those codes, so each one is pinned
+# here against a concrete input that must keep producing it.
+#
+# usage: test_cli_exit_codes.sh <vgscn> <vgtrace> <scenario-data-dir>
+
+set -u
+
+if [ $# -ne 3 ]; then
+  echo "usage: $0 <vgscn> <vgtrace> <scenario-data-dir>" >&2
+  exit 2
+fi
+
+VGSCN=$1
+VGTRACE=$2
+SCN_DIR=$3
+
+TMP=$(mktemp -d) || exit 1
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+
+expect() {
+  want=$1
+  shift
+  "$@" >"$TMP/out" 2>"$TMP/err"
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: exit $got, want $want: $*" >&2
+    sed 's/^/  stdout: /' "$TMP/out" >&2
+    sed 's/^/  stderr: /' "$TMP/err" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: exit $got: $*"
+  fi
+}
+
+# --- vgscn ------------------------------------------------------------------
+
+# 0: a checked-in port validates, a generated world round-trips, and the
+# fuzzer's per-seed harness holds on seed 1.
+expect 0 "$VGSCN" validate "$SCN_DIR/chaos-baseline.scn"
+expect 0 "$VGSCN" gen 1 "$TMP/gen.scn"
+expect 0 "$VGSCN" validate "$TMP/gen.scn"
+expect 0 "$VGSCN" run --seed 1
+expect 0 "$VGSCN" list
+
+# 1: a syntactically valid scenario whose only fault window opens long after
+# the horizon — the plan is non-empty but injects nothing, which the
+# invariant harness must flag.
+sed 's/^link = .*/link = wan flap 1e+03 10/' \
+  "$SCN_DIR/chaos-wan-flap-long.scn" >"$TMP/no-inject.scn"
+expect 0 "$VGSCN" validate "$TMP/no-inject.scn"
+expect 1 "$VGSCN" run "$TMP/no-inject.scn"
+
+# 2: usage errors.
+expect 2 "$VGSCN"
+expect 2 "$VGSCN" frobnicate
+expect 2 "$VGSCN" run --seed
+expect 2 "$VGSCN" gen not-a-number
+
+# 3: I/O errors.
+expect 3 "$VGSCN" validate "$TMP/does-not-exist.scn"
+
+# 4: parse/validation errors.
+printf '[]\n' >"$TMP/malformed.scn"
+expect 4 "$VGSCN" validate "$TMP/malformed.scn"
+printf '[scenario]\nname = x\nkind = home\nspeaker = warp_drive\n' \
+  >"$TMP/bad-value.scn"
+expect 4 "$VGSCN" validate "$TMP/bad-value.scn"
+
+# --- vgtrace ----------------------------------------------------------------
+
+# 0: record two scenarios, replay one, diff a trace against itself.
+expect 0 "$VGTRACE" record fallback_patterns "$TMP/a.vgt"
+expect 0 "$VGTRACE" record echo_dot_tcp "$TMP/b.vgt"
+expect 0 "$VGTRACE" replay "$TMP/a.vgt"
+expect 0 "$VGTRACE" diff "$TMP/a.vgt" "$TMP/a.vgt"
+
+# 1: different scenarios yield different traces.
+expect 1 "$VGTRACE" diff "$TMP/a.vgt" "$TMP/b.vgt"
+
+# 2: usage errors.
+expect 2 "$VGTRACE"
+expect 2 "$VGTRACE" diff "$TMP/a.vgt"
+
+# 3: I/O errors — a missing trace, and directory mode over a directory that
+# contains no *.vgt at all.
+expect 3 "$VGTRACE" replay "$TMP/missing.vgt"
+mkdir "$TMP/empty-dir"
+expect 3 "$VGTRACE" replay "$TMP/empty-dir"
+expect 3 "$VGTRACE" stats "$TMP/empty-dir"
+
+# 4: corrupt trace.
+printf 'this is not a vgt trace\n' >"$TMP/corrupt.vgt"
+expect 4 "$VGTRACE" replay "$TMP/corrupt.vgt"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails case(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code cases hold"

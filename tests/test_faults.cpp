@@ -272,6 +272,77 @@ TEST(FaultInjectorValidation, RejectsBadPlansBeforeInstallingAnything) {
   EXPECT_TRUE(FaultPlan{}.empty());
 }
 
+TEST(FaultInjectorValidation, RejectsOverlappingWindows) {
+  sim::Simulation sim{4};
+  net::Network net{sim};
+  RecorderNode a{sim, "a"}, b{sim, "b"}, c{sim, "c"};
+  net::Link& lan = net.add_link(a, b, sim::milliseconds(2));
+  net::Link& wan = net.add_link(b, c, sim::milliseconds(10));
+  home::FcmService fcm{sim};
+  home::Testbed tb = home::Testbed::two_floor_house();
+  home::Person owner{sim, "owner", {0, 0, tb.plan().device_height(0)}};
+  home::MobileDevice dev{sim, tb.plan(), radio::PathLossParams{}, "phone",
+                         [&] { return owner.position(); }};
+  FaultInjector::Targets targets;
+  targets.lan = &lan;
+  targets.wan = &wan;
+  targets.fcm = &fcm;
+  targets.devices.push_back(&dev);
+  FaultInjector inj{sim, targets};
+
+  const auto flap = [](LinkFault::Where where, double start_s, double dur_s) {
+    return LinkFault{where, LinkFault::Kind::kFlap, sim::from_seconds(start_s),
+                     sim::from_seconds(dur_s), {}, {}};
+  };
+
+  {  // Two flaps on the same link colliding mid-window.
+    FaultPlan p;
+    p.links.push_back(flap(LinkFault::Where::kLan, 1, 5));
+    p.links.push_back(flap(LinkFault::Where::kLan, 4, 5));
+    EXPECT_THROW(inj.arm(p), std::invalid_argument);
+  }
+  {  // The same windows are fine when they sit on different links, or on the
+    // same link as different fault kinds (a flap under a latency spike is a
+    // meaningful scenario; two flaps double-toggle the link).
+    FaultPlan p;
+    p.links.push_back(flap(LinkFault::Where::kLan, 1, 5));
+    p.links.push_back(flap(LinkFault::Where::kWan, 4, 5));
+    p.links.push_back({LinkFault::Where::kLan, LinkFault::Kind::kLatencySpike,
+                       sim::seconds(2), sim::seconds(6), {},
+                       sim::milliseconds(100)});
+    EXPECT_NO_THROW(inj.arm(p));
+  }
+  {  // Touching windows are half-open and therefore legal.
+    FaultPlan p;
+    p.links.push_back(flap(LinkFault::Where::kLan, 100, 2));
+    p.links.push_back(flap(LinkFault::Where::kLan, 102, 2));
+    EXPECT_NO_THROW(inj.arm(p));
+  }
+  {  // Overlapping FCM degradation windows.
+    FaultPlan p;
+    p.fcm.push_back({sim::seconds(1), sim::seconds(10), sim::Duration{}, 0.1});
+    p.fcm.push_back({sim::seconds(5), sim::seconds(10), sim::Duration{}, 0.2});
+    EXPECT_THROW(inj.arm(p), std::invalid_argument);
+  }
+  {  // A device fault with duration 0 never recovers, so any later window on
+    // the same device is unreachable.
+    FaultPlan p;
+    p.devices.push_back({0, sim::seconds(1), sim::Duration{}});
+    p.devices.push_back({0, sim::seconds(50), sim::seconds(1)});
+    EXPECT_THROW(inj.arm(p), std::invalid_argument);
+  }
+  {  // ...but an identical schedule on another timeline slot is fine once the
+    // first fault has a finite window.
+    FaultPlan p;
+    p.devices.push_back({0, sim::seconds(1), sim::seconds(10)});
+    p.devices.push_back({0, sim::seconds(50), sim::seconds(1)});
+    EXPECT_NO_THROW(inj.arm(p));
+  }
+
+  // Nothing the validator rejected was installed.
+  EXPECT_EQ(inj.injected(), 0u);
+}
+
 TEST(FaultInjectorLog, BoundariesFireInOrderAndReachTheObserver) {
   sim::Simulation sim{4};
   net::Network net{sim};

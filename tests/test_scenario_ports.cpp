@@ -1,0 +1,120 @@
+/// Pins the checked-in `.scn` ports under tests/data/scenarios/ to the
+/// hand-written C++ scenario constructors: every port must load back equal
+/// to its constructor's spec, be byte-identical to the canonical serializer
+/// output, and — run end-to-end — reproduce the hand-written path bit for
+/// bit (chaos trial stats by fingerprint, golden captures by byte).
+///
+/// Regenerating after an intentional format or scenario change:
+///   VG_SCN_REGEN=1 ./test_scenario_ports
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/ScenarioLoader.h"
+#include "scenario/Serialize.h"
+#include "workload/ChaosScenarios.h"
+#include "workload/ScenarioRun.h"
+#include "workload/TraceScenarios.h"
+
+namespace vg::workload {
+namespace {
+
+struct Port {
+  std::string file;  // relative to tests/data/scenarios/
+  scenario::ScenarioSpec spec;
+};
+
+std::vector<Port> ports() {
+  std::vector<Port> out;
+  for (const faults::FaultPlan& plan : chaos_plans()) {
+    out.push_back({"chaos-" + plan.name + ".scn",
+                   chaos_scenario_spec(ChaosSpec{.plan = plan.name})});
+  }
+  for (const TraceScenario& sc : trace_scenarios()) {
+    out.push_back({"trace-" + sc.name + ".scn",
+                   trace_scenario_spec(sc.name, sc.default_seed)});
+  }
+  return out;
+}
+
+std::string port_path(const std::string& file) {
+  return std::string{VG_SCN_DATA_DIR} + "/" + file;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  EXPECT_TRUE(in.is_open()) << path << " is missing; regenerate with "
+                            << "VG_SCN_REGEN=1 ./test_scenario_ports";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool regen() { return std::getenv("VG_SCN_REGEN") != nullptr; }
+
+TEST(ScenarioPorts, PortsMatchTheHandWrittenConstructors) {
+  if (regen()) {
+    for (const Port& p : ports()) {
+      scenario::save_scn(p.spec, port_path(p.file));
+    }
+    GTEST_SKIP() << "regenerated " << ports().size() << " .scn ports";
+  }
+  for (const Port& p : ports()) {
+    SCOPED_TRACE(p.file);
+    // Byte-identical to the canonical serializer: the corpus never drifts
+    // from the one canonical shape `vgscn gen` emits.
+    EXPECT_EQ(read_file(port_path(p.file)), scenario::write_scn(p.spec));
+    const scenario::ScenarioSpec loaded =
+        scenario::ScenarioLoader::load_file(port_path(p.file));
+    EXPECT_TRUE(loaded == p.spec);
+  }
+}
+
+TEST(ScenarioPorts, ChaosCellsRunIdenticallyFromScn) {
+  // One cell per plan, rotating guard mode / policy / seed so the override
+  // path (the .scn stores the default cell) is exercised too.
+  const auto& plans = chaos_plans();
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    ChaosSpec cell;
+    cell.plan = plans[i].name;
+    cell.mode = static_cast<guard::GuardMode>(i % 3);
+    cell.fail_policy = i % 2 == 0 ? guard::FailPolicy::kFailClosed
+                                  : guard::FailPolicy::kFailOpen;
+    cell.seed = 1 + i;
+    SCOPED_TRACE(cell.plan);
+
+    scenario::ScenarioSpec spec =
+        scenario::ScenarioLoader::load_file(port_path("chaos-" + cell.plan +
+                                                      ".scn"));
+    spec.guard.mode = cell.mode;
+    spec.guard.fail_policy = cell.fail_policy;
+    spec.seed = cell.seed;
+
+    const ChaosResult want = run_chaos(cell);
+    const ChaosResult got = run_scenario_scripted(spec);
+    EXPECT_EQ(got.fingerprint(), want.fingerprint());
+    EXPECT_EQ(got.to_string(), want.to_string());
+  }
+}
+
+TEST(ScenarioPorts, GoldenCapturesAreByteIdenticalFromScn) {
+  for (const TraceScenario& sc : trace_scenarios()) {
+    SCOPED_TRACE(sc.name);
+    const scenario::ScenarioSpec spec =
+        scenario::ScenarioLoader::load_file(port_path("trace-" + sc.name +
+                                                      ".scn"));
+    const TraceScenarioResult want = run_trace_scenario(sc.name);
+    const TraceScenarioResult got = run_scenario_capture(spec);
+    EXPECT_EQ(got.bytes, want.bytes);
+    EXPECT_EQ(got.synthetic, want.synthetic);
+    EXPECT_EQ(got.live_spikes.size(), want.live_spikes.size());
+  }
+}
+
+}  // namespace
+}  // namespace vg::workload
