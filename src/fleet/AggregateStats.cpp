@@ -1,0 +1,210 @@
+#include "fleet/AggregateStats.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace vg::fleet {
+
+namespace {
+
+/// Percentile as the upper edge of the first bin whose cumulative count
+/// reaches p of the total. rank uses ceil(p * count) in integer arithmetic so
+/// the extraction is exact for any merge order.
+double percentile_edge(const std::array<std::uint64_t, AggregateStats::kLatencyBins + 1>& hist,
+                       std::uint64_t count, std::uint64_t pct) {
+  if (count == 0) return 0.0;
+  const std::uint64_t rank = (count * pct + 99) / 100;  // ceil, 1-based
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < hist.size(); ++i) {
+    seen += hist[i];
+    if (seen >= rank) {
+      return static_cast<double>(static_cast<std::int64_t>(i + 1) *
+                                 AggregateStats::kLatencyBinNs) /
+             1e9;
+    }
+  }
+  return static_cast<double>(static_cast<std::int64_t>(hist.size()) *
+                             AggregateStats::kLatencyBinNs) /
+         1e9;
+}
+
+}  // namespace
+
+void AggregateStats::add_home(const workload::ChaosResult& r,
+                              std::uint64_t events, std::uint64_t commands,
+                              std::uint64_t attacks) {
+  Counters& c = counters_;
+  c.homes += 1;
+  c.commands += commands;
+  c.attacks += attacks;
+  c.events += events;
+
+  c.spikes += r.spikes;
+  c.unresolved_spikes += r.unresolved_spikes;
+  c.held_outstanding += r.held_outstanding;
+  c.released += r.released;
+  c.blocked += r.blocked;
+  c.forced_open += r.forced_open;
+  c.forced_closed += r.forced_closed;
+  c.hold_overflows += r.hold_overflows;
+  c.guard_restarts += r.guard_restarts;
+  c.link_dropped += r.link_dropped;
+  c.flap_dropped += r.flap_dropped;
+  c.burst_dropped += r.burst_dropped;
+  c.seq_violations += r.seq_violations;
+  c.sessions_killed += r.sessions_killed;
+  c.outage_refused += r.outage_refused;
+  c.avs_migrations += r.avs_migrations;
+  c.fcm_pushes += r.fcm_pushes;
+  c.fcm_dropped += r.fcm_dropped;
+  c.fcm_retries += r.fcm_retries;
+  c.late_reports += r.late_reports;
+  c.device_ignored += r.device_ignored;
+  c.interactions += r.interactions;
+  c.responses += r.responses;
+  c.connection_errors += r.connection_errors;
+  c.reconnects += r.reconnects;
+  c.commands_executed += r.commands_executed;
+  c.faults_injected += r.faults_injected;
+}
+
+void AggregateStats::add_latency(double seconds) {
+  const auto ns = static_cast<std::int64_t>(std::llround(seconds * 1e9));
+  const std::int64_t bin = ns < 0 ? 0 : ns / kLatencyBinNs;
+  const std::size_t idx =
+      bin >= static_cast<std::int64_t>(kLatencyBins)
+          ? kLatencyBins
+          : static_cast<std::size_t>(bin);
+  latency_hist_[idx] += 1;
+  latency_count_ += 1;
+  latency_sum_ns_ += static_cast<std::uint64_t>(ns < 0 ? 0 : ns);
+}
+
+void AggregateStats::add_rssi(double dbm) {
+  const auto milli = static_cast<std::int64_t>(std::llround(dbm * 1000.0));
+  const double offset = (dbm - kRssiMin) / kRssiStep;
+  std::size_t idx = kRssiBins;
+  if (offset >= 0.0 && offset < static_cast<double>(kRssiBins)) {
+    idx = static_cast<std::size_t>(offset);
+  }
+  rssi_hist_[idx] += 1;
+  rssi_count_ += 1;
+  rssi_sum_millidbm_ += milli;
+}
+
+void AggregateStats::merge(const AggregateStats& other) {
+  Counters& c = counters_;
+  const Counters& o = other.counters_;
+  c.homes += o.homes;
+  c.commands += o.commands;
+  c.attacks += o.attacks;
+  c.events += o.events;
+  c.spikes += o.spikes;
+  c.unresolved_spikes += o.unresolved_spikes;
+  c.held_outstanding += o.held_outstanding;
+  c.released += o.released;
+  c.blocked += o.blocked;
+  c.forced_open += o.forced_open;
+  c.forced_closed += o.forced_closed;
+  c.hold_overflows += o.hold_overflows;
+  c.guard_restarts += o.guard_restarts;
+  c.link_dropped += o.link_dropped;
+  c.flap_dropped += o.flap_dropped;
+  c.burst_dropped += o.burst_dropped;
+  c.seq_violations += o.seq_violations;
+  c.sessions_killed += o.sessions_killed;
+  c.outage_refused += o.outage_refused;
+  c.avs_migrations += o.avs_migrations;
+  c.fcm_pushes += o.fcm_pushes;
+  c.fcm_dropped += o.fcm_dropped;
+  c.fcm_retries += o.fcm_retries;
+  c.late_reports += o.late_reports;
+  c.device_ignored += o.device_ignored;
+  c.interactions += o.interactions;
+  c.responses += o.responses;
+  c.connection_errors += o.connection_errors;
+  c.reconnects += o.reconnects;
+  c.commands_executed += o.commands_executed;
+  c.faults_injected += o.faults_injected;
+
+  for (std::size_t i = 0; i < latency_hist_.size(); ++i) {
+    latency_hist_[i] += other.latency_hist_[i];
+  }
+  latency_count_ += other.latency_count_;
+  latency_sum_ns_ += other.latency_sum_ns_;
+  for (std::size_t i = 0; i < rssi_hist_.size(); ++i) {
+    rssi_hist_[i] += other.rssi_hist_[i];
+  }
+  rssi_count_ += other.rssi_count_;
+  rssi_sum_millidbm_ += other.rssi_sum_millidbm_;
+}
+
+AggregateStats::Percentiles AggregateStats::latency_percentiles() const {
+  return {percentile_edge(latency_hist_, latency_count_, 50),
+          percentile_edge(latency_hist_, latency_count_, 95),
+          percentile_edge(latency_hist_, latency_count_, 99)};
+}
+
+double AggregateStats::mean_latency_s() const {
+  if (latency_count_ == 0) return 0.0;
+  return static_cast<double>(latency_sum_ns_) /
+         static_cast<double>(latency_count_) / 1e9;
+}
+
+double AggregateStats::mean_rssi_dbm() const {
+  if (rssi_count_ == 0) return 0.0;
+  return static_cast<double>(rssi_sum_millidbm_) /
+         static_cast<double>(rssi_count_) / 1000.0;
+}
+
+std::uint64_t AggregateStats::fingerprint() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  const Counters& c = counters_;
+  for (const std::uint64_t v :
+       {c.homes, c.commands, c.attacks, c.events, c.spikes,
+        c.unresolved_spikes, c.held_outstanding, c.released, c.blocked,
+        c.forced_open, c.forced_closed, c.hold_overflows, c.guard_restarts,
+        c.link_dropped, c.flap_dropped, c.burst_dropped, c.seq_violations,
+        c.sessions_killed, c.outage_refused, c.avs_migrations, c.fcm_pushes,
+        c.fcm_dropped, c.fcm_retries, c.late_reports, c.device_ignored,
+        c.interactions, c.responses, c.connection_errors, c.reconnects,
+        c.commands_executed, c.faults_injected}) {
+    mix(v);
+  }
+  for (const std::uint64_t v : latency_hist_) mix(v);
+  mix(latency_count_);
+  mix(latency_sum_ns_);
+  for (const std::uint64_t v : rssi_hist_) mix(v);
+  mix(rssi_count_);
+  mix(static_cast<std::uint64_t>(rssi_sum_millidbm_));
+  return h;
+}
+
+std::string AggregateStats::to_string() const {
+  const Percentiles p = latency_percentiles();
+  std::ostringstream out;
+  const Counters& c = counters_;
+  out << "homes " << c.homes << ", commands " << c.commands << " ("
+      << c.attacks << " attacks), events " << c.events << "\n";
+  out << "decision latency: n=" << latency_count_ << " mean="
+      << mean_latency_s() << "s p50<=" << p.p50 << "s p95<=" << p.p95
+      << "s p99<=" << p.p99 << "s\n";
+  out << "rssi reports: n=" << rssi_count_ << " mean=" << mean_rssi_dbm()
+      << " dBm\n";
+  out << "guard: spikes " << c.spikes << ", released " << c.released
+      << ", blocked " << c.blocked << ", executed " << c.commands_executed
+      << ", unresolved " << c.unresolved_spikes << ", held "
+      << c.held_outstanding << "\n";
+  out << "faults injected " << c.faults_injected << ", link drops "
+      << c.link_dropped << ", reconnects " << c.reconnects
+      << ", fcm pushes " << c.fcm_pushes;
+  return out.str();
+}
+
+}  // namespace vg::fleet

@@ -1,0 +1,285 @@
+#include "fleet/FleetRunner.h"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "faults/FaultInjector.h"
+#include "simcore/BatchRunner.h"
+#include "workload/Corpus.h"
+#include "workload/ScenarioFuzz.h"
+#include "workload/ScenarioRun.h"
+
+namespace vg::fleet {
+
+namespace {
+
+/// Simulated time of the speaker-boot deadline: the calibration artifacts are
+/// installed (and the fault plan armed) here, matching the 8 s boot window
+/// run_scenario_scripted's calibrate() waits out.
+constexpr sim::Duration kBoot = sim::seconds(8);
+
+/// Round-robin advancement quantum: resident homes take turns simulating this
+/// much time, so a shard genuinely interleaves its population instead of
+/// running homes to completion one by one.
+constexpr sim::Duration kEpoch = sim::seconds(10);
+
+/// Arena chunk for per-home simulations. A scripted home allocates tens of
+/// kilobytes of packet state; 8 KiB chunks keep 10^5 resident homes from
+/// reserving 64 KiB minimums each.
+constexpr std::size_t kHomeArenaChunk = 8 * 1024;
+
+/// One mutable home: a SmartHomeWorld wired copy-on-write from the shared
+/// template, with its entire script pre-scheduled as events so construction
+/// is allocation + wiring and advance() is the only driver. Strict shard
+/// affinity: a FleetHome never leaves the shard (thread) that made it.
+class FleetHome {
+ public:
+  FleetHome(const WorldTemplate& tmpl, std::uint64_t index)
+      : spec_(tmpl.home_spec(index)) {
+    workload::WorldConfig cfg = workload::world_config_from_spec(spec_);
+    cfg.shared_testbed = &tmpl.testbed();
+    cfg.arena_chunk = kHomeArenaChunk;
+    world_ = std::make_unique<workload::SmartHomeWorld>(cfg);
+
+    faults::FaultInjector::Targets targets;
+    targets.lan = &world_->lan_link();
+    targets.wan = &world_->wan_link();
+    targets.cloud = &world_->cloud();
+    targets.fcm = &world_->fcm();
+    for (int i = 0; i < world_->owner_count(); ++i) {
+      targets.devices.push_back(&world_->device(i));
+    }
+    targets.guard = &world_->guard();
+    injector_ = std::make_unique<faults::FaultInjector>(world_->sim(), targets);
+
+    const sim::TimePoint t0 = sim::TimePoint{} + kBoot;
+    end_ = t0 + spec_.schedule.drain;
+
+    // Boot deadline: install the memoized calibration (the guard knows the
+    // voice endpoints by now) and arm the fault plan, exactly what the
+    // blocking runner does after calibrate().
+    world_->sim().at(t0, [this, &tmpl] {
+      world_->install_calibration(tmpl.calibration());
+      injector_->arm(spec_.faults);
+    });
+
+    // The command script, pre-scheduled: teleport 1 s ahead of each command,
+    // then the command itself. RNG draws happen inside the events in command
+    // order (offsets are strictly increasing), so the draw sequence is the
+    // same as the blocking runner's loop.
+    const radio::Vec3 attack_spot = workload::scripted_attack_spot(*world_);
+    const workload::CommandCorpus& corpus =
+        workload::corpus_for_speaker(spec_.speaker);
+    for (std::size_t i = 0; i < spec_.schedule.commands.size(); ++i) {
+      const scenario::CommandStep& step = spec_.schedule.commands[i];
+      world_->sim().at(t0 + step.at - sim::seconds(1),
+                       [this, attack_spot, attack = step.attack] {
+                         sim::Rng& rng = world_->sim().rng("chaos.script");
+                         world_->owner(0).teleport(
+                             attack ? attack_spot
+                                    : world_->random_legit_spot(rng));
+                       });
+      world_->sim().at(t0 + step.at, [this, &corpus, i] {
+        sim::Rng& rng = world_->sim().rng("chaos.script");
+        world_->hear_command(
+            corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
+      });
+    }
+  }
+
+  /// Simulates one quantum; returns true when the home reached its end.
+  bool advance() {
+    target_ = std::min(target_ + kEpoch, end_);
+    world_->sim().run_until(target_);
+    return target_ >= end_;
+  }
+
+  /// Runs to the end in one go (the serial reference path).
+  void run_to_end() {
+    while (!advance()) {
+    }
+  }
+
+  /// Folds this finished home into \p acc and releases nothing: the caller
+  /// destroys the home, freeing its world before the next one is admitted.
+  void finish(AggregateStats& acc) const {
+    std::uint64_t attacks = 0;
+    for (const scenario::CommandStep& c : spec_.schedule.commands) {
+      attacks += c.attack ? 1 : 0;
+    }
+    const workload::ChaosResult r = workload::collect_scripted_result(
+        *world_, spec_, injector_->injected());
+    acc.add_home(r, world_->sim().executed_events(),
+                 spec_.schedule.commands.size(), attacks);
+    for (const double s : world_->decision().latencies_s()) {
+      acc.add_latency(s);
+    }
+    for (const auto& q : world_->decision().history()) {
+      for (const auto& rep : q.reports) acc.add_rssi(rep.rssi);
+    }
+  }
+
+ private:
+  scenario::ScenarioSpec spec_;
+  std::unique_ptr<workload::SmartHomeWorld> world_;
+  std::unique_ptr<faults::FaultInjector> injector_;
+  sim::TimePoint target_{};
+  sim::TimePoint end_{};
+};
+
+/// One shard: streams homes [begin, end) through at most \p max_resident
+/// live worlds, folding each finished home into the returned stats.
+AggregateStats run_range(const WorldTemplate& tmpl, std::uint64_t begin,
+                         std::uint64_t end, std::uint64_t max_resident) {
+  AggregateStats acc;
+  const std::uint64_t cap =
+      max_resident == 0 ? (end > begin ? end - begin : 1) : max_resident;
+  std::vector<std::unique_ptr<FleetHome>> live;
+  std::uint64_t next = begin;
+  const auto refill = [&] {
+    while (live.size() < cap && next < end) {
+      live.push_back(std::make_unique<FleetHome>(tmpl, next));
+      ++next;
+    }
+  };
+  refill();
+  while (!live.empty()) {
+    for (std::size_t i = 0; i < live.size();) {
+      if (live[i]->advance()) {
+        live[i]->finish(acc);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+    refill();
+  }
+  return acc;
+}
+
+}  // namespace
+
+void validate_fleet_config(const FleetConfig& cfg, std::uint64_t homes) {
+  if (homes == 0) {
+    throw std::invalid_argument{"fleet: population must have at least 1 home"};
+  }
+  if (homes > FleetConfig::kMaxHomes) {
+    throw std::invalid_argument{
+        "fleet: population of " + std::to_string(homes) + " homes exceeds " +
+        std::to_string(FleetConfig::kMaxHomes)};
+  }
+  if (cfg.shards == 0) {
+    throw std::invalid_argument{"fleet: shards must be >= 1"};
+  }
+  if (cfg.ranges.empty()) return;
+
+  if (cfg.ranges.size() != cfg.shards) {
+    throw std::invalid_argument{
+        "fleet: explicit ranges must give exactly one [begin, end) per shard"};
+  }
+  auto sorted = cfg.ranges;
+  std::sort(sorted.begin(), sorted.end());
+  std::uint64_t covered = 0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const auto& [b, e] = sorted[i];
+    if (b >= e) {
+      throw std::invalid_argument{"fleet: empty or inverted home range [" +
+                                  std::to_string(b) + ", " +
+                                  std::to_string(e) + ")"};
+    }
+    if (e > homes) {
+      throw std::invalid_argument{"fleet: home range [" + std::to_string(b) +
+                                  ", " + std::to_string(e) +
+                                  ") exceeds the population of " +
+                                  std::to_string(homes)};
+    }
+    if (i > 0 && b < sorted[i - 1].second) {
+      throw std::invalid_argument{"fleet: overlapping home ranges at home " +
+                                  std::to_string(b)};
+    }
+    covered += e - b;
+  }
+  if (covered != homes) {
+    throw std::invalid_argument{
+        "fleet: ranges cover " + std::to_string(covered) + " of " +
+        std::to_string(homes) + " homes (every home must run exactly once)"};
+  }
+}
+
+AggregateStats run_fleet(const WorldTemplate& tmpl, const FleetConfig& cfg) {
+  const std::uint64_t homes = cfg.homes != 0 ? cfg.homes : tmpl.homes();
+  validate_fleet_config(cfg, homes);
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges = cfg.ranges;
+  if (ranges.empty()) {
+    ranges.reserve(cfg.shards);
+    for (unsigned s = 0; s < cfg.shards; ++s) {
+      ranges.emplace_back(homes * s / cfg.shards,
+                          homes * (s + 1) / cfg.shards);
+    }
+  }
+
+  const unsigned workers =
+      cfg.workers != 0
+          ? cfg.workers
+          : std::min<unsigned>(cfg.shards,
+                               std::max(1u, std::thread::hardware_concurrency()));
+  sim::BatchRunner pool{workers};
+  const std::vector<AggregateStats> per_shard = pool.map<AggregateStats>(
+      ranges.size(), [&](std::size_t s) {
+        return run_range(tmpl, ranges[s].first, ranges[s].second,
+                         cfg.max_resident);
+      });
+
+  AggregateStats total;
+  for (const AggregateStats& s : per_shard) total.merge(s);
+  return total;
+}
+
+AggregateStats run_fleet_serial(const WorldTemplate& tmpl, std::uint64_t first,
+                                std::uint64_t count) {
+  AggregateStats acc;
+  for (std::uint64_t i = first; i < first + count; ++i) {
+    FleetHome home{tmpl, i};
+    home.run_to_end();
+    home.finish(acc);
+  }
+  return acc;
+}
+
+void register_fuzz_population_check() {
+  workload::set_population_check(
+      [](const scenario::ScenarioSpec& spec) -> std::vector<std::string> {
+        std::vector<std::string> violations;
+        try {
+          const WorldTemplate tmpl{spec};
+          const AggregateStats serial =
+              run_fleet_serial(tmpl, 0, tmpl.homes());
+          FleetConfig cfg;
+          cfg.shards = 2;
+          cfg.max_resident = 2;
+          const AggregateStats sharded = run_fleet(tmpl, cfg);
+          if (!(serial == sharded)) {
+            violations.push_back(
+                "fleet population parity broken: serial fingerprint " +
+                std::to_string(serial.fingerprint()) + " != sharded " +
+                std::to_string(sharded.fingerprint()) + " over " +
+                std::to_string(tmpl.homes()) + " homes");
+          }
+          if (serial.counters().commands == 0) {
+            violations.push_back(
+                "fleet population ran zero commands across " +
+                std::to_string(tmpl.homes()) + " homes");
+          }
+        } catch (const std::exception& e) {
+          violations.push_back(std::string{"fleet population check threw: "} +
+                               e.what());
+        }
+        return violations;
+      });
+}
+
+}  // namespace vg::fleet

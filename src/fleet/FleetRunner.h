@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "fleet/AggregateStats.h"
+#include "fleet/WorldTemplate.h"
+
+/// \file FleetRunner.h
+/// Runs a population of homes instantiated from one WorldTemplate across
+/// per-shard event queues with strict home-affinity: every home lives and
+/// dies on exactly one shard, shards share only the immutable template, and
+/// each shard folds results into its own AggregateStats. Homes never
+/// interact and AggregateStats merges are integer-exact, so the final stats
+/// are bit-identical regardless of shard count, worker count, or residency
+/// interleaving — the parity invariant pinned by tests/test_fleet.cpp.
+///
+/// Memory model: a shard keeps at most max_resident homes constructed at a
+/// time (0 = its whole range), each on its own small-chunk arena; results are
+/// streamed into the shard's stats as homes finish. Nothing is O(homes) but
+/// the loop counter.
+
+namespace vg::fleet {
+
+struct FleetConfig {
+  /// Homes to run; 0 means "whatever the template's population declares".
+  std::uint64_t homes{0};
+  /// Shards (independent home ranges). Fanned across BatchRunner workers.
+  unsigned shards{1};
+  /// Worker threads; 0 = min(shards, hardware_concurrency).
+  unsigned workers{0};
+  /// Concurrently-resident homes per shard; 0 = the shard's entire range at
+  /// once (true fleet concurrency — bench_fleet's default).
+  std::uint64_t max_resident{0};
+  /// Optional explicit [begin, end) home ranges, one per shard. Empty =
+  /// contiguous even split. Must partition [0, homes) exactly.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> ranges;
+
+  /// Backstop against typo'd populations; far above the bench scale.
+  static constexpr std::uint64_t kMaxHomes = 4'000'000;
+};
+
+/// Validates \p cfg against a population of \p homes homes. Throws
+/// std::invalid_argument naming the violated constraint (zero shards, home
+/// count out of bounds, ranges that are empty/inverted/overlapping/gapped or
+/// out of bounds).
+void validate_fleet_config(const FleetConfig& cfg, std::uint64_t homes);
+
+/// Runs the fleet: shards fan across a BatchRunner pool, each shard streams
+/// its range of homes through resident slots and folds them into one
+/// AggregateStats; shard stats merge into the returned total.
+AggregateStats run_fleet(const WorldTemplate& tmpl, const FleetConfig& cfg);
+
+/// The parity reference: the same per-home runner, one home at a time on the
+/// caller's thread, folded into one AggregateStats. Bit-identical to
+/// run_fleet over the same homes at any shard count.
+AggregateStats run_fleet_serial(const WorldTemplate& tmpl, std::uint64_t first,
+                                std::uint64_t count);
+
+/// Installs the fleet parity check into the scenario fuzzer
+/// (workload::set_population_check): scripted specs carrying a [population]
+/// get run both serially and sharded and their stats fingerprints compared.
+/// Must be called explicitly by harnesses that link vg_fleet (static
+/// initializers in static libraries are dropped by the linker).
+void register_fuzz_population_check();
+
+}  // namespace vg::fleet

@@ -258,6 +258,16 @@ ScenarioSpec Generator::generate(std::uint64_t seed) {
     gen_guard(rng, spec.guard);
     const std::int64_t span_s = gen_script(rng, spec.schedule);
     gen_faults(rng, spec, span_s, spec.faults);
+    // `.scn` phase 2: a quarter of the scripted worlds become small
+    // populations so the fuzzer exercises fleet expansion and the
+    // fleet-vs-serial parity invariant (kept small: each extra home is a
+    // full world run).
+    if (rng.chance(0.25)) {
+      spec.population.homes = static_cast<std::uint64_t>(rng.uniform_int(2, 5));
+      spec.population.command_jitter_s = tenths(rng, 0.0, 3.0);
+      spec.population.attack_flip =
+          rng.chance(0.5) ? tenths(rng, 0.1, 0.5) : 0.0;
+    }
   } else if (shape < 75) {  // full-world capture loop: the golden-trace shape
     spec.kind = Kind::kHome;
     const std::int64_t tb = rng.uniform_int(0, 2);

@@ -94,6 +94,9 @@ std::string ScenarioSpec::summary() const {
              guard::to_string(guard.mode) + "/" +
              guard::to_string(guard.fail_policy);
         if (!faults.empty()) s += ", faults: " + faults.to_string();
+        if (population.enabled()) {
+          s += ", population of " + std::to_string(population.homes) + " homes";
+        }
       } else {
         s += ", capture loop of " + std::to_string(schedule.loop_commands) +
              " commands";

@@ -103,6 +103,21 @@ struct ScheduleSpec {
   friend bool operator==(const ScheduleSpec&, const ScheduleSpec&) = default;
 };
 
+/// `.scn` phase 2: one scripted home spec describing a whole population.
+/// Home 0 runs the base spec verbatim; homes 1..N-1 derive their world seed
+/// from the base seed (splitmix64 stream over the home index) and jitter the
+/// schedule within the declared bounds. fleet::WorldTemplate expands the
+/// derived per-home specs; absent section (homes == 0) means a single home.
+struct PopulationSpec {
+  std::uint64_t homes{0};        // 0 = section absent, ordinary single home
+  double command_jitter_s{0.0};  // max extra gap before each command, [0, 10]
+  double attack_flip{0.0};       // per-command chance of flipping `attack`
+
+  [[nodiscard]] bool enabled() const { return homes > 0; }
+
+  friend bool operator==(const PopulationSpec&, const PopulationSpec&) = default;
+};
+
 /// Knobs of the minimal-chain harness (Kind::kChain only).
 struct ChainSpec {
   sim::Duration avs_migration_mean{};  // 0 = the AVS pool never migrates
@@ -159,6 +174,7 @@ struct ScenarioSpec {
   ScheduleSpec schedule;  // kHome / kChain
   ChainSpec chain;        // kChain
   faults::FaultPlan faults;            // kHome; faults.name mirrors `name`
+  PopulationSpec population;           // kHome scripted only
   std::vector<CaptureOp> capture;      // kSynthetic
   std::vector<ExpectedSpike> expected; // kSynthetic
 

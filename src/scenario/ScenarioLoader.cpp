@@ -334,6 +334,8 @@ struct Decoder {
       decode_chain(e);
     } else if (e.section == "faults") {
       decode_faults(e);
+    } else if (e.section == "population") {
+      decode_population(e);
     } else if (e.section == "capture") {
       decode_capture(e);
     } else {
@@ -557,6 +559,25 @@ struct Decoder {
     }
   }
 
+  void decode_population(const ScnEntry& e) {
+    once(e);
+    if (e.key == "homes") {
+      const auto v = parse_u64(e, one_token(e), "homes");
+      if (v < 1 || v > 1000000) fail(e, "homes must be in [1, 1000000]");
+      spec.population.homes = v;
+    } else if (e.key == "command_jitter_s") {
+      const double v = parse_double(e, one_token(e), "command_jitter_s");
+      if (v < 0.0 || v > 10.0) {
+        fail(e, "command_jitter_s must be in [0, 10]");
+      }
+      spec.population.command_jitter_s = v;
+    } else if (e.key == "attack_flip") {
+      spec.population.attack_flip = parse_prob(e, one_token(e), "attack_flip");
+    } else {
+      fail(e, "unknown key in [population]");
+    }
+  }
+
   void decode_capture(const ScnEntry& e) {
     if (e.key == "expect") {
       spec.expected.push_back(decode_expect(e));
@@ -613,6 +634,13 @@ struct Decoder {
       forbid_section("faults", "for capture-loop scenarios");
       forbid_section("guard", "for capture-loop scenarios (captures always "
                               "run the guard in monitor mode)");
+      forbid_section("population", "for capture-loop scenarios (populations "
+                                   "need a scripted schedule to jitter)");
+    }
+    if (first_in_section.count("population") != 0 &&
+        spec.population.homes == 0) {
+      fail(*first_in_section.at("population"),
+           "[population] needs 'homes = N'");
     }
     validate_faults();
   }
@@ -623,6 +651,7 @@ struct Decoder {
                             "monitor mode)");
     forbid_section("faults", "for kind chain (no injector targets exist)");
     forbid_section("capture", "for kind chain");
+    forbid_section("population", "for kind chain");
     if (first_command != nullptr) {
       fail(*first_command, "kind chain uses a capture loop, not scripted "
                            "commands");
@@ -649,6 +678,7 @@ struct Decoder {
     forbid_section("schedule", "for kind synthetic");
     forbid_section("chain", "for kind synthetic");
     forbid_section("faults", "for kind synthetic");
+    forbid_section("population", "for kind synthetic");
     if (spec.capture.empty()) {
       throw ScnError{kind_line,
                      "[capture]: kind synthetic needs at least one capture op"};

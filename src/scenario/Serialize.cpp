@@ -169,6 +169,14 @@ std::string write_scn(const ScenarioSpec& spec) {
         }
         out << "drain_s = " << fmt_seconds(spec.schedule.drain) << "\n";
         emit_faults(out, spec.faults);
+        if (spec.population.enabled()) {
+          out << "\n[population]\n";
+          out << "homes = " << spec.population.homes << "\n";
+          out << "command_jitter_s = "
+              << fmt_double(spec.population.command_jitter_s) << "\n";
+          out << "attack_flip = " << fmt_double(spec.population.attack_flip)
+              << "\n";
+        }
       } else {
         emit_schedule_loop(out, spec.schedule);
       }

@@ -41,6 +41,10 @@ class Arena {
   static constexpr std::size_t kDefaultChunk = 64 * 1024;
 
   Arena() = default;
+  /// \p chunk sets the growth granularity (rounded up per oversized request).
+  /// Fleet runs keep tens of thousands of small arenas alive at once; an 8 KiB
+  /// chunk there costs ~1/8 the resident memory of the 64 KiB default.
+  explicit Arena(std::size_t chunk) : chunk_(chunk < kMinBlock ? kMinBlock : chunk) {}
   ~Arena() { release(); }
 
   Arena(const Arena&) = delete;
@@ -147,7 +151,7 @@ class Arena {
     Chunk* c = cursor_chunk_ != nullptr ? cursor_chunk_->next : chunks_;
     while (c != nullptr && c->capacity < bytes) c = c->next;
     if (c == nullptr) {
-      std::size_t cap = kDefaultChunk;
+      std::size_t cap = chunk_;
       while (cap < bytes) cap <<= 1;
       void* raw = ::operator new(sizeof(Chunk) + cap);
       c = ::new (raw) Chunk{};
@@ -187,6 +191,7 @@ class Arena {
   std::size_t used_{0};
   std::size_t reserved_{0};
   std::size_t chunk_count_{0};
+  std::size_t chunk_{kDefaultChunk};
 };
 
 /// C++17 allocator over an Arena. A null arena falls back to the global

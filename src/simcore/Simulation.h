@@ -36,6 +36,9 @@ class Simulation {
     /// out null-arena handles and every container falls back to the global
     /// allocator — the seed ("heap") semantics, kept for parity testing.
     bool use_arena = true;
+    /// Chunk granularity for the owned arena. Fleet homes shrink this so
+    /// O(10^4..10^5) live simulations stay resident without 64 KiB minimums.
+    std::size_t arena_chunk = Arena::kDefaultChunk;
   };
 
   /// \param seed root seed for all named RNG streams.
@@ -43,7 +46,7 @@ class Simulation {
 
   Simulation(std::uint64_t seed, Options opts) : rngs_(seed) {
     if (opts.use_arena) {
-      owned_arena_ = std::make_unique<Arena>();
+      owned_arena_ = std::make_unique<Arena>(opts.arena_chunk);
       arena_ = owned_arena_.get();
     }
   }

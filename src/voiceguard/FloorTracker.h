@@ -63,6 +63,13 @@ class FloorTracker {
   [[nodiscard]] bool trained() const { return trained_; }
   [[nodiscard]] double slope_band() const { return slope_band_; }
 
+  /// The labeled fits accumulated by add_training_fit, retained after
+  /// finalize_training — calibration-artifact capture for fleet templates.
+  [[nodiscard]] const std::vector<std::pair<TraceClass, analysis::LineFit>>&
+  training_fits() const {
+    return training_;
+  }
+
   // --- runtime --------------------------------------------------------------
 
   /// Hooks the stair motion sensor: each activation records a trace.

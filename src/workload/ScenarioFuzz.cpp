@@ -287,11 +287,20 @@ void check_capture(const scenario::ScenarioSpec& spec, Outcome& o) {
   }
 }
 
+/// Installed by fleet::register_fuzz_population_check(); empty when the
+/// harness doesn't link vg_fleet (see ScenarioFuzz.h).
+PopulationCheck g_population_check;
+
 Outcome check_impl(const scenario::ScenarioSpec& spec) {
   Outcome o;
   check_roundtrip(spec, o.violations);
   if (spec.scripted()) {
     check_scripted(spec, o);
+    if (spec.population.enabled() && g_population_check) {
+      for (std::string& v : g_population_check(spec)) {
+        o.violations.push_back(std::move(v));
+      }
+    }
   } else {
     check_capture(spec, o);
   }
@@ -299,6 +308,10 @@ Outcome check_impl(const scenario::ScenarioSpec& spec) {
 }
 
 }  // namespace
+
+void set_population_check(PopulationCheck check) {
+  g_population_check = std::move(check);
+}
 
 std::vector<std::string> check_scenario(const scenario::ScenarioSpec& spec) {
   return check_impl(spec).violations;
@@ -312,6 +325,7 @@ FuzzReport fuzz_scenarios(std::uint64_t first_seed, std::uint64_t count) {
     const scenario::ScenarioSpec spec = scenario::Generator::generate(seed);
     if (spec.scripted()) {
       ++report.scripted;
+      if (spec.population.enabled()) ++report.populations;
     } else if (spec.kind == scenario::Kind::kHome) {
       ++report.home_captures;
     } else if (spec.kind == scenario::Kind::kChain) {
@@ -339,11 +353,11 @@ FuzzReport fuzz_scenarios(std::uint64_t first_seed, std::uint64_t count) {
 std::string FuzzReport::to_string() const {
   std::ostringstream out;
   out << "fuzzed seeds [" << first_seed << ", " << (first_seed + count)
-      << "): " << scripted << " scripted, " << home_captures
-      << " home captures, " << chain_captures << " chain captures, "
-      << synthetic << " synthetic; " << faults_injected
-      << " faults injected, " << replayed_spikes << " spikes replayed; "
-      << failures.size() << " failing seed(s)";
+      << "): " << scripted << " scripted (" << populations
+      << " with populations), " << home_captures << " home captures, "
+      << chain_captures << " chain captures, " << synthetic << " synthetic; "
+      << faults_injected << " faults injected, " << replayed_spikes
+      << " spikes replayed; " << failures.size() << " failing seed(s)";
   return out.str();
 }
 

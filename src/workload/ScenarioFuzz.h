@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@ struct FuzzReport {
   std::uint64_t synthetic{0};
   std::uint64_t faults_injected{0};
   std::uint64_t replayed_spikes{0};
+  std::uint64_t populations{0};
   std::vector<FuzzFailure> failures;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
@@ -45,5 +47,15 @@ struct FuzzReport {
 
 /// Generates and checks seeds [first_seed, first_seed + count), serially.
 FuzzReport fuzz_scenarios(std::uint64_t first_seed, std::uint64_t count);
+
+/// Hook for the population-parity check on scripted specs with a
+/// `[population]`. vg_workload cannot link vg_fleet (fleet links workload),
+/// so the fleet library registers its check via
+/// fleet::register_fuzz_population_check() and the fuzzer calls through this
+/// seam. Returns invariant violations (empty = clean). Unset by default:
+/// harnesses that don't link vg_fleet simply skip the population check.
+using PopulationCheck =
+    std::function<std::vector<std::string>(const scenario::ScenarioSpec&)>;
+void set_population_check(PopulationCheck check);
 
 }  // namespace vg::workload

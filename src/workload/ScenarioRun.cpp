@@ -33,50 +33,6 @@ WorldConfig::SpeakerType speaker_type(scenario::Speaker s) {
              : WorldConfig::SpeakerType::kGoogleHomeMini;
 }
 
-WorldConfig world_config(const scenario::ScenarioSpec& spec) {
-  WorldConfig cfg;
-  cfg.testbed = testbed_kind(spec.home.testbed);
-  cfg.deployment = spec.home.deployment;
-  cfg.speaker = speaker_type(spec.speaker);
-  cfg.owner_count = spec.home.owners;
-  cfg.use_watch = spec.home.watch;
-  cfg.motion_sensor = spec.home.motion_sensor;
-  cfg.seed = spec.seed;
-  cfg.mode = spec.guard.mode;
-  cfg.fail_policy = spec.guard.fail_policy;
-  cfg.verdict_timeout = spec.guard.verdict_timeout;
-  cfg.hold_queue_cap = static_cast<std::size_t>(spec.guard.hold_queue_cap);
-  cfg.fcm_max_retries = spec.guard.fcm_max_retries;
-  cfg.fcm_retry_initial = spec.guard.fcm_retry_initial;
-  return cfg;
-}
-
-const CommandCorpus& corpus_for(scenario::Speaker s) {
-  return s == scenario::Speaker::kEchoDot ? CommandCorpus::alexa()
-                                          : CommandCorpus::google();
-}
-
-/// A device-height spot at the centre of the room farthest from the speaker:
-/// where the scripted "attack" commands are issued from (the owner's device is
-/// far away, so the RSSI verdict must come back malicious).
-radio::Vec3 farthest_room_spot(const SmartHomeWorld& world) {
-  const auto& plan = world.testbed().plan();
-  const radio::Vec3 spk =
-      world.testbed().speaker_position(world.config().deployment);
-  radio::Vec3 best{};
-  double best_d = -1.0;
-  for (const auto& room : plan.rooms()) {
-    const radio::Vec2 c = room.bounds.center();
-    const radio::Vec3 p{c.x, c.y, plan.device_height(room.floor)};
-    const double d = radio::distance(p, spk);
-    if (d > best_d) {
-      best_d = d;
-      best = p;
-    }
-  }
-  return best;
-}
-
 trace::TraceWriter::Meta meta_for(const std::string& name, std::uint64_t seed) {
   trace::TraceWriter::Meta m;
   m.scenario = name;
@@ -96,7 +52,7 @@ TraceScenarioResult finish(trace::TraceWriter& writer,
 // --- full-world capture loop ------------------------------------------------
 
 TraceScenarioResult run_home_capture(const scenario::ScenarioSpec& spec) {
-  WorldConfig cfg = world_config(spec);
+  WorldConfig cfg = world_config_from_spec(spec);
   cfg.mode = guard::GuardMode::kMonitor;  // recognition only, no calibration
   SmartHomeWorld world{cfg};
 
@@ -105,7 +61,7 @@ TraceScenarioResult run_home_capture(const scenario::ScenarioSpec& spec) {
   world.guard().set_wire_tap(&tap);  // before the first packet flows
 
   world.run_for(spec.schedule.boot);  // boot: DNS, connect, establishment
-  const CommandCorpus& corpus = corpus_for(spec.speaker);
+  const CommandCorpus& corpus = corpus_for_speaker(spec.speaker);
   sim::Rng& rng = world.sim().rng("trace.scenario");
   for (int i = 0; i < spec.schedule.loop_commands; ++i) {
     world.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
@@ -184,7 +140,7 @@ TraceScenarioResult run_chain_capture(const scenario::ScenarioSpec& spec) {
   }
   h.run_until_gap(spec.schedule.boot);
 
-  const CommandCorpus& corpus = corpus_for(spec.speaker);
+  const CommandCorpus& corpus = corpus_for_speaker(spec.speaker);
   sim::Rng& rng = h.sim.rng("trace.scenario");
   for (int i = 0; i < spec.schedule.loop_commands; ++i) {
     const speaker::CommandSpec& cmd =
@@ -273,61 +229,50 @@ TraceScenarioResult run_synthetic_capture(const scenario::ScenarioSpec& spec) {
 
 }  // namespace
 
-ChaosResult run_scenario_scripted(const scenario::ScenarioSpec& spec,
-                                  trace::TraceWriter* writer) {
-  if (!spec.scripted()) {
-    throw std::invalid_argument{"scenario '" + spec.name +
-                                "' is not a scripted home scenario"};
+WorldConfig world_config_from_spec(const scenario::ScenarioSpec& spec) {
+  WorldConfig cfg;
+  cfg.testbed = testbed_kind(spec.home.testbed);
+  cfg.deployment = spec.home.deployment;
+  cfg.speaker = speaker_type(spec.speaker);
+  cfg.owner_count = spec.home.owners;
+  cfg.use_watch = spec.home.watch;
+  cfg.motion_sensor = spec.home.motion_sensor;
+  cfg.seed = spec.seed;
+  cfg.mode = spec.guard.mode;
+  cfg.fail_policy = spec.guard.fail_policy;
+  cfg.verdict_timeout = spec.guard.verdict_timeout;
+  cfg.hold_queue_cap = static_cast<std::size_t>(spec.guard.hold_queue_cap);
+  cfg.fcm_max_retries = spec.guard.fcm_max_retries;
+  cfg.fcm_retry_initial = spec.guard.fcm_retry_initial;
+  return cfg;
+}
+
+const CommandCorpus& corpus_for_speaker(scenario::Speaker s) {
+  return s == scenario::Speaker::kEchoDot ? CommandCorpus::alexa()
+                                          : CommandCorpus::google();
+}
+
+radio::Vec3 scripted_attack_spot(const SmartHomeWorld& world) {
+  const auto& plan = world.testbed().plan();
+  const radio::Vec3 spk =
+      world.testbed().speaker_position(world.config().deployment);
+  radio::Vec3 best{};
+  double best_d = -1.0;
+  for (const auto& room : plan.rooms()) {
+    const radio::Vec2 c = room.bounds.center();
+    const radio::Vec3 p{c.x, c.y, plan.device_height(room.floor)};
+    const double d = radio::distance(p, spk);
+    if (d > best_d) {
+      best_d = d;
+      best = p;
+    }
   }
-  SmartHomeWorld world{world_config(spec)};
+  return best;
+}
 
-  std::unique_ptr<trace::TraceTap> tap;
-  if (writer != nullptr) {
-    tap = std::make_unique<trace::TraceTap>(*writer);
-    world.guard().set_wire_tap(tap.get());
-  }
-
-  world.calibrate();
-
-  faults::FaultInjector::Targets targets;
-  targets.lan = &world.lan_link();
-  targets.wan = &world.wan_link();
-  targets.cloud = &world.cloud();
-  targets.fcm = &world.fcm();
-  for (int i = 0; i < world.owner_count(); ++i) {
-    targets.devices.push_back(&world.device(i));
-  }
-  targets.guard = &world.guard();
-  faults::FaultInjector injector{world.sim(), targets};
-  if (writer != nullptr) {
-    injector.set_observer([writer](const faults::FaultEvent& ev) {
-      writer->fault(static_cast<std::uint8_t>(ev.kind), ev.param, ev.when);
-    });
-  }
-  const sim::TimePoint t0 = world.sim().now();
-  injector.arm(spec.faults);
-
-  // The scripted workload: commands at fixed offsets, attack steps issued
-  // while the owner (and their phone) is in the farthest room — ground-truth
-  // "unauthorized".
-  const radio::Vec3 attack_spot = farthest_room_spot(world);
-  const CommandCorpus& corpus = corpus_for(spec.speaker);
-  sim::Rng& rng = world.sim().rng("chaos.script");
-  const std::size_t n_commands = spec.schedule.commands.size();
-  for (std::size_t i = 0; i < n_commands; ++i) {
-    const scenario::CommandStep& step = spec.schedule.commands[i];
-    world.sim().run_until(t0 + step.at - sim::seconds(1));
-    world.owner(0).teleport(step.attack ? attack_spot
-                                        : world.random_legit_spot(rng));
-    world.sim().run_until(t0 + step.at);
-    world.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
-  }
-  // Long enough past the last command for every hold, timeout, retransmit
-  // and reconnect to drain.
-  world.sim().run_until(t0 + spec.schedule.drain);
-
-  if (writer != nullptr) world.guard().set_wire_tap(nullptr);
-
+ChaosResult collect_scripted_result(SmartHomeWorld& world,
+                                    const scenario::ScenarioSpec& spec,
+                                    std::size_t faults_injected) {
   ChaosResult r;
   r.label = spec.faults.name + "/" + guard::to_string(spec.guard.mode) + "/" +
             guard::to_string(spec.guard.fail_policy);
@@ -367,13 +312,72 @@ ChaosResult run_scenario_scripted(const scenario::ScenarioSpec& spec,
     if (it.connection_error) ++r.connection_errors;
   }
   r.reconnects = world.echo() != nullptr ? world.echo()->reconnects() : 0;
+  const std::size_t n_commands = spec.schedule.commands.size();
   for (std::size_t i = 0; i < n_commands; ++i) {
     if (world.command_executed(static_cast<std::uint64_t>(i) + 1)) {
       ++r.commands_executed;
     }
   }
-  r.faults_injected = injector.injected();
+  r.faults_injected = faults_injected;
   return r;
+}
+
+ChaosResult run_scenario_scripted(const scenario::ScenarioSpec& spec,
+                                  trace::TraceWriter* writer) {
+  if (!spec.scripted()) {
+    throw std::invalid_argument{"scenario '" + spec.name +
+                                "' is not a scripted home scenario"};
+  }
+  SmartHomeWorld world{world_config_from_spec(spec)};
+
+  std::unique_ptr<trace::TraceTap> tap;
+  if (writer != nullptr) {
+    tap = std::make_unique<trace::TraceTap>(*writer);
+    world.guard().set_wire_tap(tap.get());
+  }
+
+  world.calibrate();
+
+  faults::FaultInjector::Targets targets;
+  targets.lan = &world.lan_link();
+  targets.wan = &world.wan_link();
+  targets.cloud = &world.cloud();
+  targets.fcm = &world.fcm();
+  for (int i = 0; i < world.owner_count(); ++i) {
+    targets.devices.push_back(&world.device(i));
+  }
+  targets.guard = &world.guard();
+  faults::FaultInjector injector{world.sim(), targets};
+  if (writer != nullptr) {
+    injector.set_observer([writer](const faults::FaultEvent& ev) {
+      writer->fault(static_cast<std::uint8_t>(ev.kind), ev.param, ev.when);
+    });
+  }
+  const sim::TimePoint t0 = world.sim().now();
+  injector.arm(spec.faults);
+
+  // The scripted workload: commands at fixed offsets, attack steps issued
+  // while the owner (and their phone) is in the farthest room — ground-truth
+  // "unauthorized".
+  const radio::Vec3 attack_spot = scripted_attack_spot(world);
+  const CommandCorpus& corpus = corpus_for_speaker(spec.speaker);
+  sim::Rng& rng = world.sim().rng("chaos.script");
+  const std::size_t n_commands = spec.schedule.commands.size();
+  for (std::size_t i = 0; i < n_commands; ++i) {
+    const scenario::CommandStep& step = spec.schedule.commands[i];
+    world.sim().run_until(t0 + step.at - sim::seconds(1));
+    world.owner(0).teleport(step.attack ? attack_spot
+                                        : world.random_legit_spot(rng));
+    world.sim().run_until(t0 + step.at);
+    world.hear_command(corpus.sample(rng, static_cast<std::uint64_t>(i) + 1));
+  }
+  // Long enough past the last command for every hold, timeout, retransmit
+  // and reconnect to drain.
+  world.sim().run_until(t0 + spec.schedule.drain);
+
+  if (writer != nullptr) world.guard().set_wire_tap(nullptr);
+
+  return collect_scripted_result(world, spec, injector.injected());
 }
 
 TraceScenarioResult run_scenario_capture(const scenario::ScenarioSpec& spec) {

@@ -3,6 +3,7 @@
 #include "scenario/Scenario.h"
 #include "workload/ChaosScenarios.h"
 #include "workload/TraceScenarios.h"
+#include "workload/World.h"
 
 /// \file ScenarioRun.h
 /// The generalized scenario runner: installs a scenario::ScenarioSpec into a
@@ -12,6 +13,30 @@
 /// path as the original C++ constructor — the equivalence the port tests pin.
 
 namespace vg::workload {
+
+class CommandCorpus;
+
+/// The single source of the ScenarioSpec -> WorldConfig mapping, shared by
+/// the scripted/capture runners here and by fleet home instantiation (the
+/// WorldConfig -> module-options half lives in World.h: decision_options /
+/// guard_options).
+WorldConfig world_config_from_spec(const scenario::ScenarioSpec& spec);
+
+/// The command corpus the scripted runner samples for \p s.
+const CommandCorpus& corpus_for_speaker(scenario::Speaker s);
+
+/// A device-height spot at the centre of the room farthest from the speaker:
+/// where scripted "attack" commands are issued from (the owner's device is
+/// far away, so the RSSI verdict must come back malicious).
+radio::Vec3 scripted_attack_spot(const SmartHomeWorld& world);
+
+/// Extracts the scripted-run counters from a drained world — the shared tail
+/// of run_scenario_scripted and of every fleet home, so fleet accounting
+/// cannot drift from the single-world path. \p faults_injected is the
+/// injector's final injected() count.
+ChaosResult collect_scripted_result(SmartHomeWorld& world,
+                                    const scenario::ScenarioSpec& spec,
+                                    std::size_t faults_injected);
 
 /// Runs a scripted home scenario (spec.scripted()): full SmartHomeWorld,
 /// calibration, FaultInjector armed with the embedded plan, the command

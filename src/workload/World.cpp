@@ -8,6 +8,10 @@ namespace vg::workload {
 
 namespace {
 
+constexpr double kStairSpeed = 0.45;  // m/s — ~8 s for the staircase (§V-B2)
+
+}  // namespace
+
 home::Testbed make_testbed(WorldConfig::TestbedKind kind) {
   switch (kind) {
     case WorldConfig::TestbedKind::kHouse: return home::Testbed::two_floor_house();
@@ -17,20 +21,37 @@ home::Testbed make_testbed(WorldConfig::TestbedKind kind) {
   return home::Testbed::two_floor_house();
 }
 
-constexpr double kStairSpeed = 0.45;  // m/s — ~8 s for the staircase (§V-B2)
+guard::RssiDecisionModule::Options decision_options(const WorldConfig& cfg) {
+  guard::RssiDecisionModule::Options dopts;
+  dopts.fcm_max_retries = cfg.fcm_max_retries;
+  dopts.fcm_retry_initial = cfg.fcm_retry_initial;
+  return dopts;
+}
 
-}  // namespace
+guard::GuardBox::Options guard_options(const WorldConfig& cfg) {
+  guard::GuardBox::Options gopts;
+  gopts.mode = cfg.mode;
+  gopts.fail_policy = cfg.fail_policy;
+  gopts.verdict_timeout = cfg.verdict_timeout;
+  gopts.hold_queue_cap = cfg.hold_queue_cap;
+  return gopts;
+}
 
 SmartHomeWorld::SmartHomeWorld(WorldConfig cfg)
     : cfg_(cfg),
       sim_(cfg.arena
                ? std::make_unique<sim::Simulation>(cfg.seed, cfg.arena)
                : std::make_unique<sim::Simulation>(
-                     cfg.seed, sim::Simulation::Options{cfg.use_arena})),
+                     cfg.seed,
+                     sim::Simulation::Options{cfg.use_arena, cfg.arena_chunk})),
       net_(std::make_unique<net::Network>(*sim_)),
-      testbed_(make_testbed(cfg.testbed)) {
+      owned_testbed_(cfg.shared_testbed
+                         ? nullptr
+                         : std::make_unique<home::Testbed>(
+                               make_testbed(cfg.testbed))),
+      testbed_(cfg.shared_testbed ? cfg.shared_testbed : owned_testbed_.get()) {
   speaker_floor_ =
-      testbed_.plan().floor_of(testbed_.speaker_position(cfg_.deployment).z);
+      testbed_->plan().floor_of(testbed_->speaker_position(cfg_.deployment).z);
   build_network();
   build_people();
 }
@@ -42,20 +63,13 @@ void SmartHomeWorld::build_network() {
   speaker_host_ = std::make_unique<net::Host>(*net_, "speaker",
                                               net::IpAddress(192, 168, 1, 200));
   beacon_ = std::make_unique<radio::BluetoothBeacon>(
-      "speaker-bt", testbed_.speaker_position(cfg_.deployment));
+      "speaker-bt", testbed_->speaker_position(cfg_.deployment));
   fcm_ = std::make_unique<home::FcmService>(*sim_);
-  guard::RssiDecisionModule::Options dopts;
-  dopts.fcm_max_retries = cfg_.fcm_max_retries;
-  dopts.fcm_retry_initial = cfg_.fcm_retry_initial;
   decision_ = std::make_unique<guard::RssiDecisionModule>(*sim_, *fcm_, *beacon_,
-                                                          dopts);
+                                                          decision_options(cfg_));
 
-  guard::GuardBox::Options gopts;
+  guard::GuardBox::Options gopts = guard_options(cfg_);
   gopts.speaker_ips = {speaker_host_->ip()};
-  gopts.mode = cfg_.mode;
-  gopts.fail_policy = cfg_.fail_policy;
-  gopts.verdict_timeout = cfg_.verdict_timeout;
-  gopts.hold_queue_cap = cfg_.hold_queue_cap;
   guard_ = std::make_unique<guard::GuardBox>(*net_, "guard", *decision_, gopts);
 
   // Inline chain: speaker -- guard -- router.
@@ -86,20 +100,20 @@ void SmartHomeWorld::build_network() {
 radio::Vec3 SmartHomeWorld::spot_near_speaker(int i) const {
   // A spot ~1-2 m from the speaker, clamped inside the speaker's room (the
   // speaker may sit in a corner).
-  const radio::Vec3 spk = testbed_.speaker_position(cfg_.deployment);
+  const radio::Vec3 spk = testbed_->speaker_position(cfg_.deployment);
   const radio::Rect& room =
-      testbed_.plan().room_by_name(testbed_.speaker_room(cfg_.deployment))
+      testbed_->plan().room_by_name(testbed_->speaker_room(cfg_.deployment))
           ->bounds;
-  const double z0 = testbed_.plan().device_height(speaker_floor_);
+  const double z0 = testbed_->plan().device_height(speaker_floor_);
   return radio::Vec3{
       std::clamp(spk.x - 1.0 - i, room.x0 + 0.5, room.x1 - 0.5),
       std::clamp(spk.y + 1.0 + 0.4 * i, room.y0 + 0.5, room.y1 - 0.5), z0};
 }
 
 void SmartHomeWorld::build_people() {
-  const radio::Vec3 spk = testbed_.speaker_position(cfg_.deployment);
-  const std::string& room = testbed_.speaker_room(cfg_.deployment);
-  const double z0 = testbed_.plan().device_height(speaker_floor_);
+  const radio::Vec3 spk = testbed_->speaker_position(cfg_.deployment);
+  const std::string& room = testbed_->speaker_room(cfg_.deployment);
+  const double z0 = testbed_->plan().device_height(speaker_floor_);
 
   for (int i = 0; i < cfg_.owner_count; ++i) {
     const radio::Vec3 start = spot_near_speaker(i);
@@ -118,7 +132,7 @@ void SmartHomeWorld::build_people() {
       dev_name = "phone-" + std::to_string(i + 1);
     }
     devices_.push_back(std::make_unique<home::MobileDevice>(
-        *sim_, testbed_.plan(), radio_params(), dev_name,
+        *sim_, testbed_->plan(), radio_params(), dev_name,
         [person] { return person->position(); }, dopts));
   }
 
@@ -128,11 +142,11 @@ void SmartHomeWorld::build_people() {
   (void)room;
 
   if (cfg_.testbed == WorldConfig::TestbedKind::kHouse && cfg_.motion_sensor &&
-      testbed_.plan().stairs()) {
+      testbed_->plan().stairs()) {
     home::MotionSensor::Options sopts;
     // Covers the stair volume only: mid-climb heights, not either floor.
-    sopts.z_min = testbed_.plan().device_height(0) + 0.3;
-    sopts.z_max = testbed_.plan().device_height(1) - 0.3;
+    sopts.z_min = testbed_->plan().device_height(0) + 0.3;
+    sopts.z_max = testbed_->plan().device_height(1) - 0.3;
     sensor_ = std::make_unique<home::MotionSensor>(
         *sim_, *stair_sensor_region(), sopts);
     for (auto& o : owners_) sensor_->watch(*o);
@@ -152,11 +166,11 @@ void SmartHomeWorld::build_people() {
 
 radio::Rect SmartHomeWorld::legitimate_area() const {
   const radio::Room* room =
-      testbed_.plan().room_by_name(testbed_.speaker_room(cfg_.deployment));
+      testbed_->plan().room_by_name(testbed_->speaker_room(cfg_.deployment));
   if (cfg_.testbed == WorldConfig::TestbedKind::kOffice) {
     // The office's legitimate area is the red box around the speaker, not
     // the whole open floor (Fig. 8c). Sized to the speaker's cubicle bay.
-    const radio::Vec3 spk = testbed_.speaker_position(cfg_.deployment);
+    const radio::Vec3 spk = testbed_->speaker_position(cfg_.deployment);
     radio::Rect box{spk.x - 2.3, spk.y - 2.3, spk.x + 2.3, spk.y + 2.3};
     box.x0 = std::max(box.x0, room->bounds.x0 + 0.4);
     box.y0 = std::max(box.y0, room->bounds.y0 + 0.4);
@@ -168,7 +182,7 @@ radio::Rect SmartHomeWorld::legitimate_area() const {
 }
 
 bool SmartHomeWorld::in_legitimate_area(const radio::Vec3& p) const {
-  return testbed_.plan().floor_of(p.z) == speaker_floor_ &&
+  return testbed_->plan().floor_of(p.z) == speaker_floor_ &&
          legitimate_area().contains(p.xy());
 }
 
@@ -177,11 +191,11 @@ radio::Vec3 SmartHomeWorld::random_legit_spot(sim::Rng& rng) const {
   const double m = 0.4;
   return radio::Vec3{rng.uniform(area.x0 + m, area.x1 - m),
                      rng.uniform(area.y0 + m, area.y1 - m),
-                     testbed_.plan().device_height(speaker_floor_)};
+                     testbed_->plan().device_height(speaker_floor_)};
 }
 
 std::vector<radio::Vec3> SmartHomeWorld::threshold_walk_path() const {
-  const double z = testbed_.plan().device_height(speaker_floor_);
+  const double z = testbed_->plan().device_height(speaker_floor_);
   const double inset =
       cfg_.testbed == WorldConfig::TestbedKind::kOffice ? 0.0 : 0.4;
   return guard::room_boundary_path(legitimate_area(), z, inset);
@@ -206,6 +220,10 @@ void SmartHomeWorld::calibrate() {
 
   if (!trackers_.empty()) train_floor_trackers();
 
+  register_devices_and_reset();
+}
+
+void SmartHomeWorld::register_devices_and_reset() {
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     guard::FloorTracker* tracker =
         i < trackers_.size() ? trackers_[i].get() : nullptr;
@@ -219,12 +237,48 @@ void SmartHomeWorld::calibrate() {
   }
 }
 
+CalibrationArtifacts SmartHomeWorld::calibration_artifacts() const {
+  CalibrationArtifacts art;
+  art.thresholds = thresholds_;
+  art.tracker_fits.reserve(trackers_.size());
+  for (const auto& t : trackers_) {
+    std::vector<CalibrationArtifacts::TrackerFit> fits;
+    fits.reserve(t->training_fits().size());
+    for (const auto& [label, fit] : t->training_fits()) {
+      fits.push_back({label, fit.slope, fit.intercept});
+    }
+    art.tracker_fits.push_back(std::move(fits));
+  }
+  return art;
+}
+
+void SmartHomeWorld::calibrate_from(const CalibrationArtifacts& art) {
+  run_for(sim::seconds(8));
+  install_calibration(art);
+}
+
+void SmartHomeWorld::install_calibration(const CalibrationArtifacts& art) {
+  if (art.thresholds.size() != devices_.size() ||
+      art.tracker_fits.size() != trackers_.size()) {
+    throw std::invalid_argument{
+        "calibration artifacts do not match this world's config"};
+  }
+  thresholds_ = art.thresholds;
+  for (std::size_t i = 0; i < trackers_.size(); ++i) {
+    for (const auto& fit : art.tracker_fits[i]) {
+      trackers_[i]->add_training_fit(fit.label, fit.slope, fit.intercept);
+    }
+    trackers_[i]->finalize_training();
+  }
+  register_devices_and_reset();
+}
+
 std::optional<radio::Rect> SmartHomeWorld::stair_sensor_region() const {
-  if (!testbed_.plan().stairs()) return std::nullopt;
+  if (!testbed_->plan().stairs()) return std::nullopt;
   // The Hue sensor is aimed at the staircase itself, not the hallway around
   // it: its coverage is the stair core, so passers-by skirting the staircase
   // do not trigger traces of half-walks.
-  const radio::Rect full = testbed_.plan().stairs()->region;
+  const radio::Rect full = testbed_->plan().stairs()->region;
   return radio::Rect{full.x0 + 0.5, full.y0 + 0.3, full.x1 - 0.5,
                      full.y1 - 0.3};
 }
@@ -238,7 +292,7 @@ void SmartHomeWorld::train_floor_trackers() {
   // (at run time they are recorded whenever *someone else* trips the stair
   // sensor). Route 1 is small in-room movement.
   auto& rng = sim_->rng("world.training");
-  const auto& plan = testbed_.plan();
+  const auto& plan = testbed_->plan();
 
   std::vector<std::string> ground_rooms, upper_rooms;
   for (const auto& r : plan.rooms()) {
@@ -348,7 +402,7 @@ bool SmartHomeWorld::command_executed(std::uint64_t id) const {
 
 void SmartHomeWorld::move_person(home::Person& person, radio::Vec3 target,
                                  std::function<void()> done) {
-  const auto& plan = testbed_.plan();
+  const auto& plan = testbed_->plan();
   const int from_floor = plan.floor_of(person.position().z);
   const int to_floor = plan.floor_of(target.z);
   if (from_floor == to_floor || !plan.stairs()) {
@@ -373,14 +427,14 @@ void SmartHomeWorld::move_person(home::Person& person, radio::Vec3 target,
 
 radio::Vec3 SmartHomeWorld::random_point_in_room(const std::string& room,
                                                  sim::Rng& rng) const {
-  const radio::Room* r = testbed_.plan().room_by_name(room);
+  const radio::Room* r = testbed_->plan().room_by_name(room);
   if (r == nullptr) {
     throw std::invalid_argument{"unknown room '" + room + "'"};
   }
   const double margin = 0.4;
   return radio::Vec3{rng.uniform(r->bounds.x0 + margin, r->bounds.x1 - margin),
                      rng.uniform(r->bounds.y0 + margin, r->bounds.y1 - margin),
-                     testbed_.plan().device_height(r->floor)};
+                     testbed_->plan().device_height(r->floor)};
 }
 
 bool SmartHomeWorld::run_until(const std::function<bool()>& pred,

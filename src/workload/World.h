@@ -15,6 +15,7 @@
 #include "home/Testbed.h"
 #include "netsim/Host.h"
 #include "netsim/Router.h"
+#include "simcore/Arena.h"
 #include "speaker/EchoDot.h"
 #include "speaker/GoogleHomeMini.h"
 #include "voiceguard/Decision.h"
@@ -62,7 +63,43 @@ struct WorldConfig {
   /// (episode reuse: TrialRunner resets a worker-local arena per trial).
   /// Must outlive the world.
   sim::Arena* arena = nullptr;
+  /// Chunk granularity for an owned arena (fleet homes shrink this so tens of
+  /// thousands of concurrent worlds stay resident). Ignored if \p arena set.
+  std::size_t arena_chunk = sim::Arena::kDefaultChunk;
+  /// Share an immutable testbed (geometry, wall grid, propagation tables)
+  /// instead of building a private copy. Must match \p testbed's kind and
+  /// outlive the world; nothing mutates a testbed after construction, so one
+  /// instance serves any number of homes (fleet::WorldTemplate relies on
+  /// this).
+  const home::Testbed* shared_testbed = nullptr;
 };
+
+/// Builds the floor plan + propagation calibration for \p kind. Exposed so
+/// fleet::WorldTemplate can build the one shared instance per population.
+home::Testbed make_testbed(WorldConfig::TestbedKind kind);
+
+/// The calibration a world learns once (the paper's user-performed setup):
+/// per-device RSSI thresholds from the walk-around app, and the floor
+/// tracker's training fits (two-floor house only). Captured from a fully
+/// calibrated world and injected into clones so a fleet pays the setup walk
+/// once per template, not once per home.
+struct CalibrationArtifacts {
+  struct TrackerFit {
+    guard::TraceClass label;
+    double slope;
+    double intercept;
+  };
+  std::vector<double> thresholds;                     // one per owner device
+  std::vector<std::vector<TrackerFit>> tracker_fits;  // one list per tracker
+};
+
+/// The single source of the WorldConfig -> module-options mapping, shared by
+/// SmartHomeWorld::build_network and anything wiring guard components by hand
+/// (fleet instantiation must not drift from the single-world path).
+guard::RssiDecisionModule::Options decision_options(const WorldConfig& cfg);
+/// Same for the guard box; \p speaker_ips is wired by the caller because the
+/// speaker host does not exist until the network is built.
+guard::GuardBox::Options guard_options(const WorldConfig& cfg);
 
 class SmartHomeWorld {
  public:
@@ -73,9 +110,23 @@ class SmartHomeWorld {
   /// tracker's training traces. Advances simulated time.
   void calibrate();
 
+  /// The artifacts calibrate() learned, for reuse by worlds with the same
+  /// config (thresholds and training depend only on config + seed geometry).
+  [[nodiscard]] CalibrationArtifacts calibration_artifacts() const;
+
+  /// Memoized calibration: boots the speaker (8 s, as calibrate() does) and
+  /// installs \p art instead of re-walking the house. Advances simulated time
+  /// by the boot only.
+  void calibrate_from(const CalibrationArtifacts& art);
+
+  /// Installs \p art at the current instant without advancing time — the
+  /// event-driven path (fleet homes schedule this at their boot deadline).
+  /// The speaker must have finished booting so the guard knows the endpoints.
+  void install_calibration(const CalibrationArtifacts& art);
+
   // --- access ---------------------------------------------------------------
   sim::Simulation& sim() { return *sim_; }
-  const home::Testbed& testbed() const { return testbed_; }
+  const home::Testbed& testbed() const { return *testbed_; }
   guard::GuardBox& guard() { return *guard_; }
   guard::RssiDecisionModule& decision() { return *decision_; }
   cloud::CloudFarm& cloud() { return *cloud_; }
@@ -122,7 +173,7 @@ class SmartHomeWorld {
                    std::function<void()> done = nullptr);
 
   [[nodiscard]] radio::Vec3 location_pos(int number) const {
-    return testbed_.location(number).pos;
+    return testbed_->location(number).pos;
   }
   radio::Vec3 random_point_in_room(const std::string& room, sim::Rng& rng) const;
 
@@ -153,19 +204,24 @@ class SmartHomeWorld {
 
   /// The propagation calibration in effect (config override or testbed's).
   [[nodiscard]] const radio::PathLossParams& radio_params() const {
-    return cfg_.radio ? *cfg_.radio : testbed_.radio_params();
+    return cfg_.radio ? *cfg_.radio : testbed_->radio_params();
   }
 
  private:
   void build_network();
   void build_people();
   void train_floor_trackers();
+  /// Registers devices with the decision module and resets everyone to their
+  /// start spots — the shared tail of calibrate() / install_calibration().
+  void register_devices_and_reset();
   [[nodiscard]] radio::Vec3 spot_near_speaker(int i) const;
 
   WorldConfig cfg_;
   std::unique_ptr<sim::Simulation> sim_;
   std::unique_ptr<net::Network> net_;
-  home::Testbed testbed_;
+  /// Owned when built privately; null when cfg_.shared_testbed is borrowed.
+  std::unique_ptr<home::Testbed> owned_testbed_;
+  const home::Testbed* testbed_{nullptr};
   int speaker_floor_{0};
 
   std::unique_ptr<net::Router> router_;

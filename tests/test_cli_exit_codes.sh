@@ -57,11 +57,42 @@ sed 's/^link = .*/link = wan flap 1e+03 10/' \
 expect 0 "$VGSCN" validate "$TMP/no-inject.scn"
 expect 1 "$VGSCN" run "$TMP/no-inject.scn"
 
+# --- vgscn fleet: the population runner shares the scheme -------------------
+
+# 0: a scripted scenario with a [population] runs, with and without the
+# serial/sharded parity check.
+{ cat "$SCN_DIR/chaos-baseline.scn"
+  printf '\n[population]\nhomes = 4\ncommand_jitter_s = 1\nattack_flip = 0.2\n'
+} >"$TMP/pop.scn"
+expect 0 "$VGSCN" validate "$TMP/pop.scn"
+expect 0 "$VGSCN" fleet "$TMP/pop.scn"
+expect 0 "$VGSCN" fleet "$TMP/pop.scn" --shards 2 --check
+expect 0 "$VGSCN" fleet "$SCN_DIR/chaos-baseline.scn" --homes 2
+
+# 1: a fleet whose fault plan never fires (same past-the-horizon trick as
+# no-inject.scn above) violates the fleet invariants.
+{ cat "$TMP/no-inject.scn"
+  printf '\n[population]\nhomes = 2\n'
+} >"$TMP/no-inject-pop.scn"
+expect 1 "$VGSCN" fleet "$TMP/no-inject-pop.scn"
+
 # 2: usage errors.
 expect 2 "$VGSCN"
 expect 2 "$VGSCN" frobnicate
 expect 2 "$VGSCN" run --seed
 expect 2 "$VGSCN" gen not-a-number
+expect 2 "$VGSCN" fleet
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --homes 0
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --shards 0
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --frobnicate
+
+# 3: fleet I/O errors share the loader's code.
+expect 3 "$VGSCN" fleet "$TMP/does-not-exist.scn"
+
+# 4: a [population] on a capture-loop scenario is a validation error.
+printf '[scenario]\nname = x\n[schedule]\ncommands = 4\n[population]\nhomes = 3\n' \
+  >"$TMP/pop-on-capture.scn"
+expect 4 "$VGSCN" fleet "$TMP/pop-on-capture.scn"
 
 # 3: I/O errors.
 expect 3 "$VGSCN" validate "$TMP/does-not-exist.scn"

@@ -382,6 +382,77 @@ TEST(ScenarioLoader, RejectsChainOptionsOnTheWrongSpeaker) {
       8, "quic_probability only applies to speaker home_mini");
 }
 
+// ---------------------------------------------------------------------------
+// [population]: scripted homes only, homes mandatory, bounded knobs.
+
+TEST(ScenarioLoader, LoadsAPopulationSection) {
+  const ScenarioSpec spec = ScenarioLoader::load(
+      std::string{kScripted} +
+      "\n[population]\nhomes = 12\ncommand_jitter_s = 1.5\n"
+      "attack_flip = 0.25\n");
+  EXPECT_TRUE(spec.population.enabled());
+  EXPECT_EQ(spec.population.homes, 12u);
+  EXPECT_DOUBLE_EQ(spec.population.command_jitter_s, 1.5);
+  EXPECT_DOUBLE_EQ(spec.population.attack_flip, 0.25);
+  EXPECT_NE(spec.summary().find("population of 12 homes"), std::string::npos)
+      << spec.summary();
+}
+
+TEST(ScenarioLoader, PopulationDefaultsToJitterlessSingleFlipFree) {
+  const ScenarioSpec spec = ScenarioLoader::load(std::string{kScripted} +
+                                                 "\n[population]\nhomes = 2\n");
+  EXPECT_EQ(spec.population.homes, 2u);
+  EXPECT_DOUBLE_EQ(spec.population.command_jitter_s, 0.0);
+  EXPECT_DOUBLE_EQ(spec.population.attack_flip, 0.0);
+}
+
+TEST(ScenarioLoader, RejectsBrokenPopulations) {
+  const std::string head = "[scenario]\nname = x\n[schedule]\n"
+                           "command = 10 legit\n[population]\n";
+  expect_load_error(head + "homes = 0\n", 6, "homes must be in [1, 1000000]");
+  expect_load_error(head + "homes = 1000001\n", 6,
+                    "homes must be in [1, 1000000]");
+  expect_load_error(head + "homes = 2\ncommand_jitter_s = 11\n", 7,
+                    "command_jitter_s must be in [0, 10]");
+  expect_load_error(head + "homes = 2\nattack_flip = 1.5\n", 7,
+                    "attack_flip must be in [0, 1]");
+  expect_load_error(head + "homes = 2\nrooms = 4\n", 7,
+                    "unknown key in [population]");
+  expect_load_error(head + "command_jitter_s = 1\n", 6,
+                    "[population] needs 'homes = N'");
+}
+
+TEST(ScenarioLoader, RejectsPopulationsOutsideScriptedHomes) {
+  expect_load_error(
+      "[scenario]\nname = x\n[schedule]\ncommands = 4\n[population]\n"
+      "homes = 3\n",
+      6, "[population] is not allowed for capture-loop scenarios");
+  expect_load_error(
+      "[scenario]\nname = x\nkind = chain\n[schedule]\ncommands = 4\n"
+      "[population]\nhomes = 3\n",
+      7, "[population] is not allowed for kind chain");
+  expect_load_error(
+      "[scenario]\nname = x\nkind = synthetic\n[capture]\n"
+      "dns = avs 10.0.0.1 0\n[population]\nhomes = 3\n",
+      7, "[population] is not allowed for kind synthetic");
+}
+
+TEST(ScnSerializer, RoundTripsThePopulationSection) {
+  ScenarioSpec spec = ScenarioLoader::load(std::string{kScripted} +
+                                           "\n[population]\nhomes = 40000\n"
+                                           "command_jitter_s = 2.5\n"
+                                           "attack_flip = 0.1\n");
+  const std::string text = write_scn(spec);
+  EXPECT_NE(text.find("[population]"), std::string::npos) << text;
+  const ScenarioSpec reparsed = ScenarioLoader::load(text);
+  EXPECT_TRUE(reparsed == spec) << text;
+  EXPECT_EQ(write_scn(reparsed), text);
+
+  // A population-free spec must not grow the section (canonical emission).
+  spec.population = {};
+  EXPECT_EQ(write_scn(spec).find("[population]"), std::string::npos);
+}
+
 TEST(ScenarioLoader, RejectsBrokenFaultLines) {
   const std::string head =
       "[scenario]\nname = x\n[schedule]\ncommand = 10 legit\n[faults]\n";

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "fleet/FleetRunner.h"
 #include "scenario/Generator.h"
 #include "simcore/BatchRunner.h"
 #include "workload/ScenarioFuzz.h"
@@ -21,6 +22,15 @@
 
 namespace vg::workload {
 namespace {
+
+// Wires the fleet parity check into fuzz_scenarios: scripted specs with a
+// [population] also get run serial-vs-sharded and compared bit for bit.
+// Registered from this TU (not a static-library initializer, which the
+// linker would drop).
+[[maybe_unused]] const bool kPopulationCheckInstalled = [] {
+  fleet::register_fuzz_population_check();
+  return true;
+}();
 
 std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   const char* v = std::getenv(name);
@@ -45,6 +55,7 @@ TEST(ScenarioFuzz, GeneratedWorldsHoldInvariants) {
     EXPECT_GT(report.synthetic, 0u);
     EXPECT_GT(report.faults_injected, 0u);
     EXPECT_GT(report.replayed_spikes, 0u);
+    EXPECT_GT(report.populations, 0u);
   }
 }
 

@@ -5,6 +5,7 @@
 ///   vgscn gen <seed> [out.scn]            generate a world from a fuzz seed
 ///   vgscn run <file.scn> | --seed N       run the invariant harness
 ///   vgscn fuzz [--first N] [--count N]    sweep a fuzz seed range
+///   vgscn fleet <file.scn> [flags]        run a population of homes
 ///   vgscn list                            list the checked-in scenario ports
 ///
 /// `run --seed N` reproduces exactly what the generative fuzzer checked for
@@ -25,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "fleet/FleetRunner.h"
 #include "scenario/Generator.h"
 #include "scenario/ScenarioLoader.h"
 #include "scenario/ScnParser.h"
@@ -50,6 +52,7 @@ const char kUsageText[] =
     "  vgscn gen <seed> [out.scn]\n"
     "  vgscn run <file.scn> | --seed N\n"
     "  vgscn fuzz [--first N] [--count N]\n"
+    "  vgscn fleet <file.scn> [--homes N] [--shards N] [--check]\n"
     "  vgscn list\n"
     "  vgscn --help | --version\n";
 
@@ -71,6 +74,10 @@ int cmd_help() {
       "            scenario: .scn round-trip, chaos/degradation invariants,\n"
       "            trace round-trip and replay parity\n"
       "  fuzz      run the harness over a seed range and print the report\n"
+      "  fleet     instantiate a population of homes from a scripted .scn\n"
+      "            (its [population] section, or --homes) and stream their\n"
+      "            aggregate stats; --shards N fans them across shards,\n"
+      "            --check additionally verifies serial/sharded parity\n"
       "  list      list the checked-in chaos plans and trace scenarios that\n"
       "            have .scn ports under tests/data/scenarios/\n"
       "\nexit codes:\n"
@@ -180,6 +187,58 @@ int cmd_fuzz(std::uint64_t first, std::uint64_t count) {
   return report.ok() ? 0 : kExitError;
 }
 
+int cmd_fleet(const std::string& path, std::uint64_t homes, unsigned shards,
+              bool check) {
+  const scenario::ScenarioSpec spec = load_spec(path);
+  const fleet::WorldTemplate tmpl{spec};
+
+  fleet::FleetConfig cfg;
+  cfg.homes = homes;  // 0 = the spec's [population] (or a single home)
+  cfg.shards = shards;
+  const std::uint64_t total = homes != 0 ? homes : tmpl.homes();
+
+  std::printf("%s\n", spec.summary().c_str());
+  std::printf("fleet: %llu home(s) across %u shard(s)\n",
+              static_cast<unsigned long long>(total), shards);
+  const fleet::AggregateStats stats = fleet::run_fleet(tmpl, cfg);
+  std::printf("%s\n", stats.to_string().c_str());
+
+  std::vector<std::string> violations;
+  if (stats.counters().homes != total) {
+    violations.push_back("ran " + std::to_string(stats.counters().homes) +
+                         " homes, expected " + std::to_string(total));
+  }
+  if (stats.counters().commands == 0) {
+    violations.push_back("fleet ran zero commands");
+  }
+  if (!spec.faults.empty() && stats.counters().faults_injected == 0) {
+    violations.push_back(
+        "fault plan is non-empty but no home injected a fault");
+  }
+  if (check) {
+    const fleet::AggregateStats serial =
+        fleet::run_fleet_serial(tmpl, 0, total);
+    if (serial == stats) {
+      std::printf("parity: serial fingerprint %llu matches sharded run\n",
+                  static_cast<unsigned long long>(serial.fingerprint()));
+    } else {
+      violations.push_back(
+          "serial/sharded parity broken: serial fingerprint " +
+          std::to_string(serial.fingerprint()) + " != sharded " +
+          std::to_string(stats.fingerprint()));
+    }
+  }
+  if (violations.empty()) {
+    std::printf("every fleet invariant holds\n");
+    return 0;
+  }
+  std::printf("%zu fleet invariant violation(s):\n", violations.size());
+  for (const std::string& v : violations) {
+    std::printf("  - %s\n", v.c_str());
+  }
+  return kExitError;
+}
+
 int cmd_list() {
   for (const faults::FaultPlan& p : workload::chaos_plans()) {
     std::printf("chaos  %-18s %s\n", p.name.c_str(),
@@ -196,6 +255,9 @@ int cmd_list() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Static initializers in static libraries are linker-dropped, so the fleet
+  // parity check is wired into the fuzzer explicitly here.
+  fleet::register_fuzz_population_check();
   const std::vector<std::string> args(argv + 1, argv + argc);
   try {
     if (args.empty()) return usage();
@@ -239,6 +301,27 @@ int main(int argc, char** argv) {
         }
       }
       return cmd_fuzz(first, count);
+    }
+    if (cmd == "fleet") {
+      if (args.size() < 2 || args[1].rfind("--", 0) == 0) return usage();
+      std::uint64_t homes = 0;
+      std::uint64_t shards = 1;
+      bool check = false;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--homes" && i + 1 < args.size()) {
+          if (!parse_u64(args[++i], homes) || homes == 0) return usage();
+        } else if (args[i] == "--shards" && i + 1 < args.size()) {
+          if (!parse_u64(args[++i], shards) || shards == 0 ||
+              shards > 4096) {
+            return usage();
+          }
+        } else if (args[i] == "--check") {
+          check = true;
+        } else {
+          return usage();
+        }
+      }
+      return cmd_fleet(args[1], homes, static_cast<unsigned>(shards), check);
     }
     return usage();
   } catch (const IoError& e) {
