@@ -80,10 +80,14 @@ void AvsServerApp::on_record(Session& s, const net::TlsRecord& r) {
 void AvsServerApp::execute_and_respond(Session& s, std::string_view cmd_tag) {
   executed_.push_back(ExecutedCommand{std::string(cmd_tag), host_.sim().now()});
   auto& rng = host_.sim().rng("cloud.avs");
-  const sim::Duration delay =
+  sim::Duration delay =
       opts_.process_delay_mean +
       sim::Duration{rng.uniform_int(-opts_.process_delay_spread.ns(),
                                     opts_.process_delay_spread.ns())};
+  if (extra_delay_.ns() > 0) {
+    delay = delay + extra_delay_;
+    ++browned_out_;
+  }
   const int segments = 1 + static_cast<int>(rng.weighted_index(opts_.segment_weights));
 
   net::TcpConnection* conn = s.conn;

@@ -70,6 +70,14 @@ class AvsServerApp {
   [[nodiscard]] bool available() const { return available_; }
   [[nodiscard]] std::uint64_t outage_refused() const { return outage_refused_; }
 
+  /// Brownout control: while set, every command processed adds \p extra on
+  /// top of the sampled processing delay — the backend is saturated but
+  /// still up. Deterministic (no draws added), so a zero brownout is
+  /// bit-identical to the seed.
+  void set_extra_delay(sim::Duration extra) { extra_delay_ = extra; }
+  [[nodiscard]] sim::Duration extra_delay() const { return extra_delay_; }
+  [[nodiscard]] std::uint64_t browned_out() const { return browned_out_; }
+
   net::Host& host() { return host_; }
 
  private:
@@ -98,6 +106,8 @@ class AvsServerApp {
   std::uint64_t heartbeats_{0};
   bool available_{true};
   std::uint64_t outage_refused_{0};
+  sim::Duration extra_delay_{};
+  std::uint64_t browned_out_{0};
 };
 
 /// A generic "other Amazon server" endpoint: accepts connections, replies to

@@ -74,6 +74,17 @@ class CloudFarm {
   void set_avs_available(bool available, bool rst_existing = false) {
     for (auto& app : avs_apps_) app->set_available(available, rst_existing);
   }
+  /// Saturation control for the whole pool: every command processed while
+  /// \p extra is non-zero takes that much longer (AvsServerApp brownout).
+  void set_avs_extra_delay(sim::Duration extra) {
+    for (auto& app : avs_apps_) app->set_extra_delay(extra);
+  }
+  [[nodiscard]] std::uint64_t total_browned_out() const {
+    std::uint64_t n = 0;
+    for (const auto& app : avs_apps_) n += app->browned_out();
+    return n;
+  }
+
   [[nodiscard]] std::uint64_t total_outage_refused() const {
     std::uint64_t n = 0;
     for (const auto& app : avs_apps_) n += app->outage_refused();

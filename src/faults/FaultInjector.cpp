@@ -56,6 +56,13 @@ void FaultInjector::validate(const FaultPlan& plan) const {
     require(targets_.cloud != nullptr,
             "plan '" + plan.name + "' needs a cloud target");
   }
+  for (const CloudBrownout& f : plan.brownouts) {
+    require(f.start.ns() >= 0 && f.duration.ns() >= 0 &&
+                f.extra_latency.ns() >= 0,
+            "negative cloud-brownout time in plan '" + plan.name + "'");
+    require(targets_.cloud != nullptr,
+            "plan '" + plan.name + "' needs a cloud target");
+  }
   for (const FcmFault& f : plan.fcm) {
     require(f.start.ns() >= 0 && f.duration.ns() >= 0 &&
                 f.extra_delay.ns() >= 0,
@@ -100,6 +107,12 @@ void FaultInjector::validate(const FaultPlan& plan) const {
     cloud.emplace_back(f.start.ns(), (f.start + f.duration).ns());
   }
   check_no_overlap(std::move(cloud), "cloud-outage", plan.name);
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> brownouts;
+  for (const CloudBrownout& f : plan.brownouts) {
+    brownouts.emplace_back(f.start.ns(), (f.start + f.duration).ns());
+  }
+  check_no_overlap(std::move(brownouts), "cloud-brownout", plan.name);
 
   std::vector<std::pair<std::int64_t, std::int64_t>> fcm;
   for (const FcmFault& f : plan.fcm) {
@@ -177,6 +190,19 @@ void FaultInjector::arm(const FaultPlan& plan) {
     sim_.at(t0 + f.start + f.duration, [this] {
       targets_.cloud->set_avs_available(true);
       note(FaultEvent::Kind::kCloudUp, 0);
+    });
+  }
+
+  for (const CloudBrownout& f : plan.brownouts) {
+    const auto param =
+        static_cast<std::uint64_t>(f.extra_latency.ns() / 1'000'000);
+    sim_.at(t0 + f.start, [this, extra = f.extra_latency, param] {
+      targets_.cloud->set_avs_extra_delay(extra);
+      note(FaultEvent::Kind::kBrownoutStart, param);
+    });
+    sim_.at(t0 + f.start + f.duration, [this] {
+      targets_.cloud->set_avs_extra_delay(sim::Duration{});
+      note(FaultEvent::Kind::kBrownoutEnd, 0);
     });
   }
 

@@ -6,6 +6,7 @@ std::string FaultPlan::to_string() const {
   std::string s = name + " [";
   s += std::to_string(links.size()) + " link, ";
   s += std::to_string(cloud.size()) + " cloud, ";
+  s += std::to_string(brownouts.size()) + " brownout, ";
   s += std::to_string(fcm.size()) + " fcm, ";
   s += std::to_string(devices.size()) + " device, ";
   s += std::to_string(restarts.size()) + " restart";
@@ -28,6 +29,8 @@ const char* to_string(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kDeviceDown: return "device-down";
     case FaultEvent::Kind::kDeviceUp: return "device-up";
     case FaultEvent::Kind::kGuardRestart: return "guard-restart";
+    case FaultEvent::Kind::kBrownoutStart: return "brownout-start";
+    case FaultEvent::Kind::kBrownoutEnd: return "brownout-end";
   }
   return "?";
 }

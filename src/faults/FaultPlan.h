@@ -42,6 +42,18 @@ struct CloudOutage {
   friend bool operator==(const CloudOutage&, const CloudOutage&) = default;
 };
 
+/// The AVS pool stays up but saturated: every command processed inside the
+/// window takes extra_latency longer before its response streams back. The
+/// load-coupled half of a shared-backend capacity incident (the refusal half
+/// is a CloudOutage); connections stay alive throughout.
+struct CloudBrownout {
+  sim::Duration start{};
+  sim::Duration duration{};
+  sim::Duration extra_latency{};
+
+  friend bool operator==(const CloudBrownout&, const CloudBrownout&) = default;
+};
+
 /// FCM degradation window: pushes are dropped with drop_prob and survivors
 /// are delayed by extra_delay on top of the sampled latency.
 struct FcmFault {
@@ -75,6 +87,7 @@ struct FaultPlan {
   std::string name{"baseline"};
   std::vector<LinkFault> links;
   std::vector<CloudOutage> cloud;
+  std::vector<CloudBrownout> brownouts;
   std::vector<FcmFault> fcm;
   std::vector<DeviceFault> devices;
   std::vector<GuardRestart> restarts;
@@ -84,8 +97,13 @@ struct FaultPlan {
   bool may_break_connections{false};
 
   [[nodiscard]] bool empty() const {
-    return links.empty() && cloud.empty() && fcm.empty() && devices.empty() &&
-           restarts.empty();
+    return links.empty() && cloud.empty() && brownouts.empty() &&
+           fcm.empty() && devices.empty() && restarts.empty();
+  }
+  /// Scheduled fault entries across every category (a plan's "size").
+  [[nodiscard]] std::size_t total_entries() const {
+    return links.size() + cloud.size() + brownouts.size() + fcm.size() +
+           devices.size() + restarts.size();
   }
   [[nodiscard]] std::string to_string() const;
 
@@ -110,6 +128,8 @@ struct FaultEvent {
     kDeviceDown = 10,
     kDeviceUp = 11,
     kGuardRestart = 12,
+    kBrownoutStart = 13,
+    kBrownoutEnd = 14,
   };
 
   Kind kind{Kind::kFlapStart};

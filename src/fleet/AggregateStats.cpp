@@ -92,6 +92,29 @@ void AggregateStats::add_rssi(double dbm) {
   rssi_sum_millidbm_ += milli;
 }
 
+void AggregateStats::add_recovery(std::uint64_t recovery_ns, bool recovered) {
+  if (!recovered) {
+    counters_.unrecovered_homes += 1;
+    return;
+  }
+  const std::uint64_t bin = recovery_ns / static_cast<std::uint64_t>(kRecoveryBinNs);
+  const std::size_t idx =
+      bin >= kRecoveryBins ? kRecoveryBins : static_cast<std::size_t>(bin);
+  recovery_hist_[idx] += 1;
+  recovery_count_ += 1;
+  recovery_sum_ns_ += recovery_ns;
+  if (recovery_ns > fleet_recovery_ns_) fleet_recovery_ns_ = recovery_ns;
+}
+
+void AggregateStats::add_orchestration(std::uint32_t region,
+                                       std::uint64_t orchestrated_faults) {
+  counters_.orchestrated_faults += orchestrated_faults;
+  if (orchestrated_faults > 0) {
+    counters_.orchestrated_homes += 1;
+    region_degraded_[region < kMaxRegions ? region : kMaxRegions - 1] += 1;
+  }
+}
+
 void AggregateStats::merge(const AggregateStats& other) {
   Counters& c = counters_;
   const Counters& o = other.counters_;
@@ -126,6 +149,9 @@ void AggregateStats::merge(const AggregateStats& other) {
   c.reconnects += o.reconnects;
   c.commands_executed += o.commands_executed;
   c.faults_injected += o.faults_injected;
+  c.orchestrated_faults += o.orchestrated_faults;
+  c.orchestrated_homes += o.orchestrated_homes;
+  c.unrecovered_homes += o.unrecovered_homes;
 
   for (std::size_t i = 0; i < latency_hist_.size(); ++i) {
     latency_hist_[i] += other.latency_hist_[i];
@@ -137,6 +163,17 @@ void AggregateStats::merge(const AggregateStats& other) {
   }
   rssi_count_ += other.rssi_count_;
   rssi_sum_millidbm_ += other.rssi_sum_millidbm_;
+  for (std::size_t i = 0; i < recovery_hist_.size(); ++i) {
+    recovery_hist_[i] += other.recovery_hist_[i];
+  }
+  recovery_count_ += other.recovery_count_;
+  recovery_sum_ns_ += other.recovery_sum_ns_;
+  if (other.fleet_recovery_ns_ > fleet_recovery_ns_) {
+    fleet_recovery_ns_ = other.fleet_recovery_ns_;
+  }
+  for (std::size_t i = 0; i < region_degraded_.size(); ++i) {
+    region_degraded_[i] += other.region_degraded_[i];
+  }
 }
 
 AggregateStats::Percentiles AggregateStats::latency_percentiles() const {
@@ -157,6 +194,12 @@ double AggregateStats::mean_rssi_dbm() const {
          static_cast<double>(rssi_count_) / 1000.0;
 }
 
+double AggregateStats::mean_recovery_s() const {
+  if (recovery_count_ == 0) return 0.0;
+  return static_cast<double>(recovery_sum_ns_) /
+         static_cast<double>(recovery_count_) / 1e9;
+}
+
 std::uint64_t AggregateStats::fingerprint() const {
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
   const auto mix = [&h](std::uint64_t v) {
@@ -174,7 +217,8 @@ std::uint64_t AggregateStats::fingerprint() const {
         c.sessions_killed, c.outage_refused, c.avs_migrations, c.fcm_pushes,
         c.fcm_dropped, c.fcm_retries, c.late_reports, c.device_ignored,
         c.interactions, c.responses, c.connection_errors, c.reconnects,
-        c.commands_executed, c.faults_injected}) {
+        c.commands_executed, c.faults_injected, c.orchestrated_faults,
+        c.orchestrated_homes, c.unrecovered_homes}) {
     mix(v);
   }
   for (const std::uint64_t v : latency_hist_) mix(v);
@@ -183,6 +227,11 @@ std::uint64_t AggregateStats::fingerprint() const {
   for (const std::uint64_t v : rssi_hist_) mix(v);
   mix(rssi_count_);
   mix(static_cast<std::uint64_t>(rssi_sum_millidbm_));
+  for (const std::uint64_t v : recovery_hist_) mix(v);
+  mix(recovery_count_);
+  mix(recovery_sum_ns_);
+  mix(fleet_recovery_ns_);
+  for (const std::uint64_t v : region_degraded_) mix(v);
   return h;
 }
 
@@ -204,6 +253,14 @@ std::string AggregateStats::to_string() const {
   out << "faults injected " << c.faults_injected << ", link drops "
       << c.link_dropped << ", reconnects " << c.reconnects
       << ", fcm pushes " << c.fcm_pushes;
+  if (c.orchestrated_homes > 0 || c.unrecovered_homes > 0 ||
+      recovery_count_ > 0) {
+    out << "\nfleet: orchestrated " << c.orchestrated_faults << " faults over "
+        << c.orchestrated_homes << " homes, recovery n=" << recovery_count_
+        << " mean=" << mean_recovery_s() << "s time_to_fleet_recovery="
+        << static_cast<double>(fleet_recovery_ns_) / 1e9 << "s, unrecovered "
+        << c.unrecovered_homes;
+  }
   return out.str();
 }
 

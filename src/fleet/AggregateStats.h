@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fleet/FleetFaultPlan.h"
 #include "workload/ChaosScenarios.h"
 
 /// \file AggregateStats.h
@@ -30,6 +31,10 @@ class AggregateStats {
   static constexpr std::size_t kRssiBins = 256;
   static constexpr double kRssiMin = -120.0;
   static constexpr double kRssiStep = 0.5;
+  /// Per-home recovery time after the last fault transition: 250 ms bins
+  /// over [0, 128 s), plus one overflow bin.
+  static constexpr std::size_t kRecoveryBins = 512;
+  static constexpr std::int64_t kRecoveryBinNs = 250'000'000;
 
   /// Fleet-wide counters: the sum of every home's ChaosResult counters plus
   /// home/command/event totals. All u64 so merge is exact.
@@ -66,6 +71,13 @@ class AggregateStats {
     std::uint64_t reconnects{0};
     std::uint64_t commands_executed{0};
     std::uint64_t faults_injected{0};
+    /// Fleet orchestration (FleetFaultOrchestrator): per-home fault entries
+    /// the plan expanded on top of the base [faults], homes that received at
+    /// least one, and fault-touched homes whose speaker never re-established
+    /// its cloud session before the horizon.
+    std::uint64_t orchestrated_faults{0};
+    std::uint64_t orchestrated_homes{0};
+    std::uint64_t unrecovered_homes{0};
 
     friend bool operator==(const Counters&, const Counters&) = default;
   };
@@ -80,6 +92,19 @@ class AggregateStats {
 
   /// One RSSI report sample (dBm).
   void add_rssi(double dbm);
+
+  /// One fault-touched home's recovery. \p recovered is false when the home's
+  /// speaker never re-established its cloud session before the horizon (the
+  /// home then contributes no recovery-time sample); \p recovery_ns is the
+  /// gap between the last fault transition and the final session
+  /// (re-)establishment, 0 when the session survived every fault.
+  void add_recovery(std::uint64_t recovery_ns, bool recovered);
+
+  /// One home's share of the orchestrated fleet plan: \p region from
+  /// FleetFaultOrchestrator::region_of, \p orchestrated_faults the entries
+  /// apply() expanded for this home (0 = the plan skipped it).
+  void add_orchestration(std::uint32_t region,
+                         std::uint64_t orchestrated_faults);
 
   /// Exact merge: every counter, bin and fixed-point sum adds elementwise.
   void merge(const AggregateStats& other);
@@ -103,6 +128,25 @@ class AggregateStats {
   latency_hist() const {
     return latency_hist_;
   }
+  [[nodiscard]] std::uint64_t recovery_samples() const {
+    return recovery_count_;
+  }
+  [[nodiscard]] double mean_recovery_s() const;
+  [[nodiscard]] const std::array<std::uint64_t, kRecoveryBins + 1>&
+  recovery_hist() const {
+    return recovery_hist_;
+  }
+  /// The fleet-level recovery metric: the slowest recovered home's gap
+  /// between its last fault transition and its final session establishment.
+  /// A u64 max, so merging shards is order-independent and exact.
+  [[nodiscard]] std::uint64_t time_to_fleet_recovery_ns() const {
+    return fleet_recovery_ns_;
+  }
+  /// Homes with orchestrated faults, by region (degradation counters).
+  [[nodiscard]] const std::array<std::uint64_t, kMaxRegions>&
+  region_degraded() const {
+    return region_degraded_;
+  }
 
   /// FNV-1a digest over every accumulator; equal fingerprints mean two fleet
   /// runs were behaviourally identical home for home.
@@ -121,6 +165,11 @@ class AggregateStats {
   std::array<std::uint64_t, kRssiBins + 1> rssi_hist_{};
   std::uint64_t rssi_count_{0};
   std::int64_t rssi_sum_millidbm_{0};
+  std::array<std::uint64_t, kRecoveryBins + 1> recovery_hist_{};
+  std::uint64_t recovery_count_{0};
+  std::uint64_t recovery_sum_ns_{0};
+  std::uint64_t fleet_recovery_ns_{0};  // max over homes; max-merge is exact
+  std::array<std::uint64_t, kMaxRegions> region_degraded_{};
 };
 
 }  // namespace vg::fleet

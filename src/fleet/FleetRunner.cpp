@@ -38,8 +38,17 @@ constexpr std::size_t kHomeArenaChunk = 8 * 1024;
 class FleetHome {
  public:
   FleetHome(const WorldTemplate& tmpl, std::uint64_t index)
-      : spec_(tmpl.home_spec(index)) {
+      : tmpl_(&tmpl), index_(index), spec_(tmpl.home_spec(index)) {
     workload::WorldConfig cfg = workload::world_config_from_spec(spec_);
+    // home_spec() strips [fleet_faults] from the derived spec so it stays
+    // loader-valid, so the population's resilience policy rides in from the
+    // template instead of from the spec.
+    const ResiliencePolicy& res = tmpl.resilience();
+    cfg.reconnect_backoff = res.reconnect_backoff;
+    cfg.reconnect_backoff_cap = res.reconnect_backoff_cap;
+    cfg.reconnect_budget = res.reconnect_budget;
+    cfg.fcm_retry_jitter = res.fcm_retry_jitter;
+    cfg.fcm_retry_budget = res.fcm_retry_budget;
     cfg.shared_testbed = &tmpl.testbed();
     cfg.arena_chunk = kHomeArenaChunk;
     world_ = std::make_unique<workload::SmartHomeWorld>(cfg);
@@ -120,9 +129,39 @@ class FleetHome {
     for (const auto& q : world_->decision().history()) {
       for (const auto& rep : q.reports) acc.add_rssi(rep.rssi);
     }
+
+    // Orchestration accounting: how much of the fleet plan landed on this
+    // home. apply() only ever appends to the base [faults], so the delta is
+    // the entry-count difference.
+    if (tmpl_->orchestrator() != nullptr) {
+      const std::uint64_t orchestrated = spec_.faults.total_entries() -
+                                         tmpl_->base().faults.total_entries();
+      acc.add_orchestration(
+          tmpl_->orchestrator()->region_of(tmpl_->home_seed(index_)),
+          orchestrated);
+    }
+    // Recovery: for any fault-touched home, the gap between the last fault
+    // transition and the speaker's final cloud session (re-)establishment.
+    // A session that survived every fault recovers in 0. Mini homes carry no
+    // persistent session, so they trivially recover.
+    if (!injector_->log().empty()) {
+      const sim::TimePoint last_fault = injector_->log().back().when;
+      bool recovered = true;
+      std::uint64_t ns = 0;
+      if (const speaker::EchoDotModel* echo = world_->echo()) {
+        recovered = echo->connected();
+        if (recovered && echo->last_established_at() > last_fault) {
+          ns = static_cast<std::uint64_t>(
+              (echo->last_established_at() - last_fault).ns());
+        }
+      }
+      acc.add_recovery(ns, recovered);
+    }
   }
 
  private:
+  const WorldTemplate* tmpl_;
+  std::uint64_t index_;
   scenario::ScenarioSpec spec_;
   std::unique_ptr<workload::SmartHomeWorld> world_;
   std::unique_ptr<faults::FaultInjector> injector_;

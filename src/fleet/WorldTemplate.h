@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "fleet/FleetFaultOrchestrator.h"
 #include "home/Testbed.h"
 #include "scenario/Scenario.h"
 #include "workload/World.h"
@@ -51,17 +52,34 @@ class WorldTemplate {
   [[nodiscard]] std::uint64_t home_seed(std::uint64_t index) const;
 
   /// The derived single-home spec for home \p index: home 0 is the base spec
-  /// verbatim (minus the [population] section); homes 1.. get home_seed(i), a
-  /// "-h<i>" name suffix, bounded extra gaps before each command
-  /// (command_jitter_s) and per-command attack flips (attack_flip). Jitter
-  /// preserves command ordering, the >= 2 s first-offset rule and the
+  /// verbatim (minus the [population] and [fleet_faults] sections); homes 1..
+  /// get home_seed(i), a "-h<i>" name suffix, bounded extra gaps before each
+  /// command (command_jitter_s) and per-command attack flips (attack_flip).
+  /// Jitter preserves command ordering, the >= 2 s first-offset rule and the
   /// drain-past-last-command gap, so every derived spec is loader-valid.
+  ///
+  /// When the base carries a fleet plan, the orchestrator's per-home delta is
+  /// merged into the derived spec's [faults] — a pure function of the home
+  /// index, so serial and sharded runs derive bit-identical plans. The
+  /// plan's resilience policy is NOT baked into the derived spec; FleetHome
+  /// applies it from resilience() so the derived spec stays loader-valid.
   [[nodiscard]] scenario::ScenarioSpec home_spec(std::uint64_t index) const;
+
+  /// Non-null when the base spec carries fleet events or a resilience
+  /// policy. Validated (plan and against the base [faults]) at construction.
+  [[nodiscard]] const FleetFaultOrchestrator* orchestrator() const {
+    return orchestrator_.get();
+  }
+  /// The client-side resilience policy every home in the population runs.
+  [[nodiscard]] const ResiliencePolicy& resilience() const {
+    return base_.fleet_faults.resilience;
+  }
 
  private:
   scenario::ScenarioSpec base_;
   std::unique_ptr<home::Testbed> testbed_;
   workload::CalibrationArtifacts artifacts_;
+  std::unique_ptr<FleetFaultOrchestrator> orchestrator_;
 };
 
 }  // namespace vg::fleet

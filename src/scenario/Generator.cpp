@@ -99,6 +99,13 @@ void gen_faults(sim::Rng& rng, const ScenarioSpec& spec, std::int64_t span_s,
     // so the label is conservative: any outage may cost a connection.
     p.may_break_connections = true;
   }
+  if (rng.chance(0.15)) {  // saturated AVS pool: responses slow, nothing dies
+    faults::CloudBrownout f;
+    f.start = secs(rng.uniform_int(5, span_s + 20));
+    f.duration = secs(rng.uniform_int(10, 60));
+    f.extra_latency = sim::milliseconds(rng.uniform_int(100, 900));
+    p.brownouts.push_back(f);
+  }
   if (rng.chance(0.25)) {  // degraded FCM
     faults::FcmFault f;
     f.start = secs(rng.uniform_int(0, span_s));
@@ -267,6 +274,78 @@ ScenarioSpec Generator::generate(std::uint64_t seed) {
       spec.population.command_jitter_s = tenths(rng, 0.0, 3.0);
       spec.population.attack_flip =
           rng.chance(0.5) ? tenths(rng, 0.1, 0.5) : 0.0;
+      // Fleet-level orchestration rides on half the populations, crossing
+      // fault shapes with population shapes every fuzz run. Each event type
+      // is sampled only when the base plan's colliding overlap group is
+      // empty: the base [faults] apply to every home, and the loader rejects
+      // fleet windows that meet them. Windows start inside the command span
+      // so a non-empty plan always injects before the drain ends.
+      if (rng.chance(0.5)) {
+        fleet::FleetFaultPlan& fp = spec.fleet_faults;
+        const std::int64_t max_regions =
+            spec.population.homes < 4
+                ? static_cast<std::int64_t>(spec.population.homes)
+                : 4;
+        fp.regions =
+            static_cast<std::uint32_t>(rng.uniform_int(1, max_regions));
+        if (spec.faults.fcm.empty() && rng.chance(0.5)) {
+          fleet::RegionalFcmOutage o;
+          o.region =
+              static_cast<std::uint32_t>(rng.uniform_int(0, fp.regions - 1));
+          o.start = secs(rng.uniform_int(5, span_s + 10));
+          o.duration = secs(rng.uniform_int(5, 25));
+          o.extra_delay = sim::from_seconds(tenths(rng, 0.0, 1.0));
+          o.drop_prob = tenths(rng, 0.5, 1.0);
+          fp.fcm_outages.push_back(o);
+        }
+        if (spec.faults.cloud.empty() && spec.faults.brownouts.empty() &&
+            rng.chance(0.4)) {
+          fleet::CloudCapacityEvent ev;
+          ev.start = secs(rng.uniform_int(5, span_s + 10));
+          ev.duration = secs(rng.uniform_int(5, 20));
+          ev.fraction = tenths(rng, 0.1, 1.0);
+          ev.rst_existing = rng.uniform_int(0, 1) == 0;
+          ev.recovery_spread = secs(rng.uniform_int(0, 10));
+          ev.extra_latency = sim::milliseconds(rng.uniform_int(0, 500));
+          fp.cloud_capacity.push_back(ev);
+          spec.faults.may_break_connections = true;
+        }
+        bool wan_spiked = false;
+        for (const faults::LinkFault& f : spec.faults.links) {
+          wan_spiked |= f.where == faults::LinkFault::Where::kWan &&
+                        f.kind == faults::LinkFault::Kind::kLatencySpike;
+        }
+        if (!wan_spiked && rng.chance(0.4)) {
+          fleet::WanDegradeWindow w;
+          w.region =
+              static_cast<std::uint32_t>(rng.uniform_int(0, fp.regions - 1));
+          w.start = secs(rng.uniform_int(5, span_s + 10));
+          w.duration = secs(rng.uniform_int(10, 30));
+          w.extra_latency = sim::milliseconds(rng.uniform_int(50, 500));
+          fp.wan_degrades.push_back(w);
+        }
+        if (rng.chance(0.3)) {
+          fleet::GuardRestartWave w;
+          w.start = secs(rng.uniform_int(10, span_s + 10));
+          w.stagger = secs(rng.uniform_int(1, 15));
+          w.fraction = tenths(rng, 0.2, 1.0);
+          fp.restart_waves.push_back(w);
+          spec.faults.may_break_connections = true;
+        }
+        if (rng.chance(0.5)) {
+          fp.resilience.reconnect_backoff = tenths(rng, 1.5, 3.0);
+          fp.resilience.reconnect_backoff_cap = secs(rng.uniform_int(8, 30));
+          fp.resilience.reconnect_budget =
+              static_cast<int>(rng.uniform_int(3, 8));
+        }
+        if (rng.chance(0.5)) {
+          fp.resilience.fcm_retry_jitter = tenths(rng, 0.1, 0.9);
+        }
+        if (rng.chance(0.3)) {
+          fp.resilience.fcm_retry_budget =
+              static_cast<int>(rng.uniform_int(8, 64));
+        }
+      }
     }
   } else if (shape < 75) {  // full-world capture loop: the golden-trace shape
     spec.kind = Kind::kHome;
@@ -293,6 +372,7 @@ ScenarioSpec Generator::generate(std::uint64_t seed) {
     gen_synthetic(rng, spec);
   }
   spec.faults.name = spec.name;
+  spec.fleet_faults.name = spec.name;
   return spec;
 }
 

@@ -96,6 +96,9 @@ std::string ScenarioSpec::summary() const {
         if (!faults.empty()) s += ", faults: " + faults.to_string();
         if (population.enabled()) {
           s += ", population of " + std::to_string(population.homes) + " homes";
+          if (!fleet_faults.empty() || fleet_faults.resilience.any()) {
+            s += ", fleet: " + fleet_faults.to_string();
+          }
         }
       } else {
         s += ", capture loop of " + std::to_string(schedule.loop_commands) +

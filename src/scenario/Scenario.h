@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "faults/FaultPlan.h"
+#include "fleet/FleetFaultPlan.h"
 #include "netsim/Address.h"
 #include "netsim/Packet.h"
 #include "simcore/Time.h"
@@ -175,6 +176,10 @@ struct ScenarioSpec {
   ChainSpec chain;        // kChain
   faults::FaultPlan faults;            // kHome; faults.name mirrors `name`
   PopulationSpec population;           // kHome scripted only
+  /// Fleet-level fault schedule (`[fleet_faults]`), expanded per home by
+  /// fleet::FleetFaultOrchestrator. Requires a [population]; the name mirrors
+  /// `name` like faults.name does.
+  fleet::FleetFaultPlan fleet_faults;  // kHome scripted populations only
   std::vector<CaptureOp> capture;      // kSynthetic
   std::vector<ExpectedSpike> expected; // kSynthetic
 

@@ -115,6 +115,20 @@ double parse_prob(const ScnEntry& e, const std::string& tok,
   return v;
 }
 
+/// Milliseconds as a decimal number, or an exact "<ns>ns" count (same
+/// fallback contract as parse_duration; the serializer emits whichever
+/// round-trips).
+sim::Duration parse_extra_ms(const ScnEntry& e, const std::string& v) {
+  sim::Duration d;
+  if (v.size() > 2 && v.compare(v.size() - 2, 2, "ns") == 0) {
+    d = sim::Duration{parse_i64(e, v.substr(0, v.size() - 2), "extra_ms")};
+  } else {
+    d = sim::from_seconds(parse_double(e, v, "extra_ms") / 1000.0);
+  }
+  if (d.ns() < 0) fail(e, "extra_ms must be >= 0");
+  return d;
+}
+
 // --- per-section decoders ---------------------------------------------------
 
 faults::LinkFault decode_link_fault(const ScnEntry& e) {
@@ -148,15 +162,7 @@ faults::LinkFault decode_link_fault(const ScnEntry& e) {
       if (f.kind != faults::LinkFault::Kind::kLatencySpike) {
         fail(e, "extra_ms only applies to latency faults");
       }
-      if (kv->second.size() > 2 &&
-          kv->second.compare(kv->second.size() - 2, 2, "ns") == 0) {
-        f.extra_latency = sim::Duration{parse_i64(
-            e, kv->second.substr(0, kv->second.size() - 2), "extra_ms")};
-      } else {
-        const double ms = parse_double(e, kv->second, "extra_ms");
-        f.extra_latency = sim::from_seconds(ms / 1000.0);
-      }
-      if (f.extra_latency.ns() < 0) fail(e, "extra_ms must be >= 0");
+      f.extra_latency = parse_extra_ms(e, kv->second);
     } else if (kv->first == "enter" && burst) {
       f.ge.p_enter_bad = parse_prob(e, kv->second, "enter");
     } else if (kv->first == "exit" && burst) {
@@ -300,10 +306,15 @@ struct Decoder {
   const ScnEntry* drain_entry{nullptr};
   std::vector<const ScnEntry*> link_entries;
   std::vector<const ScnEntry*> cloud_entries;
+  std::vector<const ScnEntry*> brownout_entries;
   std::vector<const ScnEntry*> fcm_entries;
   std::vector<const ScnEntry*> device_entries;
   std::vector<const ScnEntry*> restart_entries;
   std::vector<const ScnEntry*> capture_entries;
+  std::vector<const ScnEntry*> fleet_fcm_entries;
+  std::vector<const ScnEntry*> fleet_capacity_entries;
+  std::vector<const ScnEntry*> fleet_wan_entries;
+  std::vector<const ScnEntry*> fleet_wave_entries;
 
   void once(const ScnEntry& e) {
     auto [it, inserted] =
@@ -336,6 +347,8 @@ struct Decoder {
       decode_faults(e);
     } else if (e.section == "population") {
       decode_population(e);
+    } else if (e.section == "fleet_faults") {
+      decode_fleet_faults(e);
     } else if (e.section == "capture") {
       decode_capture(e);
     } else {
@@ -518,6 +531,26 @@ struct Decoder {
       }
       spec.faults.cloud.push_back(f);
       cloud_entries.push_back(&e);
+    } else if (e.key == "brownout") {
+      const auto toks = scn_tokens(e.value);
+      need_tokens(e, toks, 3, "<start_s> <dur_s> extra_ms=X");
+      faults::CloudBrownout f;
+      f.start = parse_nonneg_duration(e, toks[0], "start");
+      f.duration = parse_nonneg_duration(e, toks[1], "duration");
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        const auto kv = named_arg(toks[i]);
+        if (!kv) fail(e, "expected name=value argument, got '" + toks[i] + "'");
+        if (kv->first == "extra_ms") {
+          f.extra_latency = parse_extra_ms(e, kv->second);
+        } else {
+          fail(e, "unknown argument '" + kv->first + "'");
+        }
+      }
+      if (f.extra_latency.ns() == 0) {
+        fail(e, "a brownout needs extra_ms > 0 (use 'cloud' for refusal)");
+      }
+      spec.faults.brownouts.push_back(f);
+      brownout_entries.push_back(&e);
     } else if (e.key == "fcm") {
       const auto toks = scn_tokens(e.value);
       need_tokens(e, toks, 2, "<start_s> <dur_s> [delay_s=X] [drop=P]");
@@ -578,6 +611,147 @@ struct Decoder {
     }
   }
 
+  void decode_fleet_faults(const ScnEntry& e) {
+    fleet::FleetFaultPlan& p = spec.fleet_faults;
+    if (e.key == "regions") {
+      once(e);
+      const auto v = parse_u64(e, one_token(e), "regions");
+      if (v < 1 || v > fleet::kMaxRegions) {
+        fail(e, "regions must be in [1, " +
+                    std::to_string(fleet::kMaxRegions) + "]");
+      }
+      p.regions = static_cast<std::uint32_t>(v);
+    } else if (e.key == "fcm_outage") {
+      const auto toks = scn_tokens(e.value);
+      need_tokens(e, toks, 3, "<region> <start_s> <dur_s> [delay_s=X] [drop=P]");
+      fleet::RegionalFcmOutage o;
+      o.region = static_cast<std::uint32_t>(parse_u64(e, toks[0], "region"));
+      o.start = parse_nonneg_duration(e, toks[1], "start");
+      o.duration = parse_nonneg_duration(e, toks[2], "duration");
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        const auto kv = named_arg(toks[i]);
+        if (!kv) fail(e, "expected name=value argument, got '" + toks[i] + "'");
+        if (kv->first == "delay_s") {
+          o.extra_delay = parse_nonneg_duration(e, kv->second, "delay_s");
+        } else if (kv->first == "drop") {
+          o.drop_prob = parse_prob(e, kv->second, "drop");
+        } else {
+          fail(e, "unknown argument '" + kv->first + "'");
+        }
+      }
+      p.fcm_outages.push_back(o);
+      fleet_fcm_entries.push_back(&e);
+    } else if (e.key == "cloud_capacity") {
+      const auto toks = scn_tokens(e.value);
+      need_tokens(e, toks, 3,
+                  "<start_s> <dur_s> <rst|norst> [fraction=F] [spread_s=S] "
+                  "[extra_ms=X]");
+      fleet::CloudCapacityEvent ev;
+      ev.start = parse_nonneg_duration(e, toks[0], "start");
+      ev.duration = parse_nonneg_duration(e, toks[1], "duration");
+      if (toks[2] == "rst") {
+        ev.rst_existing = true;
+      } else if (toks[2] == "norst") {
+        ev.rst_existing = false;
+      } else {
+        fail(e, "expected rst or norst, got '" + toks[2] + "'");
+      }
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        const auto kv = named_arg(toks[i]);
+        if (!kv) fail(e, "expected name=value argument, got '" + toks[i] + "'");
+        if (kv->first == "fraction") {
+          ev.fraction = parse_prob(e, kv->second, "fraction");
+          if (ev.fraction == 0.0) fail(e, "fraction must be in (0, 1]");
+        } else if (kv->first == "spread_s") {
+          ev.recovery_spread = parse_nonneg_duration(e, kv->second, "spread_s");
+        } else if (kv->first == "extra_ms") {
+          ev.extra_latency = parse_extra_ms(e, kv->second);
+        } else {
+          fail(e, "unknown argument '" + kv->first + "'");
+        }
+      }
+      p.cloud_capacity.push_back(ev);
+      fleet_capacity_entries.push_back(&e);
+    } else if (e.key == "wan_degrade") {
+      const auto toks = scn_tokens(e.value);
+      need_tokens(e, toks, 3, "<region> <start_s> <dur_s> [extra_ms=X]");
+      fleet::WanDegradeWindow w;
+      w.region = static_cast<std::uint32_t>(parse_u64(e, toks[0], "region"));
+      w.start = parse_nonneg_duration(e, toks[1], "start");
+      w.duration = parse_nonneg_duration(e, toks[2], "duration");
+      for (std::size_t i = 3; i < toks.size(); ++i) {
+        const auto kv = named_arg(toks[i]);
+        if (!kv) fail(e, "expected name=value argument, got '" + toks[i] + "'");
+        if (kv->first == "extra_ms") {
+          w.extra_latency = parse_extra_ms(e, kv->second);
+        } else {
+          fail(e, "unknown argument '" + kv->first + "'");
+        }
+      }
+      p.wan_degrades.push_back(w);
+      fleet_wan_entries.push_back(&e);
+    } else if (e.key == "restart_wave") {
+      const auto toks = scn_tokens(e.value);
+      need_tokens(e, toks, 2, "<start_s> <stagger_s> [fraction=F]");
+      fleet::GuardRestartWave w;
+      w.start = parse_nonneg_duration(e, toks[0], "start");
+      w.stagger = parse_nonneg_duration(e, toks[1], "stagger");
+      for (std::size_t i = 2; i < toks.size(); ++i) {
+        const auto kv = named_arg(toks[i]);
+        if (!kv) fail(e, "expected name=value argument, got '" + toks[i] + "'");
+        if (kv->first == "fraction") {
+          w.fraction = parse_prob(e, kv->second, "fraction");
+          if (w.fraction == 0.0) fail(e, "fraction must be in (0, 1]");
+        } else {
+          fail(e, "unknown argument '" + kv->first + "'");
+        }
+      }
+      p.restart_waves.push_back(w);
+      fleet_wave_entries.push_back(&e);
+    } else if (e.key == "reconnect_backoff") {
+      once(e);
+      const auto toks = scn_tokens(e.value);
+      need_tokens(e, toks, 1, "<factor> [cap_s=S] [budget=N]");
+      p.resilience.reconnect_backoff = parse_double(e, toks[0], "factor");
+      if (p.resilience.reconnect_backoff < 1.0 ||
+          p.resilience.reconnect_backoff > 8.0) {
+        fail(e, "backoff factor must be in [1, 8]");
+      }
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        const auto kv = named_arg(toks[i]);
+        if (!kv) fail(e, "expected name=value argument, got '" + toks[i] + "'");
+        if (kv->first == "cap_s") {
+          p.resilience.reconnect_backoff_cap =
+              parse_nonneg_duration(e, kv->second, "cap_s");
+          if (p.resilience.reconnect_backoff_cap.ns() == 0) {
+            fail(e, "cap_s must be > 0");
+          }
+        } else if (kv->first == "budget") {
+          const auto v = parse_u64(e, kv->second, "budget");
+          if (v > 64) fail(e, "budget must be <= 64");
+          p.resilience.reconnect_budget = static_cast<int>(v);
+        } else {
+          fail(e, "unknown argument '" + kv->first + "'");
+        }
+      }
+    } else if (e.key == "fcm_retry_jitter") {
+      once(e);
+      const double v = parse_prob(e, one_token(e), "fcm_retry_jitter");
+      if (v >= 1.0) {
+        fail(e, "fcm_retry_jitter must be in [0, 1) (1 would shave retry "
+                "waits to zero)");
+      }
+      p.resilience.fcm_retry_jitter = v;
+    } else if (e.key == "fcm_retry_budget") {
+      once(e);
+      const auto v = parse_u64(e, one_token(e), "fcm_retry_budget");
+      if (v > 100000) fail(e, "fcm_retry_budget must be <= 100000");
+      p.resilience.fcm_retry_budget = static_cast<int>(v);
+    } else {
+      fail(e, "unknown key in [fleet_faults]");
+    }
+  }
+
   void decode_capture(const ScnEntry& e) {
     if (e.key == "expect") {
       spec.expected.push_back(decode_expect(e));
@@ -601,6 +775,7 @@ struct Decoder {
       throw ScnError{1, "[scenario] name: missing (every scenario is named)"};
     }
     spec.faults.name = spec.name;
+    spec.fleet_faults.name = spec.name;
 
     switch (spec.kind) {
       case Kind::kHome: validate_home(); break;
@@ -636,6 +811,8 @@ struct Decoder {
                               "run the guard in monitor mode)");
       forbid_section("population", "for capture-loop scenarios (populations "
                                    "need a scripted schedule to jitter)");
+      forbid_section("fleet_faults", "for capture-loop scenarios (fleet "
+                                     "events are population-scoped)");
     }
     if (first_in_section.count("population") != 0 &&
         spec.population.homes == 0) {
@@ -643,6 +820,7 @@ struct Decoder {
            "[population] needs 'homes = N'");
     }
     validate_faults();
+    validate_fleet_faults();
   }
 
   void validate_chain() {
@@ -652,6 +830,7 @@ struct Decoder {
     forbid_section("faults", "for kind chain (no injector targets exist)");
     forbid_section("capture", "for kind chain");
     forbid_section("population", "for kind chain");
+    forbid_section("fleet_faults", "for kind chain");
     if (first_command != nullptr) {
       fail(*first_command, "kind chain uses a capture loop, not scripted "
                            "commands");
@@ -679,6 +858,7 @@ struct Decoder {
     forbid_section("chain", "for kind synthetic");
     forbid_section("faults", "for kind synthetic");
     forbid_section("population", "for kind synthetic");
+    forbid_section("fleet_faults", "for kind synthetic");
     if (spec.capture.empty()) {
       throw ScnError{kind_line,
                      "[capture]: kind synthetic needs at least one capture op"};
@@ -763,6 +943,14 @@ struct Decoder {
     }
     check_no_overlap(std::move(cloud), "cloud-outage");
 
+    std::vector<Window> brownouts;
+    for (std::size_t i = 0; i < spec.faults.brownouts.size(); ++i) {
+      const faults::CloudBrownout& f = spec.faults.brownouts[i];
+      brownouts.push_back(
+          {f.start.ns(), (f.start + f.duration).ns(), brownout_entries[i]});
+    }
+    check_no_overlap(std::move(brownouts), "cloud-brownout");
+
     std::vector<Window> fcm;
     for (std::size_t i = 0; i < spec.faults.fcm.size(); ++i) {
       const faults::FcmFault& f = spec.faults.fcm[i];
@@ -794,6 +982,141 @@ struct Decoder {
         fail(*restart_entries[i], "duplicate guard restart instant");
       }
     }
+  }
+
+  void validate_fleet_faults() {
+    // Mirrors FleetFaultOrchestrator::validate / validate_against_base with
+    // line numbers (vg_scenario cannot link vg_fleet; the orchestrator
+    // re-validates when WorldTemplate installs the plan).
+    const auto it = first_in_section.find("fleet_faults");
+    if (it == first_in_section.end()) return;
+    const fleet::FleetFaultPlan& p = spec.fleet_faults;
+    if (!spec.population.enabled()) {
+      fail(*it->second, "[fleet_faults] needs a [population] (fleet events "
+                        "are population-scoped)");
+    }
+    if (p.regions > spec.population.homes) {
+      const auto rl = scalar_lines.find({"fleet_faults", "regions"});
+      throw ScnError{rl != scalar_lines.end() ? rl->second : it->second->line,
+                     "[fleet_faults] regions: " + std::to_string(p.regions) +
+                         " regions exceed the population's " +
+                         std::to_string(spec.population.homes) +
+                         " homes (guaranteed zero-home regions)"};
+    }
+
+    std::map<std::uint32_t, std::vector<Window>> fcm_by_region;
+    for (std::size_t i = 0; i < p.fcm_outages.size(); ++i) {
+      const fleet::RegionalFcmOutage& o = p.fcm_outages[i];
+      if (o.region >= p.regions) {
+        fail(*fleet_fcm_entries[i],
+             "region " + std::to_string(o.region) + " out of range (" +
+                 std::to_string(p.regions) + " regions)");
+      }
+      fcm_by_region[o.region].push_back(
+          {o.start.ns(), (o.start + o.duration).ns(), fleet_fcm_entries[i]});
+    }
+    for (auto& ws : fcm_by_region) {
+      check_no_overlap(std::move(ws.second), "regional fcm-outage");
+    }
+
+    // A capacity event's per-home cloud window can grow to start + duration +
+    // the load-coupled re-admission stagger; envelopes may not overlap.
+    std::vector<Window> envelopes;
+    for (std::size_t i = 0; i < p.cloud_capacity.size(); ++i) {
+      const fleet::CloudCapacityEvent& ev = p.cloud_capacity[i];
+      envelopes.push_back(
+          {ev.start.ns(), (ev.start + ev.duration + ev.recovery_spread).ns(),
+           fleet_capacity_entries[i]});
+    }
+    check_no_overlap(std::move(envelopes), "cloud-capacity");
+
+    std::map<std::uint32_t, std::vector<Window>> wan_by_region;
+    for (std::size_t i = 0; i < p.wan_degrades.size(); ++i) {
+      const fleet::WanDegradeWindow& w = p.wan_degrades[i];
+      if (w.region >= p.regions) {
+        fail(*fleet_wan_entries[i],
+             "region " + std::to_string(w.region) + " out of range (" +
+                 std::to_string(p.regions) + " regions)");
+      }
+      wan_by_region[w.region].push_back(
+          {w.start.ns(), (w.start + w.duration).ns(), fleet_wan_entries[i]});
+    }
+    for (auto& ws : wan_by_region) {
+      check_no_overlap(std::move(ws.second), "regional wan-degrade");
+    }
+
+    // The base [faults] plan applies to every home, so any fleet window may
+    // meet it; the injector's overlap groups must stay collision-free for
+    // every (home, region) combination.
+    const auto check_disjoint = [](const std::vector<Window>& fleet_ws,
+                                   const std::vector<Window>& base_ws,
+                                   const std::string& what) {
+      for (const Window& x : fleet_ws) {
+        for (const Window& y : base_ws) {
+          if (x.start < y.end && y.start < x.end) {
+            fail(*x.entry, what + " window collides with the base [faults] "
+                               "window from line " +
+                               std::to_string(y.entry->line));
+          }
+        }
+      }
+    };
+
+    std::vector<Window> fleet_fcm;
+    for (std::size_t i = 0; i < p.fcm_outages.size(); ++i) {
+      const fleet::RegionalFcmOutage& o = p.fcm_outages[i];
+      fleet_fcm.push_back(
+          {o.start.ns(), (o.start + o.duration).ns(), fleet_fcm_entries[i]});
+    }
+    std::vector<Window> base_fcm;
+    for (std::size_t i = 0; i < spec.faults.fcm.size(); ++i) {
+      const faults::FcmFault& f = spec.faults.fcm[i];
+      base_fcm.push_back(
+          {f.start.ns(), (f.start + f.duration).ns(), fcm_entries[i]});
+    }
+    check_disjoint(fleet_fcm, base_fcm, "fcm_outage");
+
+    std::vector<Window> fleet_cloud;
+    std::vector<Window> fleet_brownout;
+    for (std::size_t i = 0; i < p.cloud_capacity.size(); ++i) {
+      const fleet::CloudCapacityEvent& ev = p.cloud_capacity[i];
+      fleet_cloud.push_back(
+          {ev.start.ns(), (ev.start + ev.duration + ev.recovery_spread).ns(),
+           fleet_capacity_entries[i]});
+      fleet_brownout.push_back({ev.start.ns(), (ev.start + ev.duration).ns(),
+                                fleet_capacity_entries[i]});
+    }
+    std::vector<Window> base_cloud;
+    for (std::size_t i = 0; i < spec.faults.cloud.size(); ++i) {
+      const faults::CloudOutage& f = spec.faults.cloud[i];
+      base_cloud.push_back(
+          {f.start.ns(), (f.start + f.duration).ns(), cloud_entries[i]});
+    }
+    std::vector<Window> base_brownout;
+    for (std::size_t i = 0; i < spec.faults.brownouts.size(); ++i) {
+      const faults::CloudBrownout& f = spec.faults.brownouts[i];
+      base_brownout.push_back(
+          {f.start.ns(), (f.start + f.duration).ns(), brownout_entries[i]});
+    }
+    check_disjoint(fleet_cloud, base_cloud, "cloud_capacity");
+    check_disjoint(fleet_brownout, base_brownout, "cloud_capacity brownout");
+
+    std::vector<Window> fleet_wan;
+    for (std::size_t i = 0; i < p.wan_degrades.size(); ++i) {
+      const fleet::WanDegradeWindow& w = p.wan_degrades[i];
+      fleet_wan.push_back(
+          {w.start.ns(), (w.start + w.duration).ns(), fleet_wan_entries[i]});
+    }
+    std::vector<Window> base_wan_latency;
+    for (std::size_t i = 0; i < spec.faults.links.size(); ++i) {
+      const faults::LinkFault& f = spec.faults.links[i];
+      if (f.where == faults::LinkFault::Where::kWan &&
+          f.kind == faults::LinkFault::Kind::kLatencySpike) {
+        base_wan_latency.push_back(
+            {f.start.ns(), (f.start + f.duration).ns(), link_entries[i]});
+      }
+    }
+    check_disjoint(fleet_wan, base_wan_latency, "wan_degrade");
   }
 };
 

@@ -75,6 +75,11 @@ void emit_faults(std::ostringstream& out, const faults::FaultPlan& p) {
     out << "cloud = " << fmt_seconds(f.start) << " " << fmt_seconds(f.duration)
         << " " << (f.rst_existing ? "rst" : "norst") << "\n";
   }
+  for (const faults::CloudBrownout& f : p.brownouts) {
+    out << "brownout = " << fmt_seconds(f.start) << " "
+        << fmt_seconds(f.duration)
+        << " extra_ms=" << fmt_extra_ms(f.extra_latency) << "\n";
+  }
   for (const faults::FcmFault& f : p.fcm) {
     out << "fcm = " << fmt_seconds(f.start) << " " << fmt_seconds(f.duration)
         << " delay_s=" << fmt_seconds(f.extra_delay)
@@ -89,6 +94,49 @@ void emit_faults(std::ostringstream& out, const faults::FaultPlan& p) {
   }
   if (p.may_break_connections) {
     out << "may_break_connections = on\n";
+  }
+}
+
+void emit_fleet_faults(std::ostringstream& out,
+                       const fleet::FleetFaultPlan& p) {
+  if (p.empty() && !p.resilience.any() && p.regions == 1) return;
+  out << "\n[fleet_faults]\n";
+  out << "regions = " << p.regions << "\n";
+  for (const fleet::RegionalFcmOutage& o : p.fcm_outages) {
+    out << "fcm_outage = " << o.region << " " << fmt_seconds(o.start) << " "
+        << fmt_seconds(o.duration) << " delay_s=" << fmt_seconds(o.extra_delay)
+        << " drop=" << fmt_double(o.drop_prob) << "\n";
+  }
+  for (const fleet::CloudCapacityEvent& e : p.cloud_capacity) {
+    out << "cloud_capacity = " << fmt_seconds(e.start) << " "
+        << fmt_seconds(e.duration) << " "
+        << (e.rst_existing ? "rst" : "norst")
+        << " fraction=" << fmt_double(e.fraction)
+        << " spread_s=" << fmt_seconds(e.recovery_spread)
+        << " extra_ms=" << fmt_extra_ms(e.extra_latency) << "\n";
+  }
+  for (const fleet::WanDegradeWindow& w : p.wan_degrades) {
+    out << "wan_degrade = " << w.region << " " << fmt_seconds(w.start) << " "
+        << fmt_seconds(w.duration)
+        << " extra_ms=" << fmt_extra_ms(w.extra_latency) << "\n";
+  }
+  for (const fleet::GuardRestartWave& w : p.restart_waves) {
+    out << "restart_wave = " << fmt_seconds(w.start) << " "
+        << fmt_seconds(w.stagger) << " fraction=" << fmt_double(w.fraction)
+        << "\n";
+  }
+  const fleet::ResiliencePolicy& r = p.resilience;
+  if (r.reconnect_backoff != 1.0 ||
+      r.reconnect_backoff_cap != sim::seconds(60) || r.reconnect_budget != 0) {
+    out << "reconnect_backoff = " << fmt_double(r.reconnect_backoff)
+        << " cap_s=" << fmt_seconds(r.reconnect_backoff_cap)
+        << " budget=" << r.reconnect_budget << "\n";
+  }
+  if (r.fcm_retry_jitter != 0.0) {
+    out << "fcm_retry_jitter = " << fmt_double(r.fcm_retry_jitter) << "\n";
+  }
+  if (r.fcm_retry_budget != 0) {
+    out << "fcm_retry_budget = " << r.fcm_retry_budget << "\n";
   }
 }
 
@@ -176,6 +224,7 @@ std::string write_scn(const ScenarioSpec& spec) {
               << fmt_double(spec.population.command_jitter_s) << "\n";
           out << "attack_flip = " << fmt_double(spec.population.attack_flip)
               << "\n";
+          emit_fleet_faults(out, spec.fleet_faults);
         }
       } else {
         emit_schedule_loop(out, spec.schedule);

@@ -72,6 +72,7 @@ void EchoDotModel::send_record(std::uint64_t gen, std::uint32_t len,
 
 void EchoDotModel::on_connected(std::uint64_t gen) {
   if (gen != conn_gen_) return;
+  last_established_at_ = host_.sim().now();
   // Emit the fixed establishment signature, spread over ~160 ms, exactly the
   // per-packet lengths of §IV-B (configurable for firmware-update scenarios).
   sim::Duration t{0};
@@ -100,8 +101,33 @@ void EchoDotModel::on_connection_closed(net::TcpCloseReason reason) {
   if (!powered_) return;
   ++reconnects_;
   auto& rng = host_.sim().rng("speaker.echo");
-  const sim::Duration wait{rng.uniform_int(opts_.reconnect_delay_min.ns(),
-                                           opts_.reconnect_delay_max.ns())};
+  sim::Duration wait{rng.uniform_int(opts_.reconnect_delay_min.ns(),
+                                     opts_.reconnect_delay_max.ns())};
+  if (opts_.reconnect_backoff_factor > 1.0) {
+    // Scale the jittered base window by factor^streak; a streak past the
+    // fast-retry budget waits the full cap every time. A settled session
+    // (up for at least reconnect_settle) resets the streak at close, so a
+    // healthy session that dies once still reconnects at seed speed. The
+    // reset cannot happen at establishment: a capacity-refused connect
+    // completes the TCP handshake before the server's RST, and resetting
+    // there would let refusal loops hammer the cloud at full rate forever.
+    if (last_established_at_ > sim::TimePoint{} &&
+        host_.sim().now() - last_established_at_ >= opts_.reconnect_settle) {
+      reconnect_streak_ = 0;
+    }
+    if (opts_.reconnect_budget > 0 && reconnect_streak_ >= opts_.reconnect_budget) {
+      wait = opts_.reconnect_backoff_cap;
+    } else {
+      double scale = 1.0;
+      for (int i = 0; i < reconnect_streak_ && i < 64; ++i) {
+        scale *= opts_.reconnect_backoff_factor;
+      }
+      const double ns = static_cast<double>(wait.ns()) * scale;
+      const double cap = static_cast<double>(opts_.reconnect_backoff_cap.ns());
+      wait = sim::Duration{static_cast<std::int64_t>(ns < cap ? ns : cap)};
+    }
+    ++reconnect_streak_;
+  }
   host_.sim().after(wait, [this] { resolve_and_connect(/*allow_dnsless=*/true); });
 }
 

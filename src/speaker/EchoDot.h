@@ -49,6 +49,25 @@ class EchoDotModel {
         kAvsConnectionSignature;
     sim::Duration reconnect_delay_min = sim::milliseconds(400);
     sim::Duration reconnect_delay_max = sim::milliseconds(1600);
+    /// Exponential reconnect backoff: after each consecutive failed
+    /// re-establishment the jittered [min,max] reconnect window is scaled by
+    /// another factor of reconnect_backoff_factor, capped at
+    /// reconnect_backoff_cap; a successful establishment resets the streak.
+    /// The factor 1.0 default is byte-identical to the seed behavior (same
+    /// draws, same waits); fleet fault plans opt in so a region-wide
+    /// recovery does not become a thundering herd.
+    double reconnect_backoff_factor = 1.0;
+    sim::Duration reconnect_backoff_cap = sim::seconds(60);
+    /// A session must stay up this long before a later close counts as a
+    /// fresh failure (streak reset). A shorter-lived establishment — the
+    /// cloud admits the TCP handshake, then refuses the session with an
+    /// immediate RST during a capacity crunch — keeps the streak building,
+    /// so refusal loops still back off.
+    sim::Duration reconnect_settle = sim::seconds(5);
+    /// Fast-retry budget: reconnect attempts beyond this many in one failure
+    /// streak skip straight to the full backoff cap (slow polling) instead
+    /// of the scaled window. 0 = unbounded.
+    int reconnect_budget = 0;
     /// TCP keep-alive knobs for the long-lived AVS session. Defaults match
     /// the previous hardcoded values (probes/interval are the TcpOptions
     /// defaults); the chaos tests tighten them to force probes during a hold.
@@ -87,6 +106,13 @@ class EchoDotModel {
   }
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
   [[nodiscard]] std::uint64_t dnsless_reconnects() const { return dnsless_reconnects_; }
+  /// Instant of the most recent successful session establishment (the fleet
+  /// recovery probe); the zero TimePoint until the first one.
+  [[nodiscard]] sim::TimePoint last_established_at() const {
+    return last_established_at_;
+  }
+  /// Consecutive failed re-establishments so far (resets on success).
+  [[nodiscard]] int reconnect_streak() const { return reconnect_streak_; }
 
   net::Host& host() { return host_; }
 
@@ -138,6 +164,8 @@ class EchoDotModel {
   std::vector<InteractionResult> interactions_;
   std::uint64_t reconnects_{0};
   std::uint64_t dnsless_reconnects_{0};
+  sim::TimePoint last_established_at_{};
+  int reconnect_streak_{0};
   bool powered_{false};
 };
 

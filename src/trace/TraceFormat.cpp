@@ -73,6 +73,8 @@ const char* fault_code_name(std::uint8_t code) {
     case FaultCode::kDeviceDown: return "device-down";
     case FaultCode::kDeviceUp: return "device-up";
     case FaultCode::kGuardRestart: return "guard-restart";
+    case FaultCode::kBrownoutStart: return "brownout-start";
+    case FaultCode::kBrownoutEnd: return "brownout-end";
   }
   return "?";
 }

@@ -110,9 +110,11 @@ enum class FaultCode : std::uint8_t {
   kDeviceDown = 10,
   kDeviceUp = 11,
   kGuardRestart = 12,
+  kBrownoutStart = 13,
+  kBrownoutEnd = 14,
 };
 
-inline constexpr std::uint8_t kMaxFaultCode = 12;
+inline constexpr std::uint8_t kMaxFaultCode = 14;
 
 const char* fault_code_name(std::uint8_t code);
 

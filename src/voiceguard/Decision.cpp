@@ -101,11 +101,20 @@ void RssiDecisionModule::do_query(Verdict verdict) {
   }
   q.timeout =
       sim_.after(opts_.device_timeout, [this, qid] { on_timeout(qid); });
-  if (opts_.fcm_max_retries > 0) {
+  if (opts_.fcm_max_retries > 0 && !retry_budget_spent()) {
     q.retries_left = opts_.fcm_max_retries;
     q.retry_wait = opts_.fcm_retry_initial;
-    q.retry_timer = sim_.after(q.retry_wait, [this, qid] { on_retry(qid); });
+    q.retry_timer =
+        sim_.after(retry_delay(q.retry_wait), [this, qid] { on_retry(qid); });
   }
+}
+
+sim::Duration RssiDecisionModule::retry_delay(sim::Duration base) {
+  if (opts_.fcm_retry_jitter <= 0.0) return base;
+  auto& rng = sim_.rng("guard.fcm.backoff");
+  const double u = rng.uniform(0.0, opts_.fcm_retry_jitter);
+  return sim::Duration{base.ns() - static_cast<std::int64_t>(
+                                       static_cast<double>(base.ns()) * u)};
 }
 
 void RssiDecisionModule::on_timeout(std::uint64_t qid) {
@@ -130,13 +139,15 @@ void RssiDecisionModule::on_retry(std::uint64_t qid) {
   // in flight or already answered; duplicating those would skew reports.
   for (std::size_t i = 0; i < q.reported.size(); ++i) {
     if (q.reported[i]) continue;
+    if (retry_budget_spent()) break;  // fleet-wide retry-storm bound
     ++fcm_retries_;
     fcm_.push(devices_[i].device->fcm_token(),
               "measure:" + std::to_string(qid));
   }
-  if (--q.retries_left > 0) {
+  if (--q.retries_left > 0 && !retry_budget_spent()) {
     q.retry_wait = sim::Duration{q.retry_wait.ns() * 2};
-    q.retry_timer = sim_.after(q.retry_wait, [this, qid] { on_retry(qid); });
+    q.retry_timer =
+        sim_.after(retry_delay(q.retry_wait), [this, qid] { on_retry(qid); });
   }
 }
 

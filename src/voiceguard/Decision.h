@@ -138,6 +138,15 @@ class RssiDecisionModule : public DecisionModule {
     /// chaos worlds opt in.
     int fcm_max_retries = 0;
     sim::Duration fcm_retry_initial = sim::from_seconds(1.5);
+    /// Jittered backoff: each retry wait is shortened by a uniform draw of up
+    /// to this fraction (from the dedicated "guard.fcm.backoff" stream), so a
+    /// fleet of guards whose region recovers together does not re-push FCM in
+    /// lockstep. 0 (default) draws nothing — bit-identical to seed.
+    double fcm_retry_jitter = 0.0;
+    /// Total re-pushes this module may send over its lifetime (the retry
+    /// path's reconnect budget); once spent, pending retry rounds stop.
+    /// 0 = unbounded.
+    int fcm_retry_budget = 0;
   };
 
   RssiDecisionModule(sim::Simulation& sim, home::FcmService& fcm,
@@ -202,6 +211,12 @@ class RssiDecisionModule : public DecisionModule {
                  bool timed_out);
   void on_timeout(std::uint64_t query_id);
   void on_retry(std::uint64_t query_id);
+  /// \p base shortened by the jitter draw (identity when jitter is off).
+  sim::Duration retry_delay(sim::Duration base);
+  [[nodiscard]] bool retry_budget_spent() const {
+    return opts_.fcm_retry_budget > 0 &&
+           fcm_retries_ >= static_cast<std::uint64_t>(opts_.fcm_retry_budget);
+  }
   /// Delivers the verdict for \p query_id and retires the query. The entry is
   /// moved out of pending_ and both timers cancelled *before* the verdict
   /// callback runs: a re-entrant query() may rehash pending_, which would

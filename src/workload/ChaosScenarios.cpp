@@ -157,6 +157,9 @@ scenario::ScenarioSpec chaos_scenario_spec(const ChaosSpec& spec) {
   }
   s.schedule.drain = sim::seconds(215);
   s.faults = chaos_plan(spec.plan);
+  // Mirrors ScenarioLoader::validate so constructed specs compare equal to
+  // their loaded `.scn` ports.
+  s.fleet_faults.name = s.name;
   return s;
 }
 

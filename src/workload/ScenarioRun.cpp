@@ -244,6 +244,15 @@ WorldConfig world_config_from_spec(const scenario::ScenarioSpec& spec) {
   cfg.hold_queue_cap = static_cast<std::size_t>(spec.guard.hold_queue_cap);
   cfg.fcm_max_retries = spec.guard.fcm_max_retries;
   cfg.fcm_retry_initial = spec.guard.fcm_retry_initial;
+  // Client-side resilience: the [fleet_faults] policy applies to single-home
+  // runs too (every default maps to a default, so non-fleet specs are
+  // byte-identical to before these knobs existed).
+  cfg.reconnect_backoff = spec.fleet_faults.resilience.reconnect_backoff;
+  cfg.reconnect_backoff_cap =
+      spec.fleet_faults.resilience.reconnect_backoff_cap;
+  cfg.reconnect_budget = spec.fleet_faults.resilience.reconnect_budget;
+  cfg.fcm_retry_jitter = spec.fleet_faults.resilience.fcm_retry_jitter;
+  cfg.fcm_retry_budget = spec.fleet_faults.resilience.fcm_retry_budget;
   return cfg;
 }
 

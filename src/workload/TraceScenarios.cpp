@@ -173,6 +173,7 @@ scenario::ScenarioSpec trace_scenario_spec(const std::string& name,
   // their loaded `.scn` ports (captures never arm the plan, but the embedded
   // name still follows the scenario).
   s.faults.name = name;
+  s.fleet_faults.name = name;
   if (name == "house_echo") {
     s.schedule.loop_commands = 8;
     return s;

@@ -25,6 +25,8 @@ guard::RssiDecisionModule::Options decision_options(const WorldConfig& cfg) {
   guard::RssiDecisionModule::Options dopts;
   dopts.fcm_max_retries = cfg.fcm_max_retries;
   dopts.fcm_retry_initial = cfg.fcm_retry_initial;
+  dopts.fcm_retry_jitter = cfg.fcm_retry_jitter;
+  dopts.fcm_retry_budget = cfg.fcm_retry_budget;
   return dopts;
 }
 
@@ -86,9 +88,13 @@ void SmartHomeWorld::build_network() {
 
   // Speaker firmware.
   if (cfg_.speaker == WorldConfig::SpeakerType::kEchoDot) {
+    speaker::EchoDotModel::Options eopts;
+    eopts.reconnect_backoff_factor = cfg_.reconnect_backoff;
+    eopts.reconnect_backoff_cap = cfg_.reconnect_backoff_cap;
+    eopts.reconnect_budget = cfg_.reconnect_budget;
     echo_ = std::make_unique<speaker::EchoDotModel>(
         *speaker_host_, cloud_->dns_endpoint(),
-        [this] { return cloud_->current_avs_ip(); });
+        [this] { return cloud_->current_avs_ip(); }, eopts);
     echo_->power_on();
   } else {
     ghm_ = std::make_unique<speaker::GoogleHomeMiniModel>(

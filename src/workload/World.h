@@ -54,6 +54,14 @@ struct WorldConfig {
   std::size_t hold_queue_cap = 256;                  // 0 disables
   int fcm_max_retries = 0;  // 0 keeps benign runs bit-identical to seed
   sim::Duration fcm_retry_initial = sim::from_seconds(1.5);
+  /// Client-side resilience knobs (fleet fault plans opt in; the defaults are
+  /// bit-identical to seed). The speaker trio land in EchoDotModel::Options,
+  /// the FCM pair in RssiDecisionModule::Options.
+  double reconnect_backoff = 1.0;  // reconnect window scale per failed attempt
+  sim::Duration reconnect_backoff_cap = sim::seconds(60);
+  int reconnect_budget = 0;        // fast retries per streak; 0 = unbounded
+  double fcm_retry_jitter = 0.0;   // fraction shaved off each retry wait
+  int fcm_retry_budget = 0;        // lifetime re-push cap; 0 = unbounded
   /// Overrides the testbed's propagation calibration when set.
   std::optional<radio::PathLossParams> radio{};
   /// When false the simulation uses heap (seed) allocation semantics; used

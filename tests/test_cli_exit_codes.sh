@@ -76,6 +76,32 @@ expect 0 "$VGSCN" fleet "$SCN_DIR/chaos-baseline.scn" --homes 2
 } >"$TMP/no-inject-pop.scn"
 expect 1 "$VGSCN" fleet "$TMP/no-inject-pop.scn"
 
+# --- vgscn fleet --fault-plan: named orchestration plans --------------------
+
+# 0: a named plan orchestrates the population, every home recovers, and
+# serial/sharded parity holds; --region-report adds the per-region table.
+expect 0 "$VGSCN" fleet "$TMP/pop.scn" --shards 2 \
+  --fault-plan cloud-capacity-crunch --region-report --check
+expect 0 "$VGSCN" fleet "$TMP/pop.scn" --fault-plan correlated-storm
+
+# 2: an unknown plan name (or a missing value) is a usage error.
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --fault-plan nope
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --fault-plan
+
+# 4: a plan whose cloud-capacity envelope collides with the scenario's own
+# [faults] cloud window is rejected before any home is built.
+{ sed 's/^cloud = .*/cloud = 3e+01 35 rst/' \
+    "$SCN_DIR/chaos-cloud-outage.scn"
+  printf '\n[population]\nhomes = 4\n'
+} >"$TMP/pop-collide.scn"
+expect 4 "$VGSCN" fleet "$TMP/pop-collide.scn" --fault-plan cloud-capacity-crunch
+
+# 4: more regions than homes guarantees zero-home regions — rejected.
+{ cat "$SCN_DIR/chaos-baseline.scn"
+  printf '\n[population]\nhomes = 2\n'
+} >"$TMP/pop-tiny.scn"
+expect 4 "$VGSCN" fleet "$TMP/pop-tiny.scn" --fault-plan regional-fcm-outage
+
 # 2: usage errors.
 expect 2 "$VGSCN"
 expect 2 "$VGSCN" frobnicate

@@ -419,8 +419,8 @@ TEST(TraceCorruption, OverlongVarintRejected) {
 }
 
 TEST(TraceCorruption, BadFaultCodeRejected) {
-  // kind=fault, dt=0, code=13 (> kMaxFaultCode), param=0.
-  EXPECT_THROW((void)TraceReader::parse(with_crafted_frame({4, 0, 13, 0})),
+  // kind=fault, dt=0, code=15 (> kMaxFaultCode), param=0.
+  EXPECT_THROW((void)TraceReader::parse(with_crafted_frame({4, 0, 15, 0})),
                TraceError);
 }
 

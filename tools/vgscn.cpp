@@ -22,10 +22,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "fleet/FleetFaultOrchestrator.h"
 #include "fleet/FleetRunner.h"
 #include "scenario/Generator.h"
 #include "scenario/ScenarioLoader.h"
@@ -52,7 +54,8 @@ const char kUsageText[] =
     "  vgscn gen <seed> [out.scn]\n"
     "  vgscn run <file.scn> | --seed N\n"
     "  vgscn fuzz [--first N] [--count N]\n"
-    "  vgscn fleet <file.scn> [--homes N] [--shards N] [--check]\n"
+    "  vgscn fleet <file.scn> [--homes N] [--shards N] [--fault-plan NAME]\n"
+    "              [--region-report] [--check]\n"
     "  vgscn list\n"
     "  vgscn --help | --version\n";
 
@@ -77,9 +80,12 @@ int cmd_help() {
       "  fleet     instantiate a population of homes from a scripted .scn\n"
       "            (its [population] section, or --homes) and stream their\n"
       "            aggregate stats; --shards N fans them across shards,\n"
+      "            --fault-plan NAME overrides the [fleet_faults] section\n"
+      "            with a named orchestration plan (see `vgscn list`),\n"
+      "            --region-report prints per-region degradation counters,\n"
       "            --check additionally verifies serial/sharded parity\n"
-      "  list      list the checked-in chaos plans and trace scenarios that\n"
-      "            have .scn ports under tests/data/scenarios/\n"
+      "  list      list the checked-in chaos plans, trace scenarios and\n"
+      "            named fleet fault plans\n"
       "\nexit codes:\n"
       "  0  success (run/fuzz: every invariant holds)\n"
       "  1  runtime error or invariant violation\n"
@@ -188,20 +194,51 @@ int cmd_fuzz(std::uint64_t first, std::uint64_t count) {
 }
 
 int cmd_fleet(const std::string& path, std::uint64_t homes, unsigned shards,
-              bool check) {
-  const scenario::ScenarioSpec spec = load_spec(path);
-  const fleet::WorldTemplate tmpl{spec};
+              const std::string& plan_name, bool region_report, bool check) {
+  scenario::ScenarioSpec spec = load_spec(path);
+  if (!plan_name.empty()) {
+    const fleet::FleetFaultPlan* plan = fleet::fleet_fault_plan(plan_name);
+    if (plan == nullptr) {
+      std::fprintf(stderr, "vgscn: unknown fleet fault plan '%s'; known:\n",
+                   plan_name.c_str());
+      for (const fleet::FleetFaultPlan& p : fleet::fleet_fault_plans()) {
+        std::fprintf(stderr, "  %s\n", p.name.c_str());
+      }
+      return kExitUsage;
+    }
+    spec.fleet_faults = *plan;
+  }
+
+  // Validate-before-install: a plan that is malformed for this population
+  // (or collides with the spec's own [faults]) is a validation error, the
+  // same class as a bad .scn.
+  std::optional<fleet::WorldTemplate> tmpl;
+  try {
+    tmpl.emplace(spec);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "vgscn: %s\n", e.what());
+    return kExitInvalid;
+  }
 
   fleet::FleetConfig cfg;
   cfg.homes = homes;  // 0 = the spec's [population] (or a single home)
   cfg.shards = shards;
-  const std::uint64_t total = homes != 0 ? homes : tmpl.homes();
+  const std::uint64_t total = homes != 0 ? homes : tmpl->homes();
 
   std::printf("%s\n", spec.summary().c_str());
   std::printf("fleet: %llu home(s) across %u shard(s)\n",
               static_cast<unsigned long long>(total), shards);
-  const fleet::AggregateStats stats = fleet::run_fleet(tmpl, cfg);
+  const fleet::AggregateStats stats = fleet::run_fleet(*tmpl, cfg);
   std::printf("%s\n", stats.to_string().c_str());
+
+  if (region_report) {
+    const auto& degraded = stats.region_degraded();
+    std::printf("region report (%u region(s)):\n", spec.fleet_faults.regions);
+    for (std::uint32_t r = 0; r < spec.fleet_faults.regions; ++r) {
+      std::printf("  region %2u: %llu degraded home(s)\n", r,
+                  static_cast<unsigned long long>(degraded[r]));
+    }
+  }
 
   std::vector<std::string> violations;
   if (stats.counters().homes != total) {
@@ -215,9 +252,21 @@ int cmd_fleet(const std::string& path, std::uint64_t homes, unsigned shards,
     violations.push_back(
         "fault plan is non-empty but no home injected a fault");
   }
+  if (!spec.fleet_faults.empty() &&
+      stats.counters().orchestrated_homes == 0) {
+    violations.push_back("fleet plan '" + spec.fleet_faults.name +
+                         "' is non-empty but orchestrated zero homes");
+  }
+  if (tmpl->orchestrator() != nullptr &&
+      stats.counters().unrecovered_homes != 0) {
+    violations.push_back(
+        std::to_string(stats.counters().unrecovered_homes) +
+        " home(s) never re-established their cloud session after the last "
+        "fault window");
+  }
   if (check) {
     const fleet::AggregateStats serial =
-        fleet::run_fleet_serial(tmpl, 0, total);
+        fleet::run_fleet_serial(*tmpl, 0, total);
     if (serial == stats) {
       std::printf("parity: serial fingerprint %llu matches sharded run\n",
                   static_cast<unsigned long long>(serial.fingerprint()));
@@ -248,6 +297,9 @@ int cmd_list() {
     std::printf("trace  %-18s trace-%s.scn (seed %llu)\n", s.name.c_str(),
                 s.name.c_str(),
                 static_cast<unsigned long long>(s.default_seed));
+  }
+  for (const fleet::FleetFaultPlan& p : fleet::fleet_fault_plans()) {
+    std::printf("fleet  %-18s %s\n", p.name.c_str(), p.to_string().c_str());
   }
   return 0;
 }
@@ -306,6 +358,8 @@ int main(int argc, char** argv) {
       if (args.size() < 2 || args[1].rfind("--", 0) == 0) return usage();
       std::uint64_t homes = 0;
       std::uint64_t shards = 1;
+      std::string plan_name;
+      bool region_report = false;
       bool check = false;
       for (std::size_t i = 2; i < args.size(); ++i) {
         if (args[i] == "--homes" && i + 1 < args.size()) {
@@ -315,13 +369,19 @@ int main(int argc, char** argv) {
               shards > 4096) {
             return usage();
           }
+        } else if (args[i] == "--fault-plan" && i + 1 < args.size()) {
+          plan_name = args[++i];
+          if (plan_name.empty()) return usage();
+        } else if (args[i] == "--region-report") {
+          region_report = true;
         } else if (args[i] == "--check") {
           check = true;
         } else {
           return usage();
         }
       }
-      return cmd_fleet(args[1], homes, static_cast<unsigned>(shards), check);
+      return cmd_fleet(args[1], homes, static_cast<unsigned>(shards),
+                       plan_name, region_report, check);
     }
     return usage();
   } catch (const IoError& e) {
