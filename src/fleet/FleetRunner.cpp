@@ -21,15 +21,25 @@ namespace {
 /// run_scenario_scripted's calibrate() waits out.
 constexpr sim::Duration kBoot = sim::seconds(8);
 
-/// Round-robin advancement quantum: resident homes take turns simulating this
-/// much time, so a shard genuinely interleaves its population instead of
-/// running homes to completion one by one.
+/// Advancement quantum: the grid of run_until horizons every home is driven
+/// on (target k is min(k·kEpoch, end)). The wake calendar only ever *skips*
+/// horizons on this grid that provably execute nothing — the horizons it
+/// does run are exactly the round-robin loop's, keeping the event/RNG
+/// interleaving bit-identical while a shard still genuinely interleaves its
+/// population in simulated time.
 constexpr sim::Duration kEpoch = sim::seconds(10);
 
 /// Arena chunk for per-home simulations. A scripted home allocates tens of
 /// kilobytes of packet state; 8 KiB chunks keep 10^5 resident homes from
 /// reserving 64 KiB minimums each.
 constexpr std::size_t kHomeArenaChunk = 8 * 1024;
+
+/// Path-loss memo slots per owner-device scanner. The 512-slot default is
+/// sized for one long-lived world; a fleet home replays a three-command
+/// script against a handful of positions, and the cache is behaviourally
+/// neutral at any size, so 64 slots (4 KiB vs 32 KiB per scanner) is the
+/// single biggest per-home memory saving.
+constexpr std::size_t kHomeCacheSlots = 64;
 
 /// One mutable home: a SmartHomeWorld wired copy-on-write from the shared
 /// template, with its entire script pre-scheduled as events so construction
@@ -51,6 +61,7 @@ class FleetHome {
     cfg.fcm_retry_budget = res.fcm_retry_budget;
     cfg.shared_testbed = &tmpl.testbed();
     cfg.arena_chunk = kHomeArenaChunk;
+    cfg.device_cache_slots = kHomeCacheSlots;
     world_ = std::make_unique<workload::SmartHomeWorld>(cfg);
 
     faults::FaultInjector::Targets targets;
@@ -99,18 +110,83 @@ class FleetHome {
     }
   }
 
-  /// Simulates one quantum; returns true when the home reached its end.
+  /// The next run_until horizon on the epoch grid at which this home has a
+  /// pending event — its wake time. Every grid horizon strictly before it
+  /// would execute zero events (no pending event is at or before it), so
+  /// skipping them cannot perturb the event or RNG stream; every horizon at
+  /// or past it is one the plain epoch round-robin would also run. Returns
+  /// end_ when no pending event lands before the end (the final, possibly
+  /// empty, run_until(end_) the round-robin also performs).
+  [[nodiscard]] sim::TimePoint next_wake() const {
+    const std::optional<sim::TimePoint> next = world_->sim().next_event_at();
+    if (!next.has_value() || *next > end_) return end_;
+    if (*next <= target_) return std::min(target_ + kEpoch, end_);
+    const std::int64_t k =
+        ((*next - target_).ns() + kEpoch.ns() - 1) / kEpoch.ns();
+    return std::min(target_ + kEpoch * k, end_);
+  }
+
+  /// Full epochs between the current horizon and \p wake that the calendar
+  /// skips (the round-robin would have run each as an empty run_until).
+  [[nodiscard]] std::uint64_t epochs_skipped_to(sim::TimePoint wake) const {
+    const std::int64_t gap = (wake - target_).ns();
+    return gap > kEpoch.ns()
+               ? static_cast<std::uint64_t>((gap - 1) / kEpoch.ns())
+               : 0;
+  }
+
+  /// Simulates up to \p target (a value obtained from next_wake()); returns
+  /// true when the home reached its end.
+  bool advance_to(sim::TimePoint target) {
+    target_ = target;
+    world_->sim().run_until(target_);
+    return target_ >= end_;
+  }
+
+  /// Simulates one quantum on the epoch grid — the reference scheduler the
+  /// wake calendar must be indistinguishable from (hibernation-parity tests
+  /// drive this path against the calendar). Returns true at the end.
   bool advance() {
     target_ = std::min(target_ + kEpoch, end_);
     world_->sim().run_until(target_);
     return target_ >= end_;
   }
 
-  /// Runs to the end in one go (the serial reference path).
+  /// Runs to the end in one go (the serial reference path), wake to wake.
   void run_to_end() {
-    while (!advance()) {
+    while (!advance_to(next_wake())) {
     }
   }
+
+  /// Parks the home between distant wakes: trims the arena's unreachable
+  /// chunks, shrinks the event-queue slab, and drops the owner devices'
+  /// path-loss memo tables (each lazily re-grown on the next query). Pure
+  /// memory action; returns the total bytes released.
+  std::size_t hibernate() {
+    std::size_t freed = world_->sim().trim_memory();
+    for (int i = 0; i < world_->owner_count(); ++i) {
+      radio::PropagationCache& cache = world_->device(i).propagation_cache();
+      freed += cache.table_bytes();
+      cache.park();
+    }
+    return freed;
+  }
+
+  /// The grid horizon just past the last scripted command — the "parked"
+  /// point ParkedFleet advances to: the script has fully run, only drain
+  /// maintenance (heartbeats, keepalives) remains.
+  [[nodiscard]] sim::TimePoint park_horizon() const {
+    sim::TimePoint last = sim::TimePoint{} + kBoot;
+    for (const scenario::CommandStep& c : spec_.schedule.commands) {
+      const sim::TimePoint at = sim::TimePoint{} + kBoot + c.at;
+      if (at > last) last = at;
+    }
+    const std::int64_t k = last.ns() / kEpoch.ns() + 1;
+    return std::min(sim::TimePoint{} + kEpoch * k, end_);
+  }
+
+  [[nodiscard]] sim::TimePoint horizon() const { return target_; }
+  [[nodiscard]] sim::TimePoint end() const { return end_; }
 
   /// Folds this finished home into \p acc and releases nothing: the caller
   /// destroys the home, freeing its world before the next one is admitted.
@@ -169,34 +245,92 @@ class FleetHome {
   sim::TimePoint end_{};
 };
 
+/// One entry in a shard's wake calendar: a resident home and the horizon it
+/// next needs to run at. The heap owns the homes — finishing a home is a
+/// pop_heap + pop_back (the swap-and-pop that replaced the old O(n²)
+/// vector::erase residency loop).
+struct Resident {
+  sim::TimePoint wake;
+  std::uint64_t order;  // home index; deterministic tie-break at equal wakes
+  std::unique_ptr<FleetHome> home;
+};
+
+struct LaterWake {
+  bool operator()(const Resident& a, const Resident& b) const {
+    if (a.wake != b.wake) return a.wake > b.wake;
+    return a.order > b.order;
+  }
+};
+
+struct ShardResult {
+  AggregateStats stats;
+  WakeTelemetry tel;
+};
+
 /// One shard: streams homes [begin, end) through at most \p max_resident
-/// live worlds, folding each finished home into the returned stats.
-AggregateStats run_range(const WorldTemplate& tmpl, std::uint64_t begin,
-                         std::uint64_t end, std::uint64_t max_resident) {
-  AggregateStats acc;
+/// live worlds on the wake calendar, folding each finished home into the
+/// returned stats. Stats folds are integer-exact and order-independent, so
+/// the calendar's earliest-wake-first order (vs the old round-robin) leaves
+/// the merged result bit-identical.
+ShardResult run_range(const WorldTemplate& tmpl, std::uint64_t begin,
+                      std::uint64_t end, std::uint64_t max_resident,
+                      sim::Duration hibernate_gap, std::uint32_t wake_batch) {
+  ShardResult out;
   const std::uint64_t cap =
       max_resident == 0 ? (end > begin ? end - begin : 1) : max_resident;
-  std::vector<std::unique_ptr<FleetHome>> live;
+  const std::uint32_t batch = wake_batch == 0 ? 1 : wake_batch;
+  out.tel.resident_cap = cap;
+  std::vector<Resident> calendar;
+  calendar.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(cap, end > begin ? end - begin : 1)));
   std::uint64_t next = begin;
-  const auto refill = [&] {
-    while (live.size() < cap && next < end) {
-      live.push_back(std::make_unique<FleetHome>(tmpl, next));
+  const auto admit = [&] {
+    while (calendar.size() < cap && next < end) {
+      auto home = std::make_unique<FleetHome>(tmpl, next);
+      calendar.push_back(Resident{home->next_wake(), next, std::move(home)});
+      std::push_heap(calendar.begin(), calendar.end(), LaterWake{});
       ++next;
     }
   };
-  refill();
-  while (!live.empty()) {
-    for (std::size_t i = 0; i < live.size();) {
-      if (live[i]->advance()) {
-        live[i]->finish(acc);
-        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
-      } else {
-        ++i;
+  admit();
+  while (!calendar.empty()) {
+    std::pop_heap(calendar.begin(), calendar.end(), LaterWake{});
+    Resident r = std::move(calendar.back());
+    calendar.pop_back();
+    // Run up to `batch` consecutive horizons before re-entering the heap.
+    // Homes never interact and the stats fold is order-independent, so how
+    // many horizons one home runs per pop cannot change the merged result —
+    // but touching a hot home `batch` times in a row instead of cycling the
+    // whole resident set through the cache per epoch is a large locality win
+    // on event-dense populations.
+    bool finished = false;
+    sim::TimePoint wake = r.wake;
+    for (std::uint32_t b = 0; b < batch; ++b) {
+      ++out.tel.wakes;
+      out.tel.epochs_skipped += r.home->epochs_skipped_to(wake);
+      if (r.home->advance_to(wake)) {
+        finished = true;
+        break;
       }
+      wake = r.home->next_wake();
     }
-    refill();
+    if (finished) {
+      r.home->finish(out.stats);
+      r.home.reset();  // free the world before admitting its replacement
+      admit();
+      continue;
+    }
+    // Hibernate when the gap from the last executed horizon to the next
+    // pending wake is long enough for the slab savings to pay off.
+    if (hibernate_gap.ns() > 0 && wake - r.home->horizon() >= hibernate_gap) {
+      out.tel.trim_bytes += r.home->hibernate();
+      ++out.tel.hibernations;
+    }
+    r.wake = wake;
+    calendar.push_back(std::move(r));
+    std::push_heap(calendar.begin(), calendar.end(), LaterWake{});
   }
-  return acc;
+  return out;
 }
 
 }  // namespace
@@ -248,7 +382,8 @@ void validate_fleet_config(const FleetConfig& cfg, std::uint64_t homes) {
   }
 }
 
-AggregateStats run_fleet(const WorldTemplate& tmpl, const FleetConfig& cfg) {
+AggregateStats run_fleet(const WorldTemplate& tmpl, const FleetConfig& cfg,
+                         WakeTelemetry* telemetry) {
   const std::uint64_t homes = cfg.homes != 0 ? cfg.homes : tmpl.homes();
   validate_fleet_config(cfg, homes);
 
@@ -266,15 +401,21 @@ AggregateStats run_fleet(const WorldTemplate& tmpl, const FleetConfig& cfg) {
           ? cfg.workers
           : std::min<unsigned>(cfg.shards,
                                std::max(1u, std::thread::hardware_concurrency()));
-  sim::BatchRunner pool{workers};
-  const std::vector<AggregateStats> per_shard = pool.map<AggregateStats>(
+  sim::BatchRunner pool{workers, cfg.pin_threads};
+  const std::vector<ShardResult> per_shard = pool.map<ShardResult>(
       ranges.size(), [&](std::size_t s) {
         return run_range(tmpl, ranges[s].first, ranges[s].second,
-                         cfg.max_resident);
+                         cfg.max_resident, cfg.hibernate_gap, cfg.wake_batch);
       });
 
   AggregateStats total;
-  for (const AggregateStats& s : per_shard) total.merge(s);
+  WakeTelemetry tel;
+  for (const ShardResult& s : per_shard) {
+    total.merge(s.stats);
+    tel.merge(s.tel);
+  }
+  tel.workers = pool.worker_count();
+  if (telemetry != nullptr) *telemetry = tel;
   return total;
 }
 
@@ -286,6 +427,50 @@ AggregateStats run_fleet_serial(const WorldTemplate& tmpl, std::uint64_t first,
     home.run_to_end();
     home.finish(acc);
   }
+  return acc;
+}
+
+struct ParkedFleet::Impl {
+  std::vector<std::unique_ptr<FleetHome>> homes;
+  std::uint64_t trim_bytes{0};
+};
+
+ParkedFleet::ParkedFleet(const WorldTemplate& tmpl, std::uint64_t count)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->homes.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    auto home = std::make_unique<FleetHome>(tmpl, i);
+    // Drive the home past its last scripted command on the same wake grid
+    // the fleet loop uses, then hibernate it: this is the steady state a
+    // long-drain population spends most of its life in.
+    const sim::TimePoint park = home->park_horizon();
+    while (true) {
+      const sim::TimePoint wake = home->next_wake();
+      if (wake > park) break;
+      if (home->advance_to(wake)) break;
+    }
+    impl_->trim_bytes += home->hibernate();
+    impl_->homes.push_back(std::move(home));
+  }
+}
+
+ParkedFleet::~ParkedFleet() = default;
+
+std::uint64_t ParkedFleet::count() const {
+  return static_cast<std::uint64_t>(impl_->homes.size());
+}
+
+std::uint64_t ParkedFleet::trim_bytes() const { return impl_->trim_bytes; }
+
+AggregateStats ParkedFleet::finish() {
+  AggregateStats acc;
+  for (auto& home : impl_->homes) {
+    if (home == nullptr) continue;
+    home->run_to_end();
+    home->finish(acc);
+    home.reset();
+  }
+  impl_->homes.clear();
   return acc;
 }
 

@@ -11,7 +11,7 @@ BluetoothScanner::BluetoothScanner(sim::Simulation& sim, const FloorPlan& plan,
       name_(std::move(name)),
       pos_(std::move(pos)),
       scan_(scan),
-      cache_(plan, params) {}
+      cache_(plan, params, scan.cache_slots) {}
 
 double BluetoothScanner::measure_now(const BluetoothBeacon& beacon) {
   auto& rng = sim_.rng("radio.rssi." + name_);

@@ -38,6 +38,12 @@ struct ScanParams {
   sim::Duration max_latency = sim::milliseconds(900);
   /// Android reports integer dB values.
   bool quantize = true;
+  /// Slots in the scanner's direct-mapped path-loss memo (PropagationCache;
+  /// 64 bytes each, rounded up to a power of two). Purely a memory/speed
+  /// trade: a hit returns the identical double a recompute would, so sample
+  /// streams are byte-identical at any size. Fleet homes shrink this — 10^5
+  /// resident scanners must not each hold the 32 KiB default table.
+  std::size_t cache_slots = 512;
 };
 
 /// A scanner bound to a moving device. Position is supplied by a callable so

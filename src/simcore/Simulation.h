@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -70,6 +71,28 @@ class Simulation {
   EventId at(TimePoint when, EventQueue::Callback cb);
 
   void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Time of the earliest pending event, or nothing when the queue is empty.
+  /// The wake-calendar hook: callers driving many simulations peek this to
+  /// prove a run_until horizon executes nothing and skip it wholesale —
+  /// which cannot perturb behaviour, because no event and no RNG draw
+  /// happens between events (run_until only moves the clock).
+  [[nodiscard]] std::optional<TimePoint> next_event_at() const {
+    return queue_.peek();
+  }
+
+  /// Releases slack memory while the simulation is parked between distant
+  /// events: shrinks the event queue's slabs and trims the owned arena's
+  /// unreachable chunks (a borrowed arena belongs to its lender and is left
+  /// alone). Pure memory action — allocation never feeds back into event
+  /// order or RNG draws, so a trimmed and an untrimmed run of the same seed
+  /// stay bit-identical. Returns the total bytes released (queue slab slack
+  /// plus trimmed arena chunks).
+  std::size_t trim_memory() {
+    std::size_t freed = queue_.shrink();
+    if (owned_arena_ != nullptr) freed += owned_arena_->trim();
+    return freed;
+  }
 
   /// Runs events until the queue drains or the clock passes \p until.
   /// Events scheduled exactly at \p until still run. Returns the number of

@@ -128,6 +128,7 @@ void SmartHomeWorld::build_people() {
     home::Person* person = owners_.back().get();
 
     home::MobileDevice::Options dopts;
+    dopts.scan.cache_slots = cfg_.device_cache_slots;
     std::string dev_name;
     if (cfg_.use_watch) {
       dopts.kind = home::DeviceKind::kSmartwatch;

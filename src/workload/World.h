@@ -74,6 +74,11 @@ struct WorldConfig {
   /// Chunk granularity for an owned arena (fleet homes shrink this so tens of
   /// thousands of concurrent worlds stay resident). Ignored if \p arena set.
   std::size_t arena_chunk = sim::Arena::kDefaultChunk;
+  /// Path-loss memo slots per owner-device scanner (radio::ScanParams::
+  /// cache_slots). Behaviourally neutral at any size — a hit returns the
+  /// identical double a recompute would — so fleet homes shrink it from the
+  /// 32 KiB default table to keep 10^5 resident homes lean.
+  std::size_t device_cache_slots = 512;
   /// Share an immutable testbed (geometry, wall grid, propagation tables)
   /// instead of building a private copy. Must match \p testbed's kind and
   /// outlive the world; nothing mutates a testbed after construction, so one

@@ -68,6 +68,10 @@ expect 0 "$VGSCN" validate "$TMP/pop.scn"
 expect 0 "$VGSCN" fleet "$TMP/pop.scn"
 expect 0 "$VGSCN" fleet "$TMP/pop.scn" --shards 2 --check
 expect 0 "$VGSCN" fleet "$SCN_DIR/chaos-baseline.scn" --homes 2
+# --resident caps concurrently-live homes per shard; --workers sizes the
+# pool. Both accept 0 (= auto / whole range) and must not perturb results.
+expect 0 "$VGSCN" fleet "$TMP/pop.scn" --resident 2 --workers 1 --check
+expect 0 "$VGSCN" fleet "$TMP/pop.scn" --resident 0 --workers 0
 
 # 1: a fleet whose fault plan never fires (same past-the-horizon trick as
 # no-inject.scn above) violates the fleet invariants.
@@ -111,6 +115,11 @@ expect 2 "$VGSCN" fleet
 expect 2 "$VGSCN" fleet "$TMP/pop.scn" --homes 0
 expect 2 "$VGSCN" fleet "$TMP/pop.scn" --shards 0
 expect 2 "$VGSCN" fleet "$TMP/pop.scn" --frobnicate
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --resident
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --resident lots
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --workers
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --workers many
+expect 2 "$VGSCN" fleet "$TMP/pop.scn" --workers 5000
 
 # 3: fleet I/O errors share the loader's code.
 expect 3 "$VGSCN" fleet "$TMP/does-not-exist.scn"

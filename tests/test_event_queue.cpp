@@ -202,6 +202,102 @@ TEST(EventQueue, DefaultEventIdCancelIsNoop) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// EventQueue: peek() and shrink() — the wake-calendar / hibernation hooks
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, PeekReportsEarliestPendingAndSkipsCancelled) {
+  EventQueue q;
+  EXPECT_FALSE(q.peek().has_value());
+
+  const EventId early = q.schedule(TimePoint{10}, [] {});
+  q.schedule(TimePoint{20}, [] {});
+  ASSERT_TRUE(q.peek().has_value());
+  EXPECT_EQ(q.peek()->ns(), 10);
+
+  // Cancelling the front event must not leave peek() reporting a ghost.
+  q.cancel(early);
+  ASSERT_TRUE(q.peek().has_value());
+  EXPECT_EQ(q.peek()->ns(), 20);
+
+  q.pop().cb();
+  EXPECT_FALSE(q.peek().has_value());
+}
+
+TEST(EventQueue, PeekDoesNotPerturbFireOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(TimePoint{100 - i}, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) {
+    (void)q.peek();  // observation only
+    q.pop().cb();
+  }
+  EXPECT_EQ(order, (std::vector<int>{7, 6, 5, 4, 3, 2, 1, 0}));
+}
+
+TEST(EventQueue, ShrinkDropsSlabAndKeepsLiveEvents) {
+  EventQueue q;
+  // Blow the slot table and heap up with churn, leaving a few live events.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(q.schedule(TimePoint{1000 + i}, [] {}));
+  }
+  int fired = 0;
+  // Keep the ten earliest alive; the rest free their slots, leaving a long
+  // free tail for shrink() to drop (live slots never move, so only trailing
+  // free slots are reclaimable).
+  for (std::size_t i = 10; i < ids.size(); ++i) q.cancel(ids[i]);
+  const std::size_t fat_slots = q.slot_count();
+  ASSERT_GE(fat_slots, 2000u);
+
+  q.shrink();
+  EXPECT_LE(q.slot_count(), 10u);
+  EXPECT_EQ(q.heap_size(), q.size());  // no stale entries survive a shrink
+
+  while (!q.empty()) {
+    q.pop().cb();
+    ++fired;
+  }
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(EventQueue, StaleIdCannotCancelRebornSlotAfterShrink) {
+  EventQueue q;
+  // Fill and free a tall slot table so shrink() drops trailing slots.
+  std::vector<EventId> ids;
+  for (int i = 0; i < 512; ++i) {
+    ids.push_back(q.schedule(TimePoint{10 + i}, [] {}));
+  }
+  // Keep slot 0's event alive so the queue stays non-trivial; cancel the rest.
+  for (std::size_t i = 1; i < ids.size(); ++i) q.cancel(ids[i]);
+  q.shrink();
+
+  // New events reuse the dropped index range. The old (pre-shrink) handles
+  // must not alias them: generations restart past every dropped generation.
+  bool reborn_fired = false;
+  q.schedule(TimePoint{5}, [&] { reborn_fired = true; });
+  for (std::size_t i = 1; i < ids.size(); ++i) q.cancel(ids[i]);  // all stale
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().cb();
+  EXPECT_TRUE(reborn_fired);
+}
+
+TEST(EventQueue, ScheduleAfterShrinkBehavesNormally) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) q.schedule(TimePoint{i}, [] {});
+  while (!q.empty()) q.pop().cb();
+  q.shrink();  // empty queue: everything drops
+
+  q.schedule(TimePoint{20}, [&] { order.push_back(2); });
+  q.schedule(TimePoint{10}, [&] { order.push_back(1); });
+  q.schedule(TimePoint{30}, [&] { order.push_back(3); });
+  while (!q.empty()) q.pop().cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(EventQueue, MoveOnlyCallbackThroughQueue) {
   EventQueue q;
   auto payload = std::make_unique<int>(7);
